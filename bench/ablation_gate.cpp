@@ -1,0 +1,74 @@
+// Ablation: the Figure 1 submission gate.  Three variants of "when may an
+// interstitial job be submitted":
+//   queue-protective — no waiting native could start before we finish
+//                      (this repo's default; see DESIGN.md)
+//   head-only        — the paper's pseudocode verbatim (protects only the
+//                      highest-priority waiter)
+//   always           — no gate, fill every hole
+// measured on the Blue Mountain continual 32-CPU x 458 s scenario.
+
+#include "common.hpp"
+
+namespace {
+
+istc::sched::RunResult run_with(istc::core::GatePolicy gate) {
+  using namespace istc;
+  core::Scenario sc;
+  sc.site = cluster::Site::kBlueMountain;
+  auto stream = core::ProjectSpec::continual_stream(
+      32, 120, cluster::site_span(sc.site));
+  stream.gate = gate;
+  sc.project = stream;
+  return core::run_scenario(sc);
+}
+
+}  // namespace
+
+int main() {
+  using namespace istc;
+  bench::print_preamble(
+      "Ablation — interstitial submission gate (Blue Mountain, 32CPU x 458s)",
+      "Native protection vs harvest for three gate policies.");
+
+  const auto& base = core::native_baseline(cluster::Site::kBlueMountain);
+  const auto w_base = metrics::wait_stats(base.records);
+
+  Table t;
+  t.headers({"gate", "interstitial jobs", "overall util",
+             "median wait (s)", "avg wait (s)", "largest-5% median (s)"});
+  t.row({"(native only)", "0", Table::num(bench::overall_util(base), 3),
+         Table::num(w_base.median_wait_s, 0),
+         Table::num(w_base.avg_wait_s, 0),
+         Table::num(metrics::wait_stats(
+                        metrics::largest_native(base.records, 0.05))
+                        .median_wait_s,
+                    0)});
+
+  struct Case {
+    const char* name;
+    core::GatePolicy gate;
+  };
+  const Case cases[] = {
+      {"queue-protective (default)", core::GatePolicy::kQueueProtective},
+      {"head-only (Fig. 1 verbatim)", core::GatePolicy::kHeadOnly},
+      {"always (no gate)", core::GatePolicy::kAlways},
+  };
+  for (const auto& c : cases) {
+    const auto run = run_with(c.gate);
+    const auto w = metrics::wait_stats(run.records);
+    const auto wl =
+        metrics::wait_stats(metrics::largest_native(run.records, 0.05));
+    t.row({c.name,
+           Table::integer(static_cast<long long>(run.interstitial_count())),
+           Table::num(bench::overall_util(run), 3),
+           Table::num(w.median_wait_s, 0), Table::num(w.avg_wait_s, 0),
+           Table::num(wl.median_wait_s, 0)});
+  }
+  t.print();
+  std::printf(
+      "\nReading: the gate costs little harvest but buys most of the native\n"
+      "protection; the verbatim head-only gate admits slightly more jobs at\n"
+      "higher mid-queue delay, and removing the gate entirely shows the\n"
+      "damage an unmanaged scavenger stream would do.\n");
+  return 0;
+}

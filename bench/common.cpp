@@ -1,0 +1,98 @@
+#include "common.hpp"
+
+#include <cstdlib>
+
+#include "metrics/waits.hpp"
+
+namespace istc::bench {
+
+void print_preamble(const char* artifact, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", artifact);
+  std::printf("%s\n", description);
+  std::printf("Workload: synthetic logs calibrated to the paper's Table 1\n");
+  std::printf("(shape reproduction; absolute values differ — EXPERIMENTS.md)\n");
+  std::printf("==============================================================\n\n");
+}
+
+std::string makespan_cell(const core::MakespanSample& sample) {
+  if (!sample.feasible()) return "n/a*";
+  const Summary s = sample.summary();
+  return Table::pm(s.mean(), s.stddev(), 1);
+}
+
+int reps(int full) {
+  const char* quick = std::getenv("ISTC_QUICK");
+  if (quick && quick[0] == '1') return std::max(2, full / 10);
+  return full;
+}
+
+std::string kjobs_label(std::size_t jobs) {
+  char buf[32];
+  if (jobs % 1000 == 0) {
+    std::snprintf(buf, sizeof buf, "%zuk", jobs / 1000);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2gk",
+                  static_cast<double>(jobs) / 1000.0);
+  }
+  return buf;
+}
+
+std::string median_waits_cell(std::span<const sched::JobRecord> records) {
+  const auto all = metrics::wait_stats(records);
+  const auto big = metrics::wait_stats(metrics::largest_native(records, 0.05));
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1fk / %.1fk", all.median_wait_s / 1000.0,
+                big.median_wait_s / 1000.0);
+  return buf;
+}
+
+double overall_util(const sched::RunResult& run) {
+  return metrics::average_utilization(run.records, run.machine.cpus, 0,
+                                      run.span, metrics::JobFilter::kAll);
+}
+
+double native_util_of(const sched::RunResult& run) {
+  return metrics::average_utilization(run.records, run.machine.cpus, 0,
+                                      run.span,
+                                      metrics::JobFilter::kNativeOnly);
+}
+
+void print_continual_table(cluster::Site site, Seconds short_1ghz,
+                           Seconds long_1ghz) {
+  const auto& base = core::native_baseline(site);
+  const auto& s_run = core::continual_run(site, 32, short_1ghz);
+  const auto& l_run = core::continual_run(site, 32, long_1ghz);
+  const auto spec_s = core::ProjectSpec::continual_stream(32, short_1ghz, 1);
+  const auto spec_l = core::ProjectSpec::continual_stream(32, long_1ghz, 1);
+  const Seconds rs = spec_s.runtime_on(base.machine);
+  const Seconds rl = spec_l.runtime_on(base.machine);
+
+  char h_short[48], h_long[48];
+  std::snprintf(h_short, sizeof h_short, "32CPU x %lds",
+                static_cast<long>(rs));
+  std::snprintf(h_long, sizeof h_long, "32CPU x %lds",
+                static_cast<long>(rl));
+
+  Table t;
+  t.headers({"", "Native Jobs", h_short, h_long});
+  t.row({"Interstitial jobs", "0",
+         Table::integer(static_cast<long long>(s_run.interstitial_count())),
+         Table::integer(static_cast<long long>(l_run.interstitial_count()))});
+  t.row({"Native jobs",
+         Table::integer(static_cast<long long>(base.native_count())),
+         Table::integer(static_cast<long long>(s_run.native_count())),
+         Table::integer(static_cast<long long>(l_run.native_count()))});
+  t.row({"Overall Util", Table::num(overall_util(base), 3),
+         Table::num(overall_util(s_run), 3),
+         Table::num(overall_util(l_run), 3)});
+  t.row({"Native Util", Table::num(native_util_of(base), 3),
+         Table::num(native_util_of(s_run), 3),
+         Table::num(native_util_of(l_run), 3)});
+  t.row({"Median wait (ks) all / 5% largest",
+         median_waits_cell(base.records), median_waits_cell(s_run.records),
+         median_waits_cell(l_run.records)});
+  t.print();
+}
+
+}  // namespace istc::bench

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/project.hpp"
+#include "core/theory.hpp"
+#include "metrics/utilization.hpp"
+#include "metrics/waits.hpp"
+#include "util/table.hpp"
+
+/// \file common.hpp
+/// Shared plumbing for the experiment drivers (one binary per paper table
+/// or figure).  Each driver prints the rows/series the paper reports, from
+/// the calibrated synthetic logs; absolute numbers therefore differ from
+/// the paper, the shape is what must match (see EXPERIMENTS.md).
+
+namespace istc::bench {
+
+/// Standard header for every experiment binary.
+void print_preamble(const char* artifact, const char* description);
+
+/// "12.3 ± 4.5" in hours, or the paper's "n/a*" for infeasible cells.
+std::string makespan_cell(const core::MakespanSample& sample);
+
+/// Number of replications for Monte-Carlo experiments; the paper uses 20
+/// random starts (Table 2) and 500 samples (Table 4).  Honouring
+/// ISTC_QUICK=1 keeps CI fast without changing defaults.
+int reps(int full);
+
+/// "2k" / "¼k" style job-count label used by the paper's tables.
+std::string kjobs_label(std::size_t jobs);
+
+/// Median wait summary "all / largest-5%" in the paper's "0.2k / 4.4k"
+/// kiloseconds style.
+std::string median_waits_cell(std::span<const sched::JobRecord> records);
+
+/// Utilization over [0, span) for a run.
+double overall_util(const sched::RunResult& run);
+double native_util_of(const sched::RunResult& run);
+
+/// The shared body of Tables 6, 7 and 8: continual interstitial computing
+/// on one machine with two job lengths (seconds @ 1 GHz).
+void print_continual_table(cluster::Site site, Seconds short_1ghz,
+                           Seconds long_1ghz);
+
+}  // namespace istc::bench

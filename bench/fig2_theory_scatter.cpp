@@ -1,0 +1,49 @@
+// Figure 2: actual omniscient makespan vs theoretical makespan, with the
+// paper's fitted line makespan = 5256 + 1.16 * P/(N*C*(1-U)).
+
+#include "common.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace istc;
+  bench::print_preamble(
+      "Figure 2 — Actual vs theoretical omniscient makespan",
+      "One point per (project size, CPUs/job, machine); hours on both axes.");
+
+  struct Cfg {
+    std::size_t jobs;
+    int cpus;
+  };
+  const Cfg cfgs[] = {{64000, 1},  {2000, 32},   {256000, 1},
+                      {8000, 32},  {1024000, 1}, {32000, 32}};
+  const int n = bench::reps(20);
+
+  Table t;
+  t.headers({"machine", "Pc", "CPU/job", "theory (h)", "actual (h)",
+             "actual/theory"});
+  std::vector<double> xs, ys;
+  for (auto site : cluster::all_sites()) {
+    const auto in = core::theory_inputs(cluster::machine_spec(site),
+                                        core::native_utilization(site));
+    for (const auto& c : cfgs) {
+      const auto spec = core::ProjectSpec::paper(c.jobs, c.cpus, 120);
+      const double theory_h =
+          core::ideal_makespan_s(in, spec.total_cycles()) / 3600.0;
+      const auto sample = core::omniscient_makespans(site, spec, n);
+      const double actual_h = sample.summary().mean();
+      xs.push_back(theory_h);
+      ys.push_back(actual_h);
+      t.row({cluster::site_name(site), Table::num(spec.peta_cycles(), 1),
+             Table::integer(c.cpus), Table::num(theory_h, 1),
+             Table::num(actual_h, 1), Table::num(actual_h / theory_h, 2)});
+    }
+  }
+  t.print();
+
+  const LinearFit fit = linear_fit(xs, ys);
+  std::printf(
+      "\nFit over all points: actual = %.0f s + %.2f * theory (R^2 = %.3f)\n"
+      "Paper's fit:          actual = 5256 s + 1.16 * theory (±17%%)\n",
+      fit.intercept * 3600.0, fit.slope, fit.r2);
+  return 0;
+}

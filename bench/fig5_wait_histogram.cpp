@@ -1,0 +1,34 @@
+// Figure 5: distribution of native-job wait times on Blue Mountain, binned
+// by log10(seconds): no interstitial vs 32CPUx458s vs 32CPUx3664s.
+
+#include "common.hpp"
+
+int main() {
+  using namespace istc;
+  bench::print_preamble(
+      "Figure 5 — Wait times of native jobs on Blue Mountain",
+      "Fraction of native jobs per log10(wait seconds) decade.");
+
+  const auto site = cluster::Site::kBlueMountain;
+  const auto& base = core::native_baseline(site);
+  const auto& short_run = core::continual_run(site, 32, 120);
+  const auto& long_run = core::continual_run(site, 32, 960);
+
+  const auto h0 = metrics::wait_histogram(base.records);
+  const auto h1 = metrics::wait_histogram(short_run.records);
+  const auto h2 = metrics::wait_histogram(long_run.records);
+
+  Table t;
+  t.headers({"wait log10(s)", "no interstitial", "32CPU x 458s",
+             "32CPU x 3664s"});
+  for (std::size_t d = 0; d < h0.decades(); ++d) {
+    t.row({Log10Histogram::bin_label(d), Table::num(h0.fraction(d), 3),
+           Table::num(h1.fraction(d), 3), Table::num(h2.fraction(d), 3)});
+  }
+  t.print();
+  std::printf(
+      "\nPaper shape check: the big [0,1) peak of the no-interstitial case\n"
+      "is pushed out to the decade of one interstitial runtime ([2,3) for\n"
+      "458 s, [3,4) for 3664 s), with a small cascade tail in [4,6).\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 6: wait-time distribution of the 5% largest native jobs (by
+// CPU-seconds) on Blue Mountain, same scenarios as Fig. 5.
+
+#include "common.hpp"
+
+int main() {
+  using namespace istc;
+  bench::print_preamble(
+      "Figure 6 — Wait times of 5% largest native jobs (CPU-sec)",
+      "Fraction of the largest-5% native jobs per log10(wait) decade.");
+
+  const auto site = cluster::Site::kBlueMountain;
+  const auto& base = core::native_baseline(site);
+  const auto& short_run = core::continual_run(site, 32, 120);
+  const auto& long_run = core::continual_run(site, 32, 960);
+
+  auto hist_of = [](const sched::RunResult& run) {
+    const auto largest = metrics::largest_native(run.records, 0.05);
+    return metrics::wait_histogram(largest);
+  };
+  const auto h0 = hist_of(base);
+  const auto h1 = hist_of(short_run);
+  const auto h2 = hist_of(long_run);
+
+  Table t;
+  t.headers({"wait log10(s)", "no interstitial", "32CPU x 458s",
+             "32CPU x 3664s"});
+  for (std::size_t d = 0; d < h0.decades(); ++d) {
+    t.row({Log10Histogram::bin_label(d), Table::num(h0.fraction(d), 3),
+           Table::num(h1.fraction(d), 3), Table::num(h2.fraction(d), 3)});
+  }
+  t.print();
+  std::printf(
+      "\nPaper shape check: the largest jobs shift toward the high decades\n"
+      "more strongly than the overall population (compare Figure 5) — they\n"
+      "bear the brunt of the interstitial delay cascades.\n");
+  return 0;
+}

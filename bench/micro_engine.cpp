@@ -1,0 +1,57 @@
+// Microbenchmarks of the discrete-event engine.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/engine.hpp"
+
+namespace {
+
+using istc::SimTime;
+
+void BM_EngineScheduleAndDrain(benchmark::State& state) {
+  const auto n = static_cast<SimTime>(state.range(0));
+  for (auto _ : state) {
+    istc::sim::Engine eng;
+    long sink = 0;
+    for (SimTime t = 0; t < n; ++t) {
+      eng.schedule(t, [&sink] { ++sink; });
+    }
+    eng.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineScheduleAndDrain)->Arg(1000)->Arg(100000);
+
+void BM_EngineSameTimestampBatch(benchmark::State& state) {
+  // Many events at one timestamp: one quiescent pass per step.
+  const auto n = static_cast<SimTime>(state.range(0));
+  for (auto _ : state) {
+    istc::sim::Engine eng;
+    long hook_calls = 0;
+    eng.on_quiescent([&hook_calls](SimTime) { ++hook_calls; });
+    for (SimTime i = 0; i < n; ++i) eng.schedule(42, [] {});
+    eng.run();
+    benchmark::DoNotOptimize(hook_calls);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineSameTimestampBatch)->Arg(10000);
+
+void BM_EngineSelfPerpetuatingChain(benchmark::State& state) {
+  const long links = state.range(0);
+  for (auto _ : state) {
+    istc::sim::Engine eng;
+    long count = 0;
+    std::function<void()> link = [&] {
+      if (++count < links) eng.schedule_in(1, link);
+    };
+    eng.schedule(0, link);
+    eng.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * links);
+}
+BENCHMARK(BM_EngineSelfPerpetuatingChain)->Arg(100000);
+
+}  // namespace

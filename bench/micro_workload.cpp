@@ -1,0 +1,41 @@
+// Microbenchmarks of the workload generator.
+
+#include <benchmark/benchmark.h>
+
+#include "workload/presets.hpp"
+
+namespace {
+
+using istc::cluster::Site;
+
+void BM_GenerateSiteLog(benchmark::State& state) {
+  const auto site = static_cast<Site>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto log = istc::workload::site_log(site, seed++);
+    benchmark::DoNotOptimize(log.size());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<long>(istc::cluster::site_targets(site).jobs));
+}
+BENCHMARK(BM_GenerateSiteLog)
+    ->Arg(static_cast<int>(Site::kRoss))
+    ->Arg(static_cast<int>(Site::kBlueMountain))
+    ->Arg(static_cast<int>(Site::kBluePacific))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ArrivalProcess(benchmark::State& state) {
+  istc::workload::ArrivalProcess proc{istc::workload::ArrivalSpec{}};
+  istc::Rng rng(7);
+  for (auto _ : state) {
+    const auto a = proc.generate(istc::days(30),
+                                 static_cast<std::size_t>(state.range(0)),
+                                 rng);
+    benchmark::DoNotOptimize(a.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ArrivalProcess)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,47 @@
+// Table 1: Comparison of ASCI Machines — the machine models and the
+// calibrated synthetic logs standing in for the site traces.
+
+#include "common.hpp"
+#include "workload/presets.hpp"
+
+int main() {
+  using namespace istc;
+  bench::print_preamble(
+      "Table 1 — Comparison of ASCI Machines",
+      "Machine presets plus measured properties of the calibrated logs.");
+
+  Table t;
+  t.headers({"", "Ross", "Blue Mtn", "Blue Pacific"});
+  std::vector<std::string> cpus{"CPUs"}, clock{"clock GHz"},
+      tcycles{"TCycles"}, util_t{"Utilization (paper)"},
+      util_m{"Utilization (measured)"}, days{"times days"}, jobs{"Jobs"},
+      queue{"Queue algorithm"}, mean_cpus{"mean CPUs/job (log)"},
+      med_run{"median runtime h (log)"}, med_est{"median estimate h (log)"};
+
+  for (auto site : cluster::all_sites()) {
+    const auto m = cluster::machine_spec(site);
+    const auto targets = cluster::site_targets(site);
+    const auto log = workload::site_log(site);
+    const auto stats =
+        workload::compute_stats(log, m, cluster::site_span(site));
+    const double measured = core::native_utilization(site);
+
+    cpus.push_back(Table::integer(m.cpus));
+    clock.push_back(Table::num(m.clock_ghz, 3));
+    tcycles.push_back(Table::num(m.tera_cycles(), 3));
+    util_t.push_back(Table::num(targets.utilization, 3));
+    util_m.push_back(Table::num(measured, 3));
+    days.push_back(Table::num(targets.span_days, 1));
+    jobs.push_back(Table::integer(targets.jobs));
+    queue.push_back(m.queue_system);
+    mean_cpus.push_back(Table::num(stats.mean_cpus, 0));
+    med_run.push_back(Table::num(stats.median_runtime_h, 2));
+    med_est.push_back(Table::num(stats.median_estimate_h, 1));
+  }
+  for (auto* row : {&cpus, &clock, &tcycles, &util_t, &util_m, &days, &jobs,
+                    &queue, &mean_cpus, &med_run, &med_est}) {
+    t.row(*row);
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// A researcher's workflow: plan a parameter-sweep campaign as an
+// interstitial project on a production machine.
+//
+// The sweep: 7.7 peta-cycles of independent simulations (the paper's
+// smallest Table 2 project).  Questions answered here:
+//   1. How should the sweep be chopped into jobs? (advisor)
+//   2. How long will it take, best case? (theory + omniscient packing)
+//   3. How long under realistic, estimate-driven submission? (continual
+//      sampling)
+
+#include <cstdio>
+
+#include "core/advisor.hpp"
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace istc;
+  const auto site = cluster::Site::kBlueMountain;
+  const auto machine = cluster::machine_spec(site);
+  const double util = core::native_utilization(site);
+  const double project_cycles = 7.7e15;
+
+  std::printf("Planning a %.1f peta-cycle sweep on %s (native util %.3f)\n\n",
+              project_cycles / 1e15, machine.name.c_str(), util);
+
+  // 1. Ask the advisor for a job shape.
+  core::AdvisorInputs in;
+  in.machine = machine;
+  in.native_utilization = util;
+  in.project_cycles = project_cycles;
+  in.max_native_delay = minutes(10);
+  in.max_breakage = 1.05;
+  const auto rec = core::advise(in);
+
+  KeyValueBlock plan("Recommended project shape");
+  plan.add("CPUs per job", Table::integer(rec.cpus_per_job));
+  plan.add("job runtime on this machine", format_duration(rec.job_runtime));
+  plan.add("machine-neutral job size",
+           std::to_string(rec.work_sec_at_1ghz) + " s @ 1 GHz");
+  plan.add("number of jobs", Table::integer(static_cast<long long>(rec.jobs)));
+  plan.add("breakage factor", rec.breakage, 3);
+  plan.add("predicted makespan (fitted model)",
+           Table::num(rec.predicted_makespan_h, 1) + " h");
+  plan.print();
+  for (const auto& note : rec.notes) std::printf("  note: %s\n", note.c_str());
+
+  // 2. Best case: omniscient packing at random start times.
+  const auto spec =
+      core::ProjectSpec::paper(rec.jobs, rec.cpus_per_job,
+                               rec.work_sec_at_1ghz);
+  const auto omni = core::omniscient_makespans(site, spec, 10);
+  const auto so = omni.summary();
+  std::printf("\nOmniscient makespan over 10 random starts: %s h "
+              "(min %.1f, max %.1f)\n",
+              so.mean_pm_std(1).c_str(), so.min(), so.max());
+
+  // 3. Realistic: estimate-driven submission, sampled from a continual run.
+  const auto fall = core::fallible_makespans(site, spec, 200);
+  if (fall.feasible()) {
+    const auto sf = fall.summary();
+    std::printf("Fallible makespan over %zu samples:        %s h "
+                "(median %.1f)\n",
+                sf.count(), sf.mean_pm_std(1).c_str(), sf.median());
+  } else {
+    std::printf("Fallible makespan: project does not fit in one log pass\n");
+  }
+
+  std::printf(
+      "\nReading: the sweep costs the facility nothing it was using — the\n"
+      "jobs run purely in the schedule's interstices — and the realistic\n"
+      "makespan is within a factor of ~2 of the perfect-knowledge bound.\n");
+  return 0;
+}

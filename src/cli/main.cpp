@@ -1,0 +1,208 @@
+// The `istc` command-line tool: the library's facilities behind one
+// binary, for users who want answers rather than code.
+//
+//   istc report  --site <ross|bluemtn|bluepac>
+//   istc harvest --site <...> --cpus 32 --sec1ghz 120 [--cap 0.9]
+//                [--gate queue|head|always]
+//   istc plan    --site <...> --petacycles 7.7 [--max-delay-s 600]
+//                [--max-breakage 1.05]
+//   istc replay  --swf trace.swf [--cpus 1024] [--clock 1.0]
+//                [--icpus 8] [--isec1ghz 120]
+
+#include <cstdio>
+#include <string>
+
+#include "core/advisor.hpp"
+#include "core/driver.hpp"
+#include "core/experiment.hpp"
+#include "metrics/utilization.hpp"
+#include "metrics/waits.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/engine.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "workload/presets.hpp"
+#include "workload/swf.hpp"
+
+namespace {
+
+using namespace istc;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  istc report  --site <ross|bluemtn|bluepac>\n"
+      "  istc harvest --site <...> [--cpus 32] [--sec1ghz 120]\n"
+      "               [--cap 0.95] [--gate queue|head|always]\n"
+      "  istc plan    --site <...> --petacycles 7.7 [--max-delay-s 900]\n"
+      "               [--max-breakage 1.10]\n"
+      "  istc replay  --swf trace.swf [--cpus 1024] [--clock 1.0]\n"
+      "               [--icpus 8] [--isec1ghz 120]\n");
+  return 2;
+}
+
+std::optional<cluster::Site> parse_site(const std::string& s) {
+  if (s == "ross") return cluster::Site::kRoss;
+  if (s == "bluemtn" || s == "bluemountain") return cluster::Site::kBlueMountain;
+  if (s == "bluepac" || s == "bluepacific") return cluster::Site::kBluePacific;
+  return std::nullopt;
+}
+
+void print_run_summary(const char* title, const sched::RunResult& run) {
+  const auto w = metrics::wait_stats(run.records);
+  const auto wl =
+      metrics::wait_stats(metrics::largest_native(run.records, 0.05));
+  KeyValueBlock kv(title);
+  kv.add("machine", run.machine.name + " (" +
+                        std::to_string(run.machine.cpus) + " CPUs)");
+  kv.add("log span", format_duration(run.span));
+  kv.add("native jobs", Table::integer(
+                            static_cast<long long>(run.native_count())));
+  kv.add("interstitial jobs",
+         Table::integer(static_cast<long long>(run.interstitial_count())));
+  kv.add("overall utilization",
+         metrics::average_utilization(run.records, run.machine.cpus, 0,
+                                      run.span),
+         3);
+  kv.add("native utilization",
+         metrics::average_utilization(run.records, run.machine.cpus, 0,
+                                      run.span,
+                                      metrics::JobFilter::kNativeOnly),
+         3);
+  kv.add("native median wait", format_duration(
+                                   static_cast<Seconds>(w.median_wait_s)));
+  kv.add("native mean wait",
+         format_duration(static_cast<Seconds>(w.avg_wait_s)));
+  kv.add("largest-5% median wait",
+         format_duration(static_cast<Seconds>(wl.median_wait_s)));
+  kv.print();
+}
+
+int cmd_report(const ArgParser& args) {
+  const auto site = parse_site(args.get_or("site", ""));
+  if (!site) return usage();
+  print_run_summary("native-only baseline", core::native_baseline(*site));
+  return 0;
+}
+
+int cmd_harvest(const ArgParser& args) {
+  const auto site = parse_site(args.get_or("site", ""));
+  if (!site) return usage();
+  const auto cpus = static_cast<int>(args.get_int_or("cpus", 32));
+  const auto sec = static_cast<Seconds>(args.get_int_or("sec1ghz", 120));
+  const double cap = args.get_num_or("cap", 1.0);
+  const std::string gate_s = args.get_or("gate", "queue");
+  core::GatePolicy gate = core::GatePolicy::kQueueProtective;
+  if (gate_s == "head") gate = core::GatePolicy::kHeadOnly;
+  else if (gate_s == "always") gate = core::GatePolicy::kAlways;
+  else if (gate_s != "queue") return usage();
+
+  core::Scenario sc;
+  sc.site = *site;
+  auto stream =
+      core::ProjectSpec::continual_stream(cpus, sec, cluster::site_span(*site));
+  stream.utilization_cap = cap;
+  stream.gate = gate;
+  sc.project = stream;
+  const auto run = core::run_scenario(sc);
+  print_run_summary("continual interstitial harvest", run);
+  std::printf("\nbaseline for comparison:\n\n");
+  print_run_summary("native-only baseline", core::native_baseline(*site));
+  return 0;
+}
+
+int cmd_plan(const ArgParser& args) {
+  const auto site = parse_site(args.get_or("site", ""));
+  if (!site) return usage();
+  const double pc = args.get_num_or("petacycles", 0.0);
+  if (pc <= 0) {
+    std::fprintf(stderr, "plan requires --petacycles > 0\n");
+    return 2;
+  }
+  core::AdvisorInputs in;
+  in.machine = cluster::machine_spec(*site);
+  in.native_utilization = core::native_utilization(*site);
+  in.project_cycles = pc * cluster::kPeta;
+  in.max_native_delay =
+      static_cast<Seconds>(args.get_int_or("max-delay-s", 900));
+  in.max_breakage = args.get_num_or("max-breakage", 1.10);
+  in.downtime = cluster::site_downtime(*site);
+  in.horizon = cluster::site_span(*site);
+  const auto rec = core::advise(in);
+
+  KeyValueBlock kv("recommended interstitial project");
+  kv.add("machine", in.machine.name);
+  kv.add("native utilization", in.native_utilization, 3);
+  kv.add("CPUs per job", Table::integer(rec.cpus_per_job));
+  kv.add("job runtime", format_duration(rec.job_runtime));
+  kv.add("job size", std::to_string(rec.work_sec_at_1ghz) + " s @ 1 GHz");
+  kv.add("jobs", Table::integer(static_cast<long long>(rec.jobs)));
+  kv.add("breakage (space)", rec.breakage, 3);
+  kv.add("breakage (time)", rec.time_breakage, 3);
+  kv.add("predicted makespan",
+         Table::num(rec.predicted_makespan_h, 1) + " h");
+  kv.print();
+  for (const auto& n : rec.notes) std::printf("note: %s\n", n.c_str());
+  return 0;
+}
+
+int cmd_replay(const ArgParser& args) {
+  const std::string path = args.get_or("swf", "");
+  if (path.empty()) return usage();
+  cluster::MachineSpec machine;
+  machine.name = "trace machine";
+  machine.cpus = static_cast<int>(args.get_int_or("cpus", 1024));
+  machine.clock_ghz = args.get_num_or("clock", 1.0);
+  const auto icpus = static_cast<int>(args.get_int_or("icpus", 8));
+  const auto isec = static_cast<Seconds>(args.get_int_or("isec1ghz", 120));
+
+  const auto log = workload::read_swf_file(path);
+  if (log.empty()) {
+    std::fprintf(stderr, "trace contains no usable jobs\n");
+    return 1;
+  }
+  const SimTime span = log.last_submit() + 1;
+
+  auto simulate = [&](bool interstitial) {
+    sim::Engine engine;
+    sched::PolicySpec policy;
+    sched::BatchScheduler scheduler(engine, cluster::Machine(machine),
+                                    policy);
+    scheduler.load(log);
+    std::optional<core::InterstitialDriver> driver;
+    if (interstitial) {
+      driver.emplace(scheduler,
+                     core::ProjectSpec::continual_stream(icpus, isec, span),
+                     static_cast<workload::JobId>(log.size()));
+    }
+    engine.run();
+    return scheduler.take_result(span);
+  };
+  print_run_summary("trace replay (native only)", simulate(false));
+  std::printf("\n");
+  print_run_summary("trace replay (with interstitial)", simulate(true));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const std::string cmd = args.command();
+
+  int rc;
+  if (cmd == "report") rc = cmd_report(args);
+  else if (cmd == "harvest") rc = cmd_harvest(args);
+  else if (cmd == "plan") rc = cmd_plan(args);
+  else if (cmd == "replay") rc = cmd_replay(args);
+  else return usage();
+
+  for (const auto& e : args.errors()) {
+    std::fprintf(stderr, "warning: %s\n", e.c_str());
+  }
+  for (const auto& f : args.unconsumed()) {
+    std::fprintf(stderr, "warning: unknown flag --%s\n", f.c_str());
+  }
+  return rc;
+}

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+/// \file downtime.hpp
+/// Whole-machine outage windows.
+///
+/// The paper's Fig. 4 shows utilization collapsing to zero during outages
+/// and reports machine utilization "including outages".  We model outages
+/// as scheduled whole-machine down windows: the scheduler will not start a
+/// job (native or interstitial) whose *estimated* completion crosses the
+/// next window, so by the time a window opens the machine has drained.
+/// Because estimates always dominate actual runtimes (see workload), no
+/// running job ever overlaps a window.
+
+namespace istc::cluster {
+
+struct DowntimeWindow {
+  SimTime start = 0;
+  SimTime end = 0;  // exclusive
+  Seconds duration() const { return end - start; }
+};
+
+class DowntimeCalendar {
+ public:
+  DowntimeCalendar() = default;
+
+  /// Windows must be non-empty and non-overlapping; they are sorted.
+  explicit DowntimeCalendar(std::vector<DowntimeWindow> windows);
+
+  bool empty() const { return windows_.empty(); }
+  const std::vector<DowntimeWindow>& windows() const { return windows_; }
+
+  /// Is t inside a down window?
+  bool is_down(SimTime t) const;
+
+  /// Start of the first window with start >= t (kTimeInfinity if none).
+  SimTime next_down_start(SimTime t) const;
+
+  /// End of the window containing t; t itself if the machine is up.
+  SimTime up_again_at(SimTime t) const;
+
+  /// May a job occupying [t, t + dur) run without touching a window?
+  bool can_run(SimTime t, Seconds dur) const;
+
+  /// Total down seconds inside [lo, hi).
+  Seconds down_seconds(SimTime lo, SimTime hi) const;
+
+  /// Generate periodic maintenance windows: one per `period` with the given
+  /// duration, jittered by the rng, covering [0, span).
+  static DowntimeCalendar periodic(Seconds period, Seconds duration,
+                                   SimTime span, Rng& rng,
+                                   double jitter_frac = 0.25);
+
+ private:
+  std::vector<DowntimeWindow> windows_;
+};
+
+}  // namespace istc::cluster

@@ -1,0 +1,6 @@
+#include "cluster/machine.hpp"
+
+// Header-only logic; this TU anchors the library and keeps the door open
+// for future out-of-line additions without touching every dependent target.
+
+namespace istc::cluster {}

@@ -1,0 +1,79 @@
+#include "core/advisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace istc::core {
+
+Recommendation advise(const AdvisorInputs& in) {
+  ISTC_EXPECTS(in.machine.cpus > 0 && in.machine.clock_ghz > 0);
+  ISTC_EXPECTS(in.native_utilization >= 0 && in.native_utilization < 1);
+  ISTC_EXPECTS(in.project_cycles > 0);
+  ISTC_EXPECTS(in.max_native_delay >= 1);
+  ISTC_EXPECTS(in.max_breakage > 1.0);
+
+  const TheoryInputs theory =
+      theory_inputs(in.machine, in.native_utilization);
+  Recommendation rec;
+
+  // Guideline 1: widest power-of-two width whose breakage stays within
+  // tolerance (wider jobs amortize per-job overheads in practice).
+  const double spare = spare_cpus(theory);
+  int best = 1;
+  for (int n = 1; static_cast<double>(n) <= spare; n *= 2) {
+    if (breakage_factor(theory, n) <= in.max_breakage) best = n;
+  }
+  rec.cpus_per_job = best;
+  rec.breakage = breakage_factor(theory, best);
+  if (static_cast<double>(best * 4) > spare) {
+    rec.notes.push_back(
+        "job width is a large fraction of the average spare capacity; "
+        "expect high makespan variance run-to-run");
+  }
+
+  // Guideline 2: the native delay bound is one interstitial runtime, so the
+  // longest admissible job runtime is the delay tolerance itself.
+  rec.job_runtime = in.max_native_delay;
+  rec.work_sec_at_1ghz = static_cast<Seconds>(std::llround(
+      static_cast<double>(rec.job_runtime) * in.machine.clock_ghz));
+  if (rec.work_sec_at_1ghz < 1) rec.work_sec_at_1ghz = 1;
+  rec.notes.push_back(
+      "a native job start is deferred by at most one interstitial runtime "
+      "(cascades can add more under fair-share re-prioritization)");
+
+  // Project decomposition.
+  const double per_job_cycles =
+      static_cast<double>(rec.cpus_per_job) *
+      static_cast<double>(rec.work_sec_at_1ghz) * cluster::kGiga;
+  rec.jobs = static_cast<std::size_t>(
+      std::ceil(in.project_cycles / per_job_cycles));
+
+  // Breakage in time: runtime lost to the no-start strip before outages.
+  if (!in.downtime.empty() && in.horizon > 0) {
+    rec.time_breakage =
+        time_breakage_factor(in.downtime, in.horizon, rec.job_runtime);
+    if (rec.time_breakage > 1.02) {
+      rec.notes.push_back(
+          "maintenance cadence is dense relative to the job length; "
+          "shorter jobs would waste fewer cycles before outages");
+    }
+  }
+
+  // Predicted makespan: fitted model with both breakage corrections.
+  rec.predicted_makespan_h =
+      (kFitOffsetSeconds +
+       kFitSlope * ideal_makespan_s(theory, in.project_cycles) *
+           rec.breakage * rec.time_breakage) /
+      3600.0;
+
+  if (in.native_utilization > 0.9) {
+    rec.notes.push_back(
+        "machine runs above 90% utilization: consider a submission "
+        "utilization cap (Table 8) to protect native jobs");
+  }
+  return rec;
+}
+
+}  // namespace istc::core

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "core/project.hpp"
+#include "core/theory.hpp"
+#include "util/time.hpp"
+
+/// \file advisor.hpp
+/// The paper's §5 operating guidelines as an executable facility:
+/// given a machine profile and a project, recommend interstitial job
+/// parameters and predict the consequences.
+///
+///  1. CPUs per job must be small relative to the average spare capacity
+///     N(1-U), or breakage inflates the makespan (Blue Pacific's 32-CPU
+///     jobs at 90 spare CPUs suffered 35% theoretical breakage).
+///  2. Job runtime bounds the per-job delay inflicted on any native job
+///     (a native start is deferred at most one interstitial runtime, plus
+///     cascades), so shorter jobs mean less native impact.
+///  3. A submission utilization cap trades interstitial throughput for
+///     native-impact protection (Table 8: a 90% cap cost ~40% of the
+///     interstitial jobs but left the natives essentially untouched).
+
+namespace istc::core {
+
+struct AdvisorInputs {
+  cluster::MachineSpec machine;
+  double native_utilization = 0.0;
+  /// Total project work in cycles.
+  double project_cycles = 0.0;
+  /// Maximum tolerable median native-job delay (bounds job runtime).
+  Seconds max_native_delay = 15 * kSecondsPerMinute;
+  /// Maximum tolerable breakage inflation (bounds job width).
+  double max_breakage = 1.10;
+  /// Optional maintenance calendar (with its horizon) for the
+  /// breakage-in-time correction; empty calendar = no outages.
+  cluster::DowntimeCalendar downtime;
+  SimTime horizon = 0;
+};
+
+struct Recommendation {
+  int cpus_per_job = 1;
+  Seconds job_runtime = 0;          ///< on this machine
+  Seconds work_sec_at_1ghz = 0;     ///< machine-neutral job size
+  std::size_t jobs = 0;             ///< project job count
+  double breakage = 1.0;            ///< breakage in space (width)
+  double time_breakage = 1.0;       ///< breakage in time (outage approach)
+  double predicted_makespan_h = 0.0;  ///< fitted model incl. both breakages
+  std::vector<std::string> notes;
+};
+
+/// Recommend the widest/longest job shape satisfying the tolerances, and
+/// predict makespan with the paper's fitted model.
+Recommendation advise(const AdvisorInputs& in);
+
+}  // namespace istc::core

@@ -1,0 +1,138 @@
+#include "core/driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace istc::core {
+
+InterstitialDriver::InterstitialDriver(sched::BatchScheduler& scheduler,
+                                       ProjectSpec spec,
+                                       workload::JobId first_job_id)
+    : scheduler_(scheduler),
+      spec_(spec),
+      job_runtime_(spec.runtime_on(scheduler.machine().spec())),
+      next_id_(first_job_id) {
+  spec_.check();
+  scheduler_.set_post_pass_hook(
+      [this](const sched::PassContext& ctx) { on_pass(ctx); });
+  if (spec_.recovery != PreemptionRecovery::kNone) {
+    scheduler_.set_kill_hook(
+        [this](const sched::JobRecord& victim) { on_kill(victim); });
+  }
+  // Guarantee a pass at the project start even if no native event lands
+  // there (an idle machine would otherwise never wake the driver).
+  scheduler_.wake_at(std::max(spec_.start_time, scheduler.engine().now()));
+}
+
+void InterstitialDriver::on_kill(const sched::JobRecord& victim) {
+  if (!victim.interstitial()) return;
+  ++kills_observed_;
+  switch (spec_.recovery) {
+    case PreemptionRecovery::kNone:
+      break;
+    case PreemptionRecovery::kRestart:
+      // The whole job must be redone; reopen one submission slot.
+      ISTC_ASSERT(submitted_ > 0);
+      --submitted_;
+      break;
+    case PreemptionRecovery::kCheckpoint: {
+      const Seconds remaining = victim.job.runtime - (victim.end - victim.start);
+      if (remaining >= 1) {
+        resume_.push_back(remaining);
+      }
+      // Fully-executed victims (killed at the completion instant) count as
+      // done; nothing to resubmit.
+      break;
+    }
+  }
+}
+
+std::size_t InterstitialDriver::submittable(
+    const sched::PassContext& ctx) const {
+  const auto& machine = scheduler_.machine();
+  std::size_t k = static_cast<std::size_t>(
+      ctx.free_cpus / spec_.cpus_per_job);
+  std::size_t backlog = resume_.size();
+  if (!spec_.continual()) {
+    ISTC_ASSERT(submitted_ <= spec_.total_jobs);
+    backlog += spec_.total_jobs - submitted_;
+  }
+  if (spec_.utilization_cap < 1.0) {
+    // Table 8: keep (busy + k*n) / N strictly below the cap.
+    const double n = static_cast<double>(machine.total_cpus());
+    const double busy = n - static_cast<double>(ctx.free_cpus);
+    const double room = spec_.utilization_cap * n - busy;
+    const double cap_k = std::floor(room / static_cast<double>(
+                                               spec_.cpus_per_job));
+    k = std::min(k, static_cast<std::size_t>(std::max(0.0, cap_k)));
+  }
+  if (!spec_.continual()) k = std::min(k, backlog);
+  return k;
+}
+
+void InterstitialDriver::on_pass(const sched::PassContext& ctx) {
+  if (ctx.now < spec_.start_time || ctx.now >= spec_.stop_time) return;
+  if (exhausted() && resume_.empty()) return;
+
+  // Figure 1 gating: only when the queue is empty, or when no protected
+  // waiting job could start (per estimates) before our jobs would finish.
+  // The default protects the whole queue rather than only its head, which
+  // keeps freed CPUs flowing to mid-priority waiters when the head is
+  // pinned far in the future by overestimated native runtimes.
+  bool gate_open = true;
+  switch (spec_.gate) {
+    case GatePolicy::kQueueProtective:
+      gate_open = ctx.queue_empty ||
+                  ctx.queue_earliest_start - ctx.now > job_runtime_;
+      break;
+    case GatePolicy::kHeadOnly:
+      gate_open = ctx.queue_empty ||
+                  ctx.head_earliest_start - ctx.now > job_runtime_;
+      break;
+    case GatePolicy::kAlways:
+      gate_open = true;
+      break;
+  }
+  const auto& machine = scheduler_.machine();
+
+  if (gate_open) {
+    const std::size_t k = submittable(ctx);
+    for (std::size_t i = 0; i < k; ++i) {
+      workload::Job job = spec_.make_job(next_id_, ctx.now, machine.spec());
+      // Checkpointed fragments (remaining runtimes of preempted jobs) go
+      // out first; they are shorter than a full job, never longer.
+      const bool is_fragment = !resume_.empty();
+      if (is_fragment) {
+        job.runtime = resume_.back();
+        job.estimate = job.runtime;
+      }
+      if (!scheduler_.try_start_immediately(job)) break;  // downtime ahead
+      if (is_fragment) {
+        resume_.pop_back();
+      } else {
+        ++submitted_;
+      }
+      ++next_id_;
+    }
+  }
+
+  // Keep the stream alive across machine-idle stretches: if nothing is
+  // running and nothing is queued, no completion event will retrigger us —
+  // wake after the blocking downtime window (the only reason an empty
+  // machine refuses an interstitial job).
+  if (machine.in_use() == 0 && ctx.queue_empty &&
+      (!exhausted() || !resume_.empty())) {
+    const auto& cal = machine.downtime();
+    SimTime wake = kTimeInfinity;
+    if (cal.is_down(ctx.now)) {
+      wake = cal.up_again_at(ctx.now);
+    } else if (!cal.can_run(ctx.now, job_runtime_)) {
+      wake = cal.up_again_at(cal.next_down_start(ctx.now));
+    }
+    if (wake < spec_.stop_time) scheduler_.wake_at(wake);
+  }
+}
+
+}  // namespace istc::core

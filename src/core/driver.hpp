@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/project.hpp"
+#include "sched/scheduler.hpp"
+
+/// \file driver.hpp
+/// The interstitial submission engine — the paper's Figure 1:
+///
+///   (native head-of-queue dispatch and backfill happen first)
+///   nInterstitialJobs = floor(nodesAvailable / interstitialJobSize)
+///   if (jobsInQueue == 0)                          submit(nInterstitialJobs)
+///   else if (backFillWallTime > interstitialRuntime) submit(nInterstitialJobs)
+///
+/// The driver runs as the scheduler's post-pass hook, i.e. whenever the
+/// system checks for new jobs: on submissions, completions, and timer
+/// wake-ups.  Interstitial jobs are "meta-backfilled" directly onto free
+/// CPUs, never entering the native queue, and never start when their
+/// (exactly known) runtime would cross a downtime window.
+
+namespace istc::core {
+
+class InterstitialDriver {
+ public:
+  /// \param scheduler the native scheduler to attach to (registers the
+  ///        post-pass hook; one driver per scheduler).
+  /// \param spec the project / stream to run.
+  /// \param first_job_id ids for interstitial jobs count up from here
+  ///        (callers pass the native log size to keep ids unique).
+  InterstitialDriver(sched::BatchScheduler& scheduler, ProjectSpec spec,
+                     workload::JobId first_job_id);
+
+  InterstitialDriver(const InterstitialDriver&) = delete;
+  InterstitialDriver& operator=(const InterstitialDriver&) = delete;
+
+  std::size_t submitted() const { return submitted_; }
+
+  /// All project jobs have been *submitted* (always false for continual
+  /// streams before stop_time).
+  bool exhausted() const {
+    return !spec_.continual() && submitted_ >= spec_.total_jobs;
+  }
+
+  const ProjectSpec& spec() const { return spec_; }
+  Seconds job_runtime() const { return job_runtime_; }
+
+  /// Preemption-recovery accounting (see PreemptionRecovery).
+  std::size_t kills_observed() const { return kills_observed_; }
+  std::size_t resume_fragments_pending() const { return resume_.size(); }
+
+ private:
+  void on_pass(const sched::PassContext& ctx);
+  void on_kill(const sched::JobRecord& victim);
+
+  /// floor(free/size) clamped by the utilization cap and remaining jobs.
+  std::size_t submittable(const sched::PassContext& ctx) const;
+
+  sched::BatchScheduler& scheduler_;
+  ProjectSpec spec_;
+  Seconds job_runtime_;
+  workload::JobId next_id_;
+  std::size_t submitted_ = 0;
+  std::size_t kills_observed_ = 0;
+  /// Remaining runtimes of checkpointed victims awaiting resubmission.
+  std::vector<Seconds> resume_;
+};
+
+}  // namespace istc::core

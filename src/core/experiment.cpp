@@ -1,0 +1,196 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "core/driver.hpp"
+#include "metrics/makespan.hpp"
+#include "metrics/utilization.hpp"
+#include "sched/presets.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/engine.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/presets.hpp"
+
+namespace istc::core {
+
+using cluster::Site;
+
+sched::RunResult run_scenario(const Scenario& scenario) {
+  const Site site = scenario.site;
+  workload::JobLog log = scenario.log_seed == 0
+                             ? workload::site_log(site)
+                             : workload::site_log(site, scenario.log_seed);
+  if (scenario.perfect_estimates) {
+    log = workload::with_perfect_estimates(log);
+  }
+  if (scenario.native_time_factor != 1.0 ||
+      scenario.native_size_factor != 1.0) {
+    log = workload::with_scaled_jobs(log, scenario.native_time_factor,
+                                     scenario.native_size_factor,
+                                     cluster::machine_spec(site).cpus);
+  }
+
+  sim::Engine engine;
+  sched::PolicySpec policy = sched::site_policy(site);
+  policy.preempt_interstitial = scenario.preempt_interstitial;
+  sched::BatchScheduler scheduler(engine, cluster::make_machine(site),
+                                  std::move(policy));
+  scheduler.load(log);
+
+  std::optional<InterstitialDriver> driver;
+  if (scenario.project) {
+    driver.emplace(scheduler, *scenario.project,
+                   static_cast<workload::JobId>(log.size()));
+  }
+
+  engine.run();
+  return scheduler.take_result(cluster::site_span(site));
+}
+
+namespace {
+
+std::mutex g_cache_mu;
+std::map<Site, sched::RunResult> g_native_cache;
+
+// Key: site, cpus/job, work seconds @1GHz, utilization cap (scaled x1000).
+using ContinualKey = std::tuple<Site, int, Seconds, long>;
+std::map<ContinualKey, sched::RunResult> g_continual_cache;
+
+}  // namespace
+
+const sched::RunResult& native_baseline(Site site) {
+  std::lock_guard lk(g_cache_mu);
+  auto it = g_native_cache.find(site);
+  if (it == g_native_cache.end()) {
+    it = g_native_cache.emplace(site, run_scenario(Scenario{site, {}, 0}))
+             .first;
+  }
+  return it->second;
+}
+
+double native_utilization(Site site) {
+  const auto& base = native_baseline(site);
+  return metrics::average_utilization(base.records, base.machine.cpus, 0,
+                                      base.span, metrics::JobFilter::kAll);
+}
+
+const sched::RunResult& continual_run(Site site, int cpus_per_job,
+                                      Seconds sec_at_1ghz,
+                                      double utilization_cap) {
+  const ContinualKey key{site, cpus_per_job, sec_at_1ghz,
+                         std::lround(utilization_cap * 1000)};
+  {
+    std::lock_guard lk(g_cache_mu);
+    const auto it = g_continual_cache.find(key);
+    if (it != g_continual_cache.end()) return it->second;
+  }
+  ProjectSpec stream = ProjectSpec::continual_stream(
+      cpus_per_job, sec_at_1ghz, cluster::site_span(site));
+  stream.utilization_cap = utilization_cap;
+  sched::RunResult result = run_scenario(Scenario{site, stream, 0});
+  std::lock_guard lk(g_cache_mu);
+  return g_continual_cache.emplace(key, std::move(result)).first->second;
+}
+
+void clear_experiment_caches() {
+  std::lock_guard lk(g_cache_mu);
+  g_native_cache.clear();
+  g_continual_cache.clear();
+}
+
+std::vector<sched::JobRecord> tile_records(
+    std::span<const sched::JobRecord> records, SimTime span, int copies) {
+  ISTC_EXPECTS(span > 0);
+  ISTC_EXPECTS(copies >= 1);
+  std::vector<sched::JobRecord> out;
+  out.reserve(records.size() * static_cast<std::size_t>(copies));
+  for (int c = 0; c < copies; ++c) {
+    const SimTime shift = static_cast<SimTime>(c) * span;
+    for (const auto& r : records) {
+      sched::JobRecord copy = r;
+      copy.job.submit += shift;
+      copy.start += shift;
+      copy.end += shift;
+      out.push_back(copy);
+    }
+  }
+  return out;
+}
+
+cluster::DowntimeCalendar tile_calendar(const cluster::DowntimeCalendar& cal,
+                                        SimTime span, int copies) {
+  ISTC_EXPECTS(span > 0);
+  ISTC_EXPECTS(copies >= 1);
+  std::vector<cluster::DowntimeWindow> windows;
+  for (int c = 0; c < copies; ++c) {
+    const SimTime shift = static_cast<SimTime>(c) * span;
+    for (const auto& w : cal.windows()) {
+      windows.push_back({w.start + shift, w.end + shift});
+    }
+  }
+  return cluster::DowntimeCalendar(std::move(windows));
+}
+
+MakespanSample omniscient_makespans(Site site, const ProjectSpec& spec,
+                                    int reps, std::uint64_t seed) {
+  ISTC_EXPECTS(reps >= 1);
+  ISTC_EXPECTS(!spec.continual());
+
+  const sched::RunResult& base = native_baseline(site);
+  const SimTime span = base.span;
+
+  // Tile the native environment so projects started late in the log keep
+  // meeting native load instead of an artificially empty machine (the
+  // paper's larger projects outlast the shorter logs).  The tile shift is
+  // the drain time, not the log span: jobs submitted near the span end run
+  // past it, and copies must not overlap them (capacity is physical).
+  constexpr int kCopies = 4;
+  SimTime shift = span;
+  for (const auto& r : base.records) shift = std::max(shift, r.end);
+  const auto tiled = tile_records(base.records, shift, kCopies);
+  const cluster::Machine machine(
+      cluster::machine_spec(site),
+      tile_calendar(cluster::site_downtime(site), shift, kCopies));
+  const FreeCapacity free(tiled, machine);
+
+  MakespanSample sample;
+  sample.hours.resize(static_cast<std::size_t>(reps));
+  Rng root(seed ^ (static_cast<std::uint64_t>(site) << 32));
+  std::vector<SimTime> starts(static_cast<std::size_t>(reps));
+  for (auto& s : starts) {
+    s = static_cast<SimTime>(root.below(static_cast<std::uint64_t>(span)));
+  }
+  parallel_for(static_cast<std::size_t>(reps), [&](std::size_t i) {
+    const OmniscientResult r =
+        pack_omniscient(free, machine, spec, starts[i]);
+    sample.hours[i] = to_hours(r.makespan);
+  });
+  return sample;
+}
+
+MakespanSample fallible_makespans(Site site, const ProjectSpec& spec,
+                                  int nsamples, std::uint64_t seed) {
+  ISTC_EXPECTS(!spec.continual());
+  const Seconds sec_at_1ghz = static_cast<Seconds>(
+      spec.work_per_cpu / cluster::kGiga);
+  const sched::RunResult& run =
+      continual_run(site, spec.cpus_per_job, sec_at_1ghz);
+  const auto completions = metrics::interstitial_completions(run.records);
+  Rng rng(seed ^ (static_cast<std::uint64_t>(site) << 24) ^
+          static_cast<std::uint64_t>(spec.total_jobs));
+  MakespanSample sample;
+  const auto makespans = metrics::sampled_makespans(
+      completions, spec.total_jobs, static_cast<std::size_t>(nsamples),
+      run.span, rng);
+  sample.hours.reserve(makespans.size());
+  for (double m : makespans) sample.hours.push_back(m / 3600.0);
+  return sample;
+}
+
+}  // namespace istc::core

@@ -1,0 +1,117 @@
+#include "core/omniscient.hpp"
+
+#include <algorithm>
+
+#include "metrics/utilization.hpp"
+#include "sched/resource_profile.hpp"
+#include "util/assert.hpp"
+
+namespace istc::core {
+
+FreeCapacity::FreeCapacity(std::span<const sched::JobRecord> native_records,
+                           const cluster::Machine& machine)
+    : capacity_(machine.total_cpus()) {
+  const auto busy = metrics::busy_step_function(
+      native_records, metrics::JobFilter::kNativeOnly);
+  // free = capacity - busy; then carve out downtime windows entirely.
+  steps_.reserve(busy.size() + machine.downtime().windows().size() * 2);
+  for (const auto& [t, b] : busy) {
+    ISTC_ASSERT(b <= capacity_);
+    steps_.emplace_back(t, capacity_ - b);
+  }
+  for (const auto& w : machine.downtime().windows()) {
+    // Nothing native runs inside a window (the scheduler drains), so the
+    // free value there is `capacity`; replace it with 0.
+    // Insert boundary points and zero the interior.
+    auto insert_point = [&](SimTime t) {
+      auto it = std::lower_bound(
+          steps_.begin(), steps_.end(), t,
+          [](const auto& s, SimTime v) { return s.first < v; });
+      if (it != steps_.end() && it->first == t) return;
+      ISTC_ASSERT(it != steps_.begin());
+      steps_.insert(it, {t, std::prev(it)->second});
+    };
+    if (w.start > steps_.front().first) insert_point(w.start);
+    insert_point(w.end);
+    for (auto& [t, f] : steps_) {
+      if (t >= w.start && t < w.end) {
+        ISTC_ASSERT(f == capacity_);  // scheduler drained before the window
+        f = 0;
+      }
+    }
+  }
+}
+
+int FreeCapacity::free_at(SimTime t) const {
+  ISTC_EXPECTS(!steps_.empty());
+  if (t < steps_.front().first) return capacity_;
+  auto it = std::upper_bound(
+      steps_.begin(), steps_.end(), t,
+      [](SimTime v, const auto& s) { return v < s.first; });
+  return std::prev(it)->second;
+}
+
+double FreeCapacity::average_free_fraction(SimTime lo, SimTime hi) const {
+  ISTC_EXPECTS(hi > lo);
+  double free_area = 0;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const SimTime a = std::max(lo, steps_[i].first);
+    const SimTime b =
+        std::min(hi, i + 1 < steps_.size() ? steps_[i + 1].first : hi);
+    if (b > a) {
+      free_area += static_cast<double>(steps_[i].second) *
+                   static_cast<double>(b - a);
+    }
+  }
+  // Before the first step (t < steps_[0].first) the machine is empty.
+  if (lo < steps_.front().first) {
+    free_area += static_cast<double>(capacity_) *
+                 static_cast<double>(std::min(hi, steps_.front().first) - lo);
+  }
+  return free_area /
+         (static_cast<double>(capacity_) * static_cast<double>(hi - lo));
+}
+
+OmniscientResult pack_omniscient(const FreeCapacity& free,
+                                 const cluster::Machine& machine,
+                                 const ProjectSpec& spec,
+                                 SimTime project_start) {
+  ISTC_EXPECTS(!spec.continual());
+  ISTC_EXPECTS(spec.cpus_per_job <= machine.total_cpus());
+  const Seconds r = spec.runtime_on(machine.spec());
+  const int n = spec.cpus_per_job;
+
+  // Seed a ResourceProfile with the *used* capacity (capacity - free):
+  // reservations then claim the genuinely idle CPUs only.
+  sched::ResourceProfile profile(project_start, machine.total_cpus());
+  const auto& steps = free.steps();
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const SimTime a = std::max(project_start, steps[i].first);
+    const SimTime b =
+        i + 1 < steps.size() ? std::max(project_start, steps[i + 1].first)
+                             : kTimeInfinity;
+    const int used = machine.total_cpus() - steps[i].second;
+    if (b > a && used > 0) profile.reserve(a, b, used);
+  }
+
+  OmniscientResult result;
+  std::size_t remaining = spec.total_jobs;
+  SimTime t = project_start;
+  SimTime last_end = project_start;
+  while (remaining > 0) {
+    t = profile.earliest_fit(n, r, t);
+    const int window_min = profile.min_free(t, t + r);
+    auto batch = static_cast<std::size_t>(window_min / n);
+    ISTC_ASSERT(batch >= 1);
+    batch = std::min(batch, remaining);
+    profile.reserve(t, t + r, static_cast<int>(batch) * n);
+    remaining -= batch;
+    last_end = std::max(last_end, t + r);
+    result.batches.emplace_back(t, batch);
+    result.jobs_placed += batch;
+  }
+  result.makespan = last_end - project_start;
+  return result;
+}
+
+}  // namespace istc::core

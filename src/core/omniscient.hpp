@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "core/project.hpp"
+#include "sched/record.hpp"
+#include "util/time.hpp"
+
+/// \file omniscient.hpp
+/// Omniscient interstitial packing (paper §4.1, Table 2).
+///
+/// Given perfect prior knowledge of native start and finish times, the
+/// packer lays interstitial jobs into the free-capacity step function of a
+/// native-only run such that no native CPU is ever touched: zero native
+/// impact by construction.  At each opportunity it starts
+/// floor(min-window-free / n) jobs, the greedy discipline of Figure 1 with
+/// a perfect oracle.
+
+namespace istc::core {
+
+/// The free-capacity environment of one native-only run.
+class FreeCapacity {
+ public:
+  /// \param native_records completed records of a native-only simulation
+  /// \param machine        full machine (capacity and downtime windows —
+  ///                       downtime counts as zero free capacity)
+  FreeCapacity(std::span<const sched::JobRecord> native_records,
+               const cluster::Machine& machine);
+
+  int capacity() const { return capacity_; }
+
+  /// Free CPUs at time t.
+  int free_at(SimTime t) const;
+
+  /// Average free fraction over [lo, hi) (1 - utilization incl. outages).
+  double average_free_fraction(SimTime lo, SimTime hi) const;
+
+  /// (time, free CPU) breakpoints (for tests / plots).
+  const std::vector<std::pair<SimTime, int>>& steps() const { return steps_; }
+
+ private:
+  int capacity_;
+  std::vector<std::pair<SimTime, int>> steps_;  // sorted by time
+};
+
+struct OmniscientResult {
+  Seconds makespan = 0;
+  std::size_t jobs_placed = 0;
+  /// (start, simultaneous job count) batches, for audit/property tests.
+  std::vector<std::pair<SimTime, std::size_t>> batches;
+};
+
+/// Pack `spec.total_jobs` jobs (spec must be bounded) of runtime
+/// spec.runtime_on(machine) into the free capacity, starting no earlier
+/// than `project_start`.  Native occupancy is never violated.
+OmniscientResult pack_omniscient(const FreeCapacity& free,
+                                 const cluster::Machine& machine,
+                                 const ProjectSpec& spec,
+                                 SimTime project_start);
+
+}  // namespace istc::core

@@ -1,0 +1,63 @@
+#include "core/project.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace istc::core {
+
+Seconds ProjectSpec::runtime_on(const cluster::MachineSpec& machine) const {
+  ISTC_EXPECTS(machine.clock_ghz > 0);
+  const double secs = work_per_cpu / (machine.clock_ghz * cluster::kGiga);
+  const auto s = static_cast<Seconds>(std::llround(secs));
+  return s > 0 ? s : 1;
+}
+
+ProjectSpec ProjectSpec::paper(std::size_t jobs, int cpus,
+                               Seconds sec_at_1ghz) {
+  ProjectSpec p;
+  p.work_per_cpu = static_cast<double>(sec_at_1ghz) * cluster::kGiga;
+  p.cpus_per_job = cpus;
+  p.total_jobs = jobs;
+  p.check();
+  return p;
+}
+
+ProjectSpec ProjectSpec::continual_stream(int cpus, Seconds sec_at_1ghz,
+                                          SimTime stop) {
+  ProjectSpec p;
+  p.work_per_cpu = static_cast<double>(sec_at_1ghz) * cluster::kGiga;
+  p.cpus_per_job = cpus;
+  p.total_jobs = 0;
+  p.stop_time = stop;
+  p.check();
+  return p;
+}
+
+workload::Job ProjectSpec::make_job(workload::JobId id, SimTime submit,
+                                    const cluster::MachineSpec& machine) const {
+  workload::Job j;
+  j.id = id;
+  j.klass = workload::JobClass::kInterstitial;
+  j.user = kInterstitialUser;
+  j.group = kInterstitialGroup;
+  j.cpus = cpus_per_job;
+  j.submit = submit;
+  j.runtime = runtime_on(machine);
+  // Parameter-sweep tasks have (near-)zero runtime variance and are known
+  // to the submitter, so the estimate is exact — a key asymmetry vs native
+  // jobs' gross overestimates.
+  j.estimate = j.runtime;
+  j.check();
+  return j;
+}
+
+void ProjectSpec::check() const {
+  ISTC_ASSERT(work_per_cpu > 0);
+  ISTC_ASSERT(cpus_per_job > 0);
+  ISTC_ASSERT(start_time >= 0);
+  ISTC_ASSERT(stop_time > start_time);
+  ISTC_ASSERT(utilization_cap > 0 && utilization_cap <= 1.0);
+}
+
+}  // namespace istc::core

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstddef>
+
+#include "cluster/machine.hpp"
+#include "util/time.hpp"
+#include "workload/job.hpp"
+
+/// \file project.hpp
+/// An interstitial project: a fixed number of identical jobs, each a fixed
+/// number of CPUs and a fixed amount of work per CPU.
+///
+/// Work is machine-neutral: a job is specified as "S seconds at 1 GHz"
+/// (S * 1e9 cycles per CPU) and runs S / C seconds on a C-GHz machine, the
+/// paper's normalization ("120 sec @ 1 GHz" = 458 s on Blue Mountain).
+/// Project size is quoted in peta-cycles: jobs * cpus * work (1 Pc = 1e15).
+
+namespace istc::core {
+
+/// User/group ids reserved for the interstitial stream (outside any
+/// generated native population, and excluded from fair share).
+inline constexpr workload::UserId kInterstitialUser = 60000;
+inline constexpr workload::GroupId kInterstitialGroup = 600;
+
+/// What happens to a preempted (killed) interstitial job's work when the
+/// scheduler runs with preempt_interstitial (extension feature).
+enum class PreemptionRecovery : std::uint8_t {
+  /// Work is lost and the job is not replaced (a continual stream refills
+  /// naturally; a bounded project simply loses the job).
+  kNone,
+  /// Restart from scratch: a bounded project re-submits a full job for
+  /// every kill (work lost = executed fraction).
+  kRestart,
+  /// Checkpoint/restart: the remaining runtime is resubmitted as a
+  /// shorter job; executed work counts (the §4.2 "breakage in time"
+  /// remedy the paper's jobs lack).
+  kCheckpoint,
+};
+
+/// How the Figure 1 submission gate protects waiting native jobs.
+enum class GatePolicy : std::uint8_t {
+  /// Default: submit only when no waiting native could start (per
+  /// estimates) before the interstitial jobs finish.  Strictly safer than
+  /// the paper's literal pseudocode; prevents the head-pinned livelock
+  /// (see DESIGN.md).
+  kQueueProtective,
+  /// The paper's Figure 1 verbatim: protect only the highest-priority
+  /// waiting job ("backFillWallTime").
+  kHeadOnly,
+  /// No gate at all: fill every hole (ablation baseline; maximum harvest,
+  /// maximum native damage).
+  kAlways,
+};
+
+struct ProjectSpec {
+  /// Work per CPU in cycles ("120 s @ 1 GHz" = 120e9).
+  cluster::Cycles work_per_cpu = 120.0 * cluster::kGiga;
+  /// CPUs per interstitial job (identical across the project).
+  int cpus_per_job = 32;
+  /// Number of jobs; 0 means unbounded (continual interstitial computing).
+  std::size_t total_jobs = 0;
+  /// Earliest submission time.
+  SimTime start_time = 0;
+  /// Submissions cease at this time (continual runs stop at the log span).
+  SimTime stop_time = kTimeInfinity;
+  /// Only submit while (busy + new interstitial CPUs) / N < cap
+  /// (Table 8 "limited" policy).  1.0 disables the cap.
+  double utilization_cap = 1.0;
+  /// Native-protection gate variant (ablation knob; see GatePolicy).
+  GatePolicy gate = GatePolicy::kQueueProtective;
+  /// Recovery mode for preempted jobs (only meaningful when the scheduler
+  /// runs with preempt_interstitial).
+  PreemptionRecovery recovery = PreemptionRecovery::kNone;
+
+  bool continual() const { return total_jobs == 0; }
+
+  /// Job runtime on the target machine (paper's normalization; rounded to
+  /// the nearest second as the paper does: 120/.262 -> 458 s).
+  Seconds runtime_on(const cluster::MachineSpec& machine) const;
+
+  /// Total project size in cycles (0 for continual projects).
+  cluster::Cycles total_cycles() const {
+    return static_cast<double>(total_jobs) *
+           static_cast<double>(cpus_per_job) * work_per_cpu;
+  }
+
+  double peta_cycles() const { return total_cycles() / cluster::kPeta; }
+
+  /// A project described the way the paper's tables do: job count, CPUs
+  /// per job, and seconds at 1 GHz.
+  static ProjectSpec paper(std::size_t jobs, int cpus, Seconds sec_at_1ghz);
+
+  /// A continual stream of (cpus x sec@1GHz) jobs active over [0, stop).
+  static ProjectSpec continual_stream(int cpus, Seconds sec_at_1ghz,
+                                      SimTime stop);
+
+  /// Materialize the i-th job of the project for a machine.
+  workload::Job make_job(workload::JobId id, SimTime submit,
+                         const cluster::MachineSpec& machine) const;
+
+  void check() const;
+};
+
+}  // namespace istc::core

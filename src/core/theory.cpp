@@ -1,0 +1,81 @@
+#include "core/theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace istc::core {
+
+TheoryInputs theory_inputs(const cluster::MachineSpec& machine,
+                           double native_utilization) {
+  ISTC_EXPECTS(native_utilization >= 0 && native_utilization < 1);
+  return TheoryInputs{machine.cpus, machine.clock_ghz, native_utilization};
+}
+
+double ideal_makespan_s(const TheoryInputs& in, double cycles) {
+  ISTC_EXPECTS(in.machine_cpus > 0 && in.clock_ghz > 0);
+  ISTC_EXPECTS(in.utilization >= 0 && in.utilization < 1);
+  ISTC_EXPECTS(cycles > 0);
+  return cycles / (static_cast<double>(in.machine_cpus) * in.clock_ghz *
+                   cluster::kGiga * (1.0 - in.utilization));
+}
+
+double fitted_makespan_s(const TheoryInputs& in, double cycles) {
+  return kFitOffsetSeconds + kFitSlope * ideal_makespan_s(in, cycles);
+}
+
+double dedicated_makespan_s(const TheoryInputs& in, double cycles) {
+  ISTC_EXPECTS(in.machine_cpus > 0 && in.clock_ghz > 0);
+  ISTC_EXPECTS(cycles > 0);
+  return cycles / (static_cast<double>(in.machine_cpus) * in.clock_ghz *
+                   cluster::kGiga);
+}
+
+double spare_cpus(const TheoryInputs& in) {
+  return static_cast<double>(in.machine_cpus) * (1.0 - in.utilization);
+}
+
+long breakage_slots(const TheoryInputs& in, int job_cpus) {
+  ISTC_EXPECTS(job_cpus > 0);
+  return static_cast<long>(std::floor(spare_cpus(in) /
+                                      static_cast<double>(job_cpus)));
+}
+
+double breakage_factor(const TheoryInputs& in, int job_cpus) {
+  const long slots = breakage_slots(in, job_cpus);
+  ISTC_EXPECTS(slots >= 1);
+  return spare_cpus(in) /
+         (static_cast<double>(slots) * static_cast<double>(job_cpus));
+}
+
+double breakage_corrected_makespan_s(const TheoryInputs& in, double cycles,
+                                     int job_cpus) {
+  return ideal_makespan_s(in, cycles) * breakage_factor(in, job_cpus);
+}
+
+double time_breakage_loss(const cluster::DowntimeCalendar& downtime,
+                          SimTime span, Seconds job_runtime) {
+  ISTC_EXPECTS(span > 0);
+  ISTC_EXPECTS(job_runtime > 0);
+  const auto windows = static_cast<double>(downtime.windows().size());
+  const double up_seconds =
+      static_cast<double>(span - downtime.down_seconds(0, span));
+  ISTC_EXPECTS(up_seconds > 0);
+  const double loss =
+      windows * static_cast<double>(job_runtime) / 2.0 / up_seconds;
+  return std::min(loss, 1.0);
+}
+
+double time_breakage_factor(const cluster::DowntimeCalendar& downtime,
+                            SimTime span, Seconds job_runtime) {
+  // A loss approaching 1 means jobs of this length barely fit between
+  // outages at all; cap the inflation rather than divide by zero (the
+  // advisor surfaces a note well before this regime).
+  constexpr double kMaxLoss = 0.95;
+  const double loss =
+      std::min(time_breakage_loss(downtime, span, job_runtime), kMaxLoss);
+  return 1.0 / (1.0 - loss);
+}
+
+}  // namespace istc::core

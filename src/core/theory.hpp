@@ -1,0 +1,76 @@
+#pragma once
+
+#include "cluster/machine.hpp"
+#include "util/time.hpp"
+
+/// \file theory.hpp
+/// The paper's analytic model (§4.2).
+///
+/// On a machine of N CPUs at clock C running at constant native utilization
+/// U, the spare capacity is N(1-U) CPUs, so a project of P cycles needs
+///
+///     makespan = P / (N * C * (1 - U))            [ideal]
+///
+/// Fitting the omniscient measurements gives the empirical correction
+///
+///     makespan = 5256 + 1.16 * P / (N * C * (1-U))  [fitted, +-17%]
+///
+/// Finite job width wastes CPUs ("breakage in space"): with n-CPU jobs only
+/// floor(N(1-U)/n) can run in the average N(1-U) spare CPUs, inflating the
+/// makespan by
+///
+///     breakage(n) = (N(1-U)/n) / floor(N(1-U)/n).
+
+namespace istc::core {
+
+struct TheoryInputs {
+  int machine_cpus = 0;     ///< N
+  double clock_ghz = 0.0;   ///< C
+  double utilization = 0.0; ///< U, native average
+};
+
+TheoryInputs theory_inputs(const cluster::MachineSpec& machine,
+                           double native_utilization);
+
+/// Ideal makespan in seconds for a project of `cycles` total cycles.
+double ideal_makespan_s(const TheoryInputs& in, double cycles);
+
+/// The paper's fitted makespan (seconds): 5256 + 1.16 * ideal.
+double fitted_makespan_s(const TheoryInputs& in, double cycles);
+
+/// Minimum possible makespan: the whole machine dedicated to the project.
+double dedicated_makespan_s(const TheoryInputs& in, double cycles);
+
+/// Spare CPUs on average: N(1-U).
+double spare_cpus(const TheoryInputs& in);
+
+/// How many n-wide interstitial jobs fit in the average spare capacity.
+long breakage_slots(const TheoryInputs& in, int job_cpus);
+
+/// Breakage inflation factor for n-CPU jobs ( >= 1 ).  Requires at least
+/// one slot (job narrower than the average spare capacity).
+double breakage_factor(const TheoryInputs& in, int job_cpus);
+
+/// Expected makespan including breakage: ideal * breakage(n).
+double breakage_corrected_makespan_s(const TheoryInputs& in, double cycles,
+                                     int job_cpus);
+
+/// Constants of the paper's fit, exposed for reporting.
+inline constexpr double kFitOffsetSeconds = 5256.0;
+inline constexpr double kFitSlope = 1.16;
+
+/// "Breakage in time" (§4.2 names it; we quantify it): because jobs have
+/// no checkpoint/restart, no interstitial job of runtime r may *start*
+/// within r of a downtime window, so a CPU freed inside that approach
+/// strip idles r/2 on average.  The up-time fraction lost is
+///
+///     loss = windows * (r/2) / (span - total_down_seconds)
+///
+/// and the corresponding makespan inflation is 1 / (1 - loss).
+double time_breakage_loss(const cluster::DowntimeCalendar& downtime,
+                          SimTime span, Seconds job_runtime);
+
+double time_breakage_factor(const cluster::DowntimeCalendar& downtime,
+                            SimTime span, Seconds job_runtime);
+
+}  // namespace istc::core

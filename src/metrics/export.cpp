@@ -1,0 +1,58 @@
+#include "metrics/export.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace istc::metrics {
+
+void write_swf_records(std::ostream& out,
+                       std::span<const sched::JobRecord> records,
+                       const std::string& header_comment) {
+  if (!header_comment.empty()) {
+    std::istringstream lines(header_comment);
+    std::string l;
+    while (std::getline(lines, l)) out << "; " << l << '\n';
+  }
+  std::uint64_t seq = 0;
+  for (const auto& r : records) {
+    const int queue = r.interstitial() ? 2 : 1;
+    out << ++seq << ' ' << r.job.submit << ' ' << r.wait() << ' '
+        << r.job.runtime << ' ' << r.job.cpus << ' ' << -1 << ' ' << -1
+        << ' ' << r.job.cpus << ' ' << r.job.estimate << ' ' << -1 << ' '
+        << 1 << ' ' << r.job.user << ' ' << r.job.group << ' ' << -1 << ' '
+        << queue << ' ' << -1 << ' ' << -1 << ' ' << -1 << '\n';
+  }
+}
+
+void write_swf_records_file(const std::string& path,
+                            std::span<const sched::JobRecord> records,
+                            const std::string& header_comment) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_swf_records_file: cannot open " + path);
+  }
+  write_swf_records(out, records, header_comment);
+}
+
+void write_records_csv(const std::string& path,
+                       std::span<const sched::JobRecord> records) {
+  CsvWriter csv(path);
+  csv.header({"id", "class", "user", "group", "cpus", "submit", "start",
+              "end", "runtime", "estimate", "wait", "ef"});
+  for (const auto& r : records) {
+    csv.row({std::to_string(r.job.id),
+             r.interstitial() ? "interstitial" : "native",
+             std::to_string(r.job.user), std::to_string(r.job.group),
+             std::to_string(r.job.cpus), std::to_string(r.job.submit),
+             std::to_string(r.start), std::to_string(r.end),
+             std::to_string(r.job.runtime), std::to_string(r.job.estimate),
+             std::to_string(r.wait()),
+             CsvWriter::escape(Table::num(r.expansion_factor(), 4))});
+  }
+}
+
+}  // namespace istc::metrics

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sched/record.hpp"
+#include "util/rng.hpp"
+
+/// \file makespan.hpp
+/// Interstitial-project makespan extraction.
+///
+/// Two measurement modes, mirroring the paper:
+///  * direct: a single project was injected; makespan = last interstitial
+///    completion − project start.
+///  * continual sampling (§4.3.1): from one continual run, pick a random
+///    start t1 and report the time until N further interstitial jobs have
+///    completed.  This substitutes a cheap resample for many full runs.
+
+namespace istc::metrics {
+
+/// Sorted completion times of interstitial records.
+std::vector<SimTime> interstitial_completions(
+    std::span<const sched::JobRecord> records);
+
+/// Direct makespan of an injected project: last interstitial completion
+/// minus `project_start`.  Requires at least one interstitial record.
+Seconds direct_makespan(std::span<const sched::JobRecord> records,
+                        SimTime project_start);
+
+/// The continual-sampling trick.  `completions` must be sorted ascending.
+/// Samples `nsamples` random start times t1 uniform in
+/// [0, sample_horizon); each sample's makespan is c[j + njobs - 1] - t1
+/// where c[j] is the first completion > t1.  Samples whose window runs off
+/// the end of the log are redrawn (the paper keeps projects that fit).
+/// Returns makespans in seconds.
+std::vector<double> sampled_makespans(std::span<const SimTime> completions,
+                                      std::size_t njobs,
+                                      std::size_t nsamples,
+                                      SimTime sample_horizon, Rng& rng);
+
+}  // namespace istc::metrics

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sched/record.hpp"
+#include "util/time.hpp"
+
+/// \file utilization.hpp
+/// Machine utilization from job records.  The denominator is always the
+/// full machine (N CPUs x wall time), so outages depress utilization — the
+/// paper's convention ("94% including outages").
+
+namespace istc::metrics {
+
+/// Which jobs count toward the busy numerator.
+enum class JobFilter { kAll, kNativeOnly, kInterstitialOnly };
+
+bool passes(const sched::JobRecord& r, JobFilter f);
+
+/// Busy CPU-seconds contributed by records inside [lo, hi) (occupancy is
+/// clipped to the window).
+double busy_cpu_seconds(std::span<const sched::JobRecord> records,
+                        SimTime lo, SimTime hi, JobFilter filter);
+
+/// Average utilization over [lo, hi).
+double average_utilization(std::span<const sched::JobRecord> records,
+                           int machine_cpus, SimTime lo, SimTime hi,
+                           JobFilter filter = JobFilter::kAll);
+
+/// Per-bucket utilization series over [0, span); the Fig. 4 time series.
+std::vector<double> utilization_series(
+    std::span<const sched::JobRecord> records, int machine_cpus, SimTime span,
+    Seconds bucket = kSecondsPerHour, JobFilter filter = JobFilter::kAll);
+
+/// Instantaneous busy CPUs as a step function: (time, busy) breakpoints,
+/// starting at (0, 0).  Used by the omniscient packer to derive free
+/// capacity from a native-only run.
+std::vector<std::pair<SimTime, int>> busy_step_function(
+    std::span<const sched::JobRecord> records, JobFilter filter);
+
+}  // namespace istc::metrics

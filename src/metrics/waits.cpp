@@ -1,0 +1,103 @@
+#include "metrics/waits.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace istc::metrics {
+
+WaitStats wait_stats(std::span<const sched::JobRecord> records) {
+  std::vector<double> waits, efs;
+  for (const auto& r : records) {
+    if (r.interstitial()) continue;
+    waits.push_back(static_cast<double>(r.wait()));
+    efs.push_back(r.expansion_factor());
+  }
+  WaitStats s;
+  s.jobs = waits.size();
+  if (waits.empty()) return s;
+  const Summary ws(std::move(waits));
+  const Summary es(std::move(efs));
+  s.avg_wait_s = ws.mean();
+  s.median_wait_s = ws.median();
+  s.avg_ef = es.mean();
+  s.median_ef = es.median();
+  return s;
+}
+
+std::vector<sched::JobRecord> largest_native(
+    std::span<const sched::JobRecord> records, double fraction) {
+  std::vector<sched::JobRecord> natives;
+  for (const auto& r : records) {
+    if (!r.interstitial()) natives.push_back(r);
+  }
+  std::sort(natives.begin(), natives.end(),
+            [](const sched::JobRecord& a, const sched::JobRecord& b) {
+              return a.cpu_seconds() > b.cpu_seconds();
+            });
+  const auto keep = static_cast<std::size_t>(
+      fraction * static_cast<double>(natives.size()) + 0.5);
+  natives.resize(std::max<std::size_t>(1, std::min(keep, natives.size())));
+  return natives;
+}
+
+std::vector<double> native_waits(std::span<const sched::JobRecord> records) {
+  std::vector<double> waits;
+  for (const auto& r : records) {
+    if (!r.interstitial()) waits.push_back(static_cast<double>(r.wait()));
+  }
+  return waits;
+}
+
+Log10Histogram wait_histogram(std::span<const sched::JobRecord> records,
+                              std::size_t decades) {
+  Log10Histogram h(decades);
+  h.add_all(native_waits(records));
+  return h;
+}
+
+SlowdownStats bounded_slowdown(std::span<const sched::JobRecord> records,
+                               Seconds tau) {
+  std::vector<double> slow;
+  for (const auto& r : records) {
+    if (r.interstitial()) continue;
+    const double denom =
+        static_cast<double>(std::max(r.job.runtime, tau));
+    const double s =
+        static_cast<double>(r.wait() + r.job.runtime) / denom;
+    slow.push_back(std::max(1.0, s));
+  }
+  SlowdownStats out;
+  out.jobs = slow.size();
+  if (slow.empty()) return out;
+  const Summary summary(std::move(slow));
+  out.avg = summary.mean();
+  out.median = summary.median();
+  out.p95 = summary.quantile(0.95);
+  return out;
+}
+
+std::vector<double> queue_length_series(
+    std::span<const sched::JobRecord> records, SimTime span, Seconds bucket) {
+  const auto nbuckets =
+      static_cast<std::size_t>((span + bucket - 1) / bucket);
+  std::vector<double> waiting_seconds(nbuckets, 0.0);
+  for (const auto& r : records) {
+    if (r.interstitial()) continue;
+    const SimTime a = std::max<SimTime>(0, r.job.submit);
+    const SimTime b = std::min(span, r.start);
+    if (b <= a) continue;
+    const auto first = static_cast<std::size_t>(a / bucket);
+    const auto last = static_cast<std::size_t>((b - 1) / bucket);
+    for (std::size_t k = first; k <= last && k < nbuckets; ++k) {
+      const SimTime blo = static_cast<SimTime>(k) * bucket;
+      const SimTime bhi = blo + bucket;
+      waiting_seconds[k] +=
+          static_cast<double>(std::min(b, bhi) - std::max(a, blo));
+    }
+  }
+  for (auto& v : waiting_seconds) v /= static_cast<double>(bucket);
+  return waiting_seconds;
+}
+
+}  // namespace istc::metrics

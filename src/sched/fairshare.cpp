@@ -1,0 +1,86 @@
+#include "sched/fairshare.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace istc::sched {
+
+FairShareTracker::FairShareTracker(FairShareConfig cfg)
+    : cfg_(cfg),
+      ln2_over_half_life_(std::log(2.0) /
+                          static_cast<double>(cfg.half_life)) {
+  ISTC_EXPECTS(cfg.half_life > 0);
+  ISTC_EXPECTS(cfg.group_weight >= 0 && cfg.group_weight <= 1);
+  ISTC_EXPECTS(cfg.age_weight_per_hour >= 0);
+}
+
+double FairShareTracker::decayed(const Account& a, SimTime now) const {
+  ISTC_EXPECTS(now >= a.as_of);
+  return a.usage *
+         std::exp(-ln2_over_half_life_ * static_cast<double>(now - a.as_of));
+}
+
+void FairShareTracker::charge_account(Account& a, double amount, SimTime now,
+                                      double decay_per_sec) {
+  a.usage = a.usage * std::exp(-decay_per_sec *
+                               static_cast<double>(now - a.as_of)) +
+            amount;
+  a.as_of = now;
+}
+
+void FairShareTracker::charge(workload::UserId user, workload::GroupId group,
+                              double cpu_seconds, SimTime now) {
+  ISTC_EXPECTS(cpu_seconds >= 0);
+  charge_account(users_[user], cpu_seconds, now, ln2_over_half_life_);
+  charge_account(groups_[group], cpu_seconds, now, ln2_over_half_life_);
+  Account total{total_usage_, total_as_of_};
+  charge_account(total, cpu_seconds, now, ln2_over_half_life_);
+  total_usage_ = total.usage;
+  total_as_of_ = total.as_of;
+}
+
+double FairShareTracker::user_usage(workload::UserId user, SimTime now) const {
+  const auto it = users_.find(user);
+  return it == users_.end() ? 0.0 : decayed(it->second, now);
+}
+
+double FairShareTracker::group_usage(workload::GroupId group,
+                                     SimTime now) const {
+  const auto it = groups_.find(group);
+  return it == groups_.end() ? 0.0 : decayed(it->second, now);
+}
+
+double FairShareTracker::priority(const workload::Job& job,
+                                  SimTime now) const {
+  Account total{total_usage_, total_as_of_};
+  const double grand = decayed(total, now);
+  // Normalized usage fractions in [0,1]; with no history everyone is even.
+  const double u_frac =
+      grand > 0 ? user_usage(job.user, now) / grand : 0.0;
+  const double g_frac =
+      grand > 0 ? group_usage(job.group, now) / grand : 0.0;
+
+  double deficit = 0.0;
+  switch (cfg_.mode) {
+    case FairShareMode::kEqualUsers:
+      deficit = -u_frac;
+      break;
+    case FairShareMode::kGroupHierarchy:
+      // Group level dominates; user level breaks ties within a group.
+      deficit = -g_frac - 0.1 * u_frac;
+      break;
+    case FairShareMode::kUserAndGroup:
+      deficit = -(1.0 - cfg_.group_weight) * u_frac -
+                cfg_.group_weight * g_frac;
+      break;
+  }
+
+  const double age_hours = to_hours(now - job.submit);
+  const double size_bonus =
+      cfg_.size_weight *
+      (std::log2(static_cast<double>(job.cpus)) / 12.0);  // log2(4096)
+  return deficit + cfg_.age_weight_per_hour * age_hours + size_bonus;
+}
+
+}  // namespace istc::sched

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.hpp"
+#include "workload/job.hpp"
+
+/// \file fairshare.hpp
+/// Decayed-usage fair share, the priority machinery behind all three sites'
+/// queueing systems (Table 1): Ross/PBS runs the simplest flavour (all
+/// users equal), Blue Mountain/LSF hierarchical group-level shares, and
+/// Blue Pacific/DPCS combines user- and group-level shares.
+///
+/// Usage is exponentially decayed CPU-seconds; a principal's priority is
+/// its share target minus its normalized recent usage, so heavy recent
+/// consumers sink.  Priorities are recomputed at every scheduling pass —
+/// this *dynamic re-prioritization* is what lets a newly submitted job
+/// poach a queue position, the delay-cascade mechanism of the paper §4.3.
+
+namespace istc::sched {
+
+enum class FairShareMode : std::uint8_t {
+  kEqualUsers,    ///< Ross: every user holds an equal share (single level)
+  kGroupHierarchy,///< Blue Mountain: group shares, then users within group
+  kUserAndGroup,  ///< Blue Pacific: weighted sum of user and group deficits
+};
+
+struct FairShareConfig {
+  FairShareMode mode = FairShareMode::kEqualUsers;
+  /// Half-life of historical usage.
+  Seconds half_life = 7 * kSecondsPerDay;
+  /// Relative weight of the group-level deficit (kUserAndGroup mode).
+  double group_weight = 0.5;
+  /// Priority points per hour of queue wait (aging prevents starvation).
+  double age_weight_per_hour = 0.02;
+  /// Priority bonus for wide jobs: size_weight * log2(cpus)/log2(4096).
+  /// ASCI capability machines ranked big jobs up so they were not starved
+  /// by streams of small work — without this, a 512-CPU job can be poached
+  /// indefinitely under dynamic re-prioritization.
+  double size_weight = 0.5;
+};
+
+class FairShareTracker {
+ public:
+  explicit FairShareTracker(FairShareConfig cfg);
+
+  /// Charge finished (or elapsed) work to a principal pair.
+  void charge(workload::UserId user, workload::GroupId group,
+              double cpu_seconds, SimTime now);
+
+  /// Priority of a job at time `now` (higher runs earlier).  `submit` feeds
+  /// the aging term.
+  double priority(const workload::Job& job, SimTime now) const;
+
+  /// Decayed usage of a user/group at `now` (exposed for tests).
+  double user_usage(workload::UserId user, SimTime now) const;
+  double group_usage(workload::GroupId group, SimTime now) const;
+
+  const FairShareConfig& config() const { return cfg_; }
+
+ private:
+  struct Account {
+    double usage = 0.0;     ///< decayed CPU-seconds as of `as_of`
+    SimTime as_of = 0;
+  };
+
+  double decayed(const Account& a, SimTime now) const;
+  static void charge_account(Account& a, double amount, SimTime now,
+                             double decay_per_sec);
+
+  FairShareConfig cfg_;
+  double ln2_over_half_life_;
+  std::unordered_map<workload::UserId, Account> users_;
+  std::unordered_map<workload::GroupId, Account> groups_;
+  double total_usage_ = 0.0;  ///< decayed grand total
+  SimTime total_as_of_ = 0;
+};
+
+}  // namespace istc::sched

@@ -1,0 +1,44 @@
+#include "sched/presets.hpp"
+
+#include "util/assert.hpp"
+
+namespace istc::sched {
+
+using cluster::Site;
+
+PolicySpec site_policy(Site site) {
+  PolicySpec p;
+  switch (site) {
+    case Site::kRoss:
+      p.name = "PBS (conservative backfill, equal shares)";
+      p.backfill = BackfillMode::kConservative;
+      p.fairshare.mode = FairShareMode::kEqualUsers;
+      p.fairshare.half_life = 7 * kSecondsPerDay;
+      p.time_of_day.reset();
+      return p;
+    case Site::kBlueMountain:
+      p.name = "LSF (EASY backfill, hierarchical group fair share)";
+      p.backfill = BackfillMode::kEasy;
+      p.fairshare.mode = FairShareMode::kGroupHierarchy;
+      p.fairshare.half_life = 7 * kSecondsPerDay;
+      p.time_of_day.reset();
+      return p;
+    case Site::kBluePacific:
+      p.name = "DPCS (EASY backfill, user+group fair share, time-of-day)";
+      p.backfill = BackfillMode::kEasy;
+      p.fairshare.mode = FairShareMode::kUserAndGroup;
+      p.fairshare.group_weight = 0.5;
+      p.fairshare.half_life = 7 * kSecondsPerDay;
+      // Wide jobs may only start at night or on weekends.
+      p.time_of_day = TimeOfDayRule{.min_cpus_gated = 128,
+                                    .min_estimate_gated = hours(12),
+                                    .night_start_hour = 18,
+                                    .night_end_hour = 8,
+                                    .weekends_open = true};
+      return p;
+  }
+  ISTC_ASSERT(false);
+  return p;
+}
+
+}  // namespace istc::sched

@@ -1,0 +1,17 @@
+#pragma once
+
+#include "cluster/presets.hpp"
+#include "sched/scheduler.hpp"
+
+/// \file presets.hpp
+/// Per-site queueing policies (Table 1):
+///   Ross / PBS   — conservative backfill, all users hold equal shares
+///   Blue Mountain / LSF — EASY backfill, hierarchical group fair share
+///   Blue Pacific / DPCS — EASY backfill, user+group fair share, and
+///                         time-of-day start constraints on large jobs
+
+namespace istc::sched {
+
+PolicySpec site_policy(cluster::Site site);
+
+}  // namespace istc::sched

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "util/assert.hpp"
+#include "util/time.hpp"
+#include "workload/job.hpp"
+
+/// \file record.hpp
+/// Scheduling outcomes.  A JobRecord is the simulator's analogue of the
+/// paper's "job log returned from the BIRMinator simulations": size plus
+/// submit, start, and finish times for both native and interstitial jobs.
+
+namespace istc::sched {
+
+struct JobRecord {
+  workload::Job job;
+  SimTime start = -1;
+  SimTime end = -1;
+
+  Seconds wait() const {
+    ISTC_EXPECTS(start >= job.submit);
+    return start - job.submit;
+  }
+
+  /// The paper's expansion factor EF = 1 + wait / runtime.
+  double expansion_factor() const {
+    return 1.0 + static_cast<double>(wait()) /
+                     static_cast<double>(job.runtime);
+  }
+
+  double cpu_seconds() const { return job.cpu_seconds(); }
+  bool interstitial() const { return job.interstitial(); }
+};
+
+/// Result of one simulation run.
+struct RunResult {
+  cluster::MachineSpec machine;
+  /// Native log span (the paper's "times days" window).
+  SimTime span = 0;
+  /// Time at which the simulation drained completely.
+  SimTime sim_end = 0;
+  /// Completed jobs in completion order (native and interstitial mixed).
+  std::vector<JobRecord> records;
+  /// Interstitial jobs killed by native preemption (extension feature);
+  /// end is the kill time, so end - start < runtime and cpu-time in
+  /// [start, end) is the wasted work.
+  std::vector<JobRecord> killed;
+
+  /// Wasted CPU-seconds of killed interstitial jobs.
+  double wasted_cpu_seconds() const;
+
+  std::size_t native_count() const;
+  std::size_t interstitial_count() const;
+};
+
+inline std::size_t RunResult::native_count() const {
+  std::size_t n = 0;
+  for (const auto& r : records) n += r.interstitial() ? 0u : 1u;
+  return n;
+}
+
+inline std::size_t RunResult::interstitial_count() const {
+  return records.size() - native_count();
+}
+
+inline double RunResult::wasted_cpu_seconds() const {
+  double total = 0;
+  for (const auto& r : killed) {
+    total += static_cast<double>(r.job.cpus) *
+             static_cast<double>(r.end - r.start);
+  }
+  return total;
+}
+
+}  // namespace istc::sched

@@ -1,0 +1,135 @@
+#include "sched/resource_profile.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace istc::sched {
+
+ResourceProfile::ResourceProfile(SimTime origin, int capacity)
+    : origin_(origin), capacity_(capacity) {
+  ISTC_EXPECTS(capacity >= 0);
+  free_[origin_] = capacity_;
+}
+
+int ResourceProfile::free_at(SimTime t) const {
+  ISTC_EXPECTS(t >= origin_);
+  auto it = free_.upper_bound(t);
+  ISTC_ASSERT(it != free_.begin());
+  --it;
+  return it->second;
+}
+
+int ResourceProfile::min_free(SimTime start, SimTime end) const {
+  ISTC_EXPECTS(start >= origin_);
+  ISTC_EXPECTS(end > start);
+  auto it = free_.upper_bound(start);
+  ISTC_ASSERT(it != free_.begin());
+  --it;
+  int lo = it->second;
+  for (++it; it != free_.end() && it->first < end; ++it) {
+    lo = std::min(lo, it->second);
+  }
+  return lo;
+}
+
+std::map<SimTime, int>::iterator ResourceProfile::split_at(SimTime t) {
+  auto it = free_.lower_bound(t);
+  if (it != free_.end() && it->first == t) return it;
+  ISTC_ASSERT(it != free_.begin());
+  auto prev = std::prev(it);
+  return free_.emplace_hint(it, t, prev->second);
+}
+
+void ResourceProfile::coalesce(SimTime lo, SimTime hi) {
+  auto it = free_.lower_bound(lo);
+  if (it != free_.begin()) --it;
+  while (it != free_.end()) {
+    auto next = std::next(it);
+    if (next == free_.end() || it->first > hi) break;
+    if (next->second == it->second) {
+      free_.erase(next);
+    } else {
+      it = next;
+    }
+  }
+}
+
+void ResourceProfile::reserve(SimTime start, SimTime end, int cpus) {
+  ISTC_EXPECTS(start >= origin_);
+  ISTC_EXPECTS(end > start);
+  ISTC_EXPECTS(cpus > 0);
+  ISTC_EXPECTS(min_free(start, end) >= cpus);
+  auto lo = split_at(start);
+  // end may be past every breakpoint; splitting materializes the boundary.
+  split_at(end);
+  for (auto it = lo; it != free_.end() && it->first < end; ++it) {
+    it->second -= cpus;
+    ISTC_ASSERT(it->second >= 0);
+  }
+  coalesce(start, end);
+}
+
+void ResourceProfile::release(SimTime start, SimTime end, int cpus) {
+  ISTC_EXPECTS(start >= origin_);
+  ISTC_EXPECTS(end > start);
+  ISTC_EXPECTS(cpus > 0);
+  auto lo = split_at(start);
+  split_at(end);
+  for (auto it = lo; it != free_.end() && it->first < end; ++it) {
+    it->second += cpus;
+    ISTC_ASSERT(it->second <= capacity_);
+  }
+  coalesce(start, end);
+}
+
+SimTime ResourceProfile::earliest_fit(int cpus, Seconds duration,
+                                      SimTime not_before) const {
+  ISTC_EXPECTS(cpus > 0);
+  ISTC_EXPECTS(duration > 0);
+  ISTC_EXPECTS(cpus <= capacity_);
+  SimTime t = std::max(not_before, origin_);
+  // Walk candidate start times: current t, then each breakpoint where free
+  // capacity rises.  For each candidate, scan the window; on failure, jump
+  // to the step after the blocking segment.
+  for (;;) {
+    // Find the first segment covering t.
+    auto it = free_.upper_bound(t);
+    ISTC_ASSERT(it != free_.begin());
+    --it;
+    if (it->second < cpus) {
+      // Blocked immediately; advance to the next step with enough room.
+      ++it;
+      while (it != free_.end() && it->second < cpus) ++it;
+      if (it == free_.end()) {
+        // Last segment value is reachable only if >= cpus; since the final
+        // segment extends to infinity and capacity >= cpus, the last
+        // segment must eventually fit.  If not, the profile is saturated
+        // forever, which reserve() forbids (it cannot exceed capacity).
+        ISTC_ASSERT(std::prev(free_.end())->second >= cpus);
+        return std::prev(free_.end())->first > t ? std::prev(free_.end())->first
+                                                 : t;
+      }
+      t = it->first;
+      continue;
+    }
+    // Scan forward through [t, t+duration).
+    const SimTime end = t + duration;
+    auto scan = std::next(it);
+    bool ok = true;
+    for (; scan != free_.end() && scan->first < end; ++scan) {
+      if (scan->second < cpus) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return t;
+    // Restart after the blocking segment.
+    auto after = scan;
+    while (after != free_.end() && after->second < cpus) ++after;
+    ISTC_ASSERT(after != free_.end() || std::prev(free_.end())->second >= cpus);
+    t = after != free_.end() ? after->first : std::prev(free_.end())->first;
+  }
+}
+
+}  // namespace istc::sched

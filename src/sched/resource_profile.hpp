@@ -1,0 +1,61 @@
+#pragma once
+
+#include <map>
+
+#include "util/time.hpp"
+
+/// \file resource_profile.hpp
+/// A step function of free CPUs over future time.
+///
+/// This single structure powers both backfill flavours and the omniscient
+/// packer: reservations subtract capacity over an interval; queries ask how
+/// much is free at an instant, the minimum over a window, or the earliest
+/// start at which a (cpus x duration) rectangle fits.
+
+namespace istc::sched {
+
+class ResourceProfile {
+ public:
+  /// Uniform capacity from `origin` to infinity.
+  ResourceProfile(SimTime origin, int capacity);
+
+  SimTime origin() const { return origin_; }
+  int capacity() const { return capacity_; }
+
+  /// Free CPUs at time t (t >= origin).
+  int free_at(SimTime t) const;
+
+  /// Minimum free CPUs over [start, end); end > start.
+  int min_free(SimTime start, SimTime end) const;
+
+  /// Subtract `cpus` over [start, end).  The interval must have at least
+  /// `cpus` free throughout (checked) — callers find a fit first.
+  void reserve(SimTime start, SimTime end, int cpus);
+
+  /// Add `cpus` over [start, end) (capacity growth / release); the result
+  /// may not exceed the construction capacity (checked).
+  void release(SimTime start, SimTime end, int cpus);
+
+  /// Earliest t >= not_before such that min_free(t, t+duration) >= cpus.
+  /// Always succeeds (the profile is capacity after the last breakpoint)
+  /// provided cpus <= capacity.
+  SimTime earliest_fit(int cpus, Seconds duration, SimTime not_before) const;
+
+  /// Number of internal breakpoints (diagnostics / complexity tests).
+  std::size_t steps() const { return free_.size(); }
+
+ private:
+  /// Ensure a breakpoint exists exactly at t; returns iterator to it.
+  std::map<SimTime, int>::iterator split_at(SimTime t);
+
+  /// Merge adjacent equal-valued steps around the given key range.
+  void coalesce(SimTime lo, SimTime hi);
+
+  SimTime origin_;
+  int capacity_;
+  /// key = step start; value = free CPUs from key until the next key.
+  /// Invariant: non-empty, first key == origin_.
+  std::map<SimTime, int> free_;
+};
+
+}  // namespace istc::sched

@@ -1,0 +1,288 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace istc::sched {
+
+BatchScheduler::BatchScheduler(sim::Engine& engine, cluster::Machine machine,
+                               PolicySpec policy)
+    : engine_(engine),
+      machine_(std::move(machine)),
+      policy_(std::move(policy)),
+      fairshare_(policy_.fairshare) {
+  engine_.on_quiescent([this](SimTime now) { pass(now); });
+}
+
+void BatchScheduler::load(const workload::JobLog& log) {
+  for (const auto& job : log.jobs()) submit(job);
+}
+
+void BatchScheduler::submit(const workload::Job& job) {
+  job.check();
+  ISTC_EXPECTS(job.cpus <= machine_.total_cpus());
+  ISTC_EXPECTS(job.submit >= engine_.now());
+  engine_.schedule(job.submit, [this, job] { pending_.push_back(job); });
+}
+
+void BatchScheduler::set_post_pass_hook(
+    std::function<void(const PassContext&)> hook) {
+  post_pass_ = std::move(hook);
+}
+
+void BatchScheduler::set_kill_hook(
+    std::function<void(const JobRecord&)> hook) {
+  on_kill_ = std::move(hook);
+}
+
+void BatchScheduler::wake_at(SimTime t) {
+  const SimTime now = engine_.now();
+  if (t < now) return;
+  if (t == now && in_pass_) return;  // this pass is already running
+  if (next_wake_ > now && next_wake_ <= t) return;  // earlier wake covers it
+  next_wake_ = t;
+  ++stats_.wakeups;
+  engine_.schedule(t, [] {});
+}
+
+SimTime BatchScheduler::earliest_start(const ResourceProfile& profile,
+                                       const workload::Job& job,
+                                       SimTime from) const {
+  const auto& downtime = machine_.downtime();
+  SimTime t = from;
+  // Each constraint pushes t forward monotonically; converges because the
+  // downtime calendar is finite and a time-of-day window opens every day.
+  for (int iter = 0; iter < 1000; ++iter) {
+    const SimTime fit = profile.earliest_fit(job.cpus, job.estimate, t);
+    if (fit != t) {
+      t = fit;
+      continue;
+    }
+    if (policy_.time_of_day && !policy_.time_of_day->allowed(job, t)) {
+      t = policy_.time_of_day->earliest_allowed(job, t);
+      continue;
+    }
+    if (!downtime.can_run(t, job.estimate)) {
+      if (downtime.is_down(t)) {
+        t = downtime.up_again_at(t);
+      } else {
+        // Up now, but the job's estimate crosses the next window: resume
+        // after that window ends.
+        t = downtime.up_again_at(downtime.next_down_start(t));
+      }
+      continue;
+    }
+    return t;
+  }
+  ISTC_ASSERT(false);  // non-convergence means an unschedulable job
+  return kTimeInfinity;
+}
+
+void BatchScheduler::start_job(const workload::Job& job, SimTime now) {
+  if (job.interstitial()) {
+    ++stats_.interstitial_starts;
+  } else {
+    ++stats_.native_starts;
+  }
+  machine_.allocate(job.cpus);
+  running_.emplace(job.id, Running{job, now, now + job.estimate});
+  const workload::JobId id = job.id;
+  engine_.schedule(now + job.runtime,
+                   [this, id] { complete_job(id, engine_.now()); });
+}
+
+void BatchScheduler::complete_job(workload::JobId id, SimTime now) {
+  const auto it = running_.find(id);
+  if (it == running_.end()) {
+    // Stale completion event of a preempted job: consume the kill marker.
+    const auto killed = killed_pending_.find(id);
+    ISTC_ASSERT(killed != killed_pending_.end());
+    killed_pending_.erase(killed);
+    return;
+  }
+  const Running& r = it->second;
+  machine_.release(r.job.cpus);
+  // Interstitial jobs run outside the fair-share ledger: they are a
+  // facility-level scavenger stream, not a competing allocation.
+  if (!r.job.interstitial()) {
+    fairshare_.charge(r.job.user, r.job.group, r.job.cpu_seconds(), now);
+  }
+  records_.push_back(JobRecord{r.job, r.start, now});
+  ISTC_ASSERT(now - r.start == r.job.runtime);
+  running_.erase(it);
+}
+
+void BatchScheduler::pass(SimTime now) {
+  ISTC_ASSERT(!in_pass_);
+  in_pass_ = true;
+  ++stats_.passes;
+  stats_.max_queue_length = std::max(stats_.max_queue_length, pending_.size());
+
+  // Future free-CPU profile from running jobs' *estimated* completions —
+  // the only schedule knowledge a real resource manager has.
+  ResourceProfile profile(now, machine_.total_cpus());
+  for (const auto& [id, r] : running_) {
+    ISTC_ASSERT(r.est_end > now);
+    profile.reserve(now, r.est_end, r.job.cpus);
+  }
+
+  // Dynamic re-prioritization: recompute priorities every pass.
+  std::vector<std::size_t> order(pending_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> prio(pending_.size());
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    prio[i] = fairshare_.priority(pending_[i], now);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (prio[a] != prio[b]) return prio[a] > prio[b];
+                     if (pending_[a].submit != pending_[b].submit) {
+                       return pending_[a].submit < pending_[b].submit;
+                     }
+                     return pending_[a].id < pending_[b].id;
+                   });
+
+  std::vector<bool> started(pending_.size(), false);
+  SimTime head_earliest = kTimeInfinity;
+  SimTime queue_earliest = kTimeInfinity;
+  bool saw_blocked = false;
+
+  for (const std::size_t idx : order) {
+    const workload::Job& job = pending_[idx];
+    SimTime t = earliest_start(profile, job, now);
+    // kNone (ablation baseline): strict priority order — once one job is
+    // blocked, nothing junior may start, but earliest times still feed the
+    // interstitial gate.
+    const bool may_start =
+        policy_.backfill != BackfillMode::kNone || !saw_blocked;
+    // Preemption extension: a blocked native may evict running
+    // interstitial jobs instead of waiting on them.
+    if (policy_.preempt_interstitial && t != now && may_start &&
+        !job.interstitial() && could_start_with_kills(job, now)) {
+      if (preempt_for(job, now, profile)) {
+        t = earliest_start(profile, job, now);
+      }
+    }
+    if (t == now && may_start) {
+      profile.reserve(now, now + job.estimate, job.cpus);
+      start_job(job, now);
+      if (saw_blocked) ++stats_.backfilled_starts;
+      started[idx] = true;
+      continue;
+    }
+    // EASY: only the head (highest-priority) blocked job reserves, so
+    // later jobs may start now as long as they cannot delay it.
+    // Conservative: every blocked job reserves, so nothing may delay any
+    // higher-priority waiter (Ross's more restrictive backfill).
+    const bool is_head = !saw_blocked;
+    if (is_head) {
+      saw_blocked = true;
+      head_earliest = t;
+    }
+    queue_earliest = std::min(queue_earliest, t);
+    if (is_head || policy_.backfill == BackfillMode::kConservative) {
+      profile.reserve(t, t + job.estimate, job.cpus);
+      ++stats_.reservations;
+    }
+  }
+
+  if (!pending_.empty()) {
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (!started[i]) {
+        if (w != i) pending_[w] = std::move(pending_[i]);
+        ++w;
+      }
+    }
+    pending_.resize(w);
+  }
+
+  // If the head job cannot start now, guarantee a future pass at its
+  // earliest possible start even if no completion event lands earlier.
+  if (!pending_.empty() && head_earliest < kTimeInfinity) {
+    wake_at(head_earliest);
+  }
+
+  in_pass_ = false;
+
+  if (post_pass_) {
+    PassContext ctx;
+    ctx.now = now;
+    ctx.free_cpus = machine_.free_cpus();
+    ctx.queue_empty = pending_.empty();
+    ctx.head_earliest_start = pending_.empty() ? kTimeInfinity : head_earliest;
+    ctx.queue_earliest_start =
+        pending_.empty() ? kTimeInfinity : queue_earliest;
+    post_pass_(ctx);
+  }
+}
+
+bool BatchScheduler::could_start_with_kills(const workload::Job& job,
+                                            SimTime now) const {
+  int reclaimable = machine_.free_cpus();
+  for (const auto& [id, r] : running_) {
+    if (r.job.interstitial()) reclaimable += r.job.cpus;
+  }
+  if (reclaimable < job.cpus) return false;
+  if (!machine_.downtime().can_run(now, job.estimate)) return false;
+  if (policy_.time_of_day && !policy_.time_of_day->allowed(job, now)) {
+    return false;
+  }
+  return true;
+}
+
+bool BatchScheduler::preempt_for(const workload::Job& job, SimTime now,
+                                 ResourceProfile& profile) {
+  // Youngest interstitial first: the least work is thrown away.
+  std::vector<const Running*> victims;
+  for (const auto& [id, r] : running_) {
+    if (r.job.interstitial()) victims.push_back(&r);
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const Running* a, const Running* b) {
+              if (a->start != b->start) return a->start > b->start;
+              return a->job.id > b->job.id;
+            });
+  for (const Running* v : victims) {
+    if (profile.min_free(now, now + job.estimate) >= job.cpus) break;
+    const workload::JobId id = v->job.id;
+    machine_.release(v->job.cpus);
+    profile.release(now, v->est_end, v->job.cpus);
+    killed_records_.push_back(JobRecord{v->job, v->start, now});
+    killed_pending_.insert(id);
+    ++stats_.interstitial_kills;
+    running_.erase(id);  // invalidates v; loop continues with others
+    if (on_kill_) on_kill_(killed_records_.back());
+  }
+  return profile.min_free(now, now + job.estimate) >= job.cpus;
+}
+
+bool BatchScheduler::try_start_immediately(const workload::Job& job) {
+  job.check();
+  const SimTime now = engine_.now();
+  if (job.cpus > machine_.free_cpus()) return false;
+  if (!machine_.downtime().can_run(now, job.estimate)) return false;
+  if (policy_.time_of_day && !policy_.time_of_day->allowed(job, now)) {
+    return false;
+  }
+  start_job(job, now);
+  return true;
+}
+
+RunResult BatchScheduler::take_result(SimTime span) {
+  ISTC_EXPECTS(pending_.empty());
+  ISTC_EXPECTS(running_.empty());
+  RunResult result;
+  result.machine = machine_.spec();
+  result.span = span;
+  result.sim_end = engine_.now();
+  result.records = std::move(records_);
+  result.killed = std::move(killed_records_);
+  records_.clear();
+  killed_records_.clear();
+  return result;
+}
+
+}  // namespace istc::sched

@@ -1,0 +1,180 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "sched/fairshare.hpp"
+#include "sched/record.hpp"
+#include "sched/resource_profile.hpp"
+#include "sched/timeofday.hpp"
+#include "sim/engine.hpp"
+#include "workload/job.hpp"
+
+/// \file scheduler.hpp
+/// The space-shared batch scheduler: priority queue + backfill, the
+/// simulator's stand-in for PBS / LSF / DPCS.
+///
+/// One scheduling pass runs per distinct event timestamp (engine quiescent
+/// hook): priorities are recomputed (dynamic re-prioritization), jobs start
+/// in priority order, and blocked jobs backfill under the selected policy.
+/// The scheduler only ever consults *estimated* runtimes — exactly the
+/// information a real resource manager has — which is what lets fallible
+/// interstitial submission disturb native jobs (paper §4.3).
+
+namespace istc::sched {
+
+enum class BackfillMode : std::uint8_t {
+  /// EASY: only the highest-priority blocked job holds a reservation.
+  kEasy,
+  /// Conservative: every blocked job holds a reservation (Ross/PBS's
+  /// "more restrictive" backfill, paper §4.3.2.1).
+  kConservative,
+  /// No backfill at all: strict priority order, nothing may overtake a
+  /// blocked job.  Not used by any site preset — it exists as the ablation
+  /// baseline showing why backfill matters to interstitial computing.
+  kNone,
+};
+
+struct PolicySpec {
+  std::string name = "easy-equal";
+  BackfillMode backfill = BackfillMode::kEasy;
+  FairShareConfig fairshare;
+  MaybeTimeOfDayRule time_of_day;
+  /// Extension beyond the paper (its jobs are strictly non-preemptive):
+  /// when a native job cannot start, kill just enough *interstitial* jobs
+  /// (youngest first — least work lost) to start it immediately.  Native
+  /// impact collapses to ~zero; the price is the killed jobs' wasted
+  /// cycles, reported via RunResult::killed.
+  bool preempt_interstitial = false;
+};
+
+/// Snapshot handed to the post-pass hook (the interstitial driver).
+struct PassContext {
+  SimTime now = 0;
+  /// Free CPUs after every startable native job has started.
+  int free_cpus = 0;
+  /// True when no native job is waiting.
+  bool queue_empty = true;
+  /// Earliest (estimate-based) start of the highest-priority waiting job;
+  /// the paper's "backfillWallTime".  kTimeInfinity when queue_empty.
+  SimTime head_earliest_start = kTimeInfinity;
+  /// Minimum earliest start over *all* waiting jobs.  The interstitial
+  /// driver gates on this: protecting only the head livelocks mid-size
+  /// waiters when the head is pinned far away by overestimated runtimes
+  /// (scavenged CPUs would be re-taken the instant they free).
+  SimTime queue_earliest_start = kTimeInfinity;
+};
+
+/// Cheap counters exposed for diagnostics, tests, and the micro benches.
+struct SchedulerStats {
+  std::uint64_t passes = 0;
+  std::uint64_t native_starts = 0;
+  std::uint64_t interstitial_starts = 0;
+  /// Native jobs started while a higher-priority job stayed blocked in the
+  /// same pass — i.e. genuine backfill starts.
+  std::uint64_t backfilled_starts = 0;
+  std::uint64_t reservations = 0;
+  std::uint64_t wakeups = 0;
+  std::uint64_t interstitial_kills = 0;
+  std::size_t max_queue_length = 0;
+};
+
+class BatchScheduler {
+ public:
+  BatchScheduler(sim::Engine& engine, cluster::Machine machine,
+                 PolicySpec policy);
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Schedule arrival events for every job in the log.
+  void load(const workload::JobLog& log);
+
+  /// Submit one job at its submit time (must be >= engine.now()).
+  void submit(const workload::Job& job);
+
+  /// Hook invoked after each native scheduling pass; the interstitial
+  /// driver lives here.  At most one hook.
+  void set_post_pass_hook(std::function<void(const PassContext&)> hook);
+
+  /// Hook invoked whenever preemption kills an interstitial job (record's
+  /// end is the kill time).  The driver uses it for checkpoint/restart
+  /// accounting.  At most one hook.
+  void set_kill_hook(std::function<void(const JobRecord&)> hook);
+
+  /// Start a job right now, bypassing the queue (interstitial path).
+  /// Returns false if it does not fit (space, downtime, or time-of-day).
+  bool try_start_immediately(const workload::Job& job);
+
+  /// Wake the scheduler at time t (schedules a no-op event; passes run
+  /// after every event timestamp).
+  void wake_at(SimTime t);
+
+  const cluster::Machine& machine() const { return machine_; }
+  const PolicySpec& policy() const { return policy_; }
+  const FairShareTracker& fairshare() const { return fairshare_; }
+  sim::Engine& engine() { return engine_; }
+
+  std::size_t queue_length() const { return pending_.size(); }
+  std::size_t running_count() const { return running_.size(); }
+  std::size_t completed_count() const { return records_.size(); }
+  const SchedulerStats& stats() const { return stats_; }
+
+  /// Collect results; requires the simulation to have drained (no pending
+  /// or running jobs).
+  RunResult take_result(SimTime span);
+
+ private:
+  struct Running {
+    workload::Job job;
+    SimTime start = 0;
+    SimTime est_end = 0;
+  };
+
+  /// The scheduling pass (engine quiescent hook).
+  void pass(SimTime now);
+
+  /// Preemption (policy.preempt_interstitial): can `job` start now if we
+  /// killed every running interstitial job?  (space, downtime, gating).
+  bool could_start_with_kills(const workload::Job& job, SimTime now) const;
+
+  /// Kill youngest-first interstitial jobs, releasing them from `profile`,
+  /// until `job` fits at `now` per the profile; returns false (killing
+  /// nothing further helps) if the fit never materializes.
+  bool preempt_for(const workload::Job& job, SimTime now,
+                   ResourceProfile& profile);
+
+  /// Allocate CPUs and schedule the completion event.
+  void start_job(const workload::Job& job, SimTime now);
+
+  void complete_job(workload::JobId id, SimTime now);
+
+  /// Earliest start >= from satisfying profile space, downtime drain, and
+  /// time-of-day gating, all per the *estimate*.
+  SimTime earliest_start(const ResourceProfile& profile,
+                         const workload::Job& job, SimTime from) const;
+
+  sim::Engine& engine_;
+  cluster::Machine machine_;
+  PolicySpec policy_;
+  FairShareTracker fairshare_;
+
+  std::vector<workload::Job> pending_;
+  std::unordered_map<workload::JobId, Running> running_;
+  /// Jobs killed before completion; their stale completion events no-op.
+  std::unordered_set<workload::JobId> killed_pending_;
+  std::vector<JobRecord> records_;
+  std::vector<JobRecord> killed_records_;
+  std::function<void(const PassContext&)> post_pass_;
+  std::function<void(const JobRecord&)> on_kill_;
+  SchedulerStats stats_;
+  SimTime next_wake_ = -1;
+  bool in_pass_ = false;
+};
+
+}  // namespace istc::sched

@@ -1,0 +1,30 @@
+#include "sched/timeofday.hpp"
+
+#include "util/assert.hpp"
+
+namespace istc::sched {
+
+bool TimeOfDayRule::window_open(SimTime t) const {
+  if (weekends_open && (day_index(t) % 7) >= 5) return true;
+  const int h = hour_of_day(t);
+  if (night_start_hour <= night_end_hour) {
+    return h >= night_start_hour && h < night_end_hour;
+  }
+  // Wrapping window, e.g. [18, 8): open late evening and early morning.
+  return h >= night_start_hour || h < night_end_hour;
+}
+
+SimTime TimeOfDayRule::earliest_allowed(const workload::Job& job,
+                                        SimTime t) const {
+  if (allowed(job, t)) return t;
+  // Step to the next window boundary; at most a week of hourly steps.
+  SimTime probe = (t / kSecondsPerHour + 1) * kSecondsPerHour;
+  for (int i = 0; i < 24 * 8; ++i) {
+    if (window_open(probe)) return probe;
+    probe += kSecondsPerHour;
+  }
+  ISTC_ASSERT(false);  // a night window always exists within a week
+  return probe;
+}
+
+}  // namespace istc::sched

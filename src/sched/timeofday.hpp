@@ -1,0 +1,46 @@
+#pragma once
+
+#include <optional>
+
+#include "util/time.hpp"
+#include "workload/job.hpp"
+
+/// \file timeofday.hpp
+/// Time-of-day start constraints (the Blue Pacific / DPCS feature of
+/// Table 1): big or long jobs may only *start* during the night window or
+/// on weekends, leaving daytime capacity for interactive-scale work.
+
+namespace istc::sched {
+
+struct TimeOfDayRule {
+  /// Jobs at or above this width are gated.
+  int min_cpus_gated = 0;
+  /// Jobs with estimates at or above this length are gated.
+  Seconds min_estimate_gated = kTimeInfinity;
+  /// Night window [night_start_hour, night_end_hour) wrapping midnight.
+  int night_start_hour = 18;
+  int night_end_hour = 8;
+  /// Weekends (days 5,6 of a Monday-started trace) are always open.
+  bool weekends_open = true;
+
+  bool gates(const workload::Job& job) const {
+    return job.cpus >= min_cpus_gated ||
+           job.estimate >= min_estimate_gated;
+  }
+
+  /// May a gated job start at t?
+  bool window_open(SimTime t) const;
+
+  /// May this job start at t?
+  bool allowed(const workload::Job& job, SimTime t) const {
+    return !gates(job) || window_open(t);
+  }
+
+  /// Earliest time >= t at which the job may start (t itself if allowed).
+  SimTime earliest_allowed(const workload::Job& job, SimTime t) const;
+};
+
+/// A scheduler either has a rule or starts anything anytime.
+using MaybeTimeOfDayRule = std::optional<TimeOfDayRule>;
+
+}  // namespace istc::sched

@@ -1,0 +1,57 @@
+#include "sim/engine.hpp"
+
+namespace istc::sim {
+
+void Engine::schedule(SimTime t, EventFn fn) {
+  ISTC_EXPECTS(t >= now_);
+  queue_.push(t, std::move(fn));
+}
+
+void Engine::schedule_in(Seconds dt, EventFn fn) {
+  ISTC_EXPECTS(dt >= 0);
+  schedule(now_ + dt, std::move(fn));
+}
+
+void Engine::on_quiescent(std::function<void(SimTime)> hook) {
+  ISTC_EXPECTS(hook != nullptr);
+  hooks_.push_back(std::move(hook));
+}
+
+void Engine::drain_current_time() {
+  // Alternate "drain events at now_" with "run hooks" until neither side
+  // produces more work at this timestamp.  The guard bounds pathological
+  // hook/event ping-pong (a correct model converges in a few rounds).
+  constexpr int kMaxRounds = 64;
+  int rounds = 0;
+  for (;;) {
+    bool fired = false;
+    while (!queue_.empty() && queue_.next_time() == now_) {
+      EventFn fn = queue_.pop();
+      ++events_processed_;
+      fn();
+      fired = true;
+    }
+    if (!fired && rounds > 0) break;  // hooks already ran, nothing new
+    for (auto& hook : hooks_) hook(now_);
+    ++rounds;
+    ISTC_ASSERT(rounds < kMaxRounds);
+    if (queue_.empty() || queue_.next_time() != now_) break;
+  }
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  now_ = queue_.next_time();
+  drain_current_time();
+  return true;
+}
+
+void Engine::run(SimTime until) {
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    now_ = queue_.next_time();
+    drain_current_time();
+  }
+  if (now_ < until && until != kTimeInfinity) now_ = until;
+}
+
+}  // namespace istc::sim

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/time.hpp"
+
+/// \file engine.hpp
+/// The discrete-event engine.
+///
+/// Model: events fire in (time, insertion) order.  After *all* events at a
+/// timestamp have fired, registered quiescent hooks run once.  The batch
+/// scheduler performs its scheduling pass in a quiescent hook, so N jobs
+/// completing at the same second trigger one pass, exactly like a real
+/// resource manager waking up on a state change.
+
+namespace istc::sim {
+
+class Engine {
+ public:
+  /// Schedule a callback at absolute time t (must not be in the past).
+  void schedule(SimTime t, EventFn fn);
+
+  /// Schedule a callback dt seconds from now.
+  void schedule_in(Seconds dt, EventFn fn);
+
+  /// Register a hook invoked once per distinct timestamp after its events
+  /// drain.  Hooks run in registration order and may schedule new events;
+  /// events they add for the *current* time fire before the timestep ends
+  /// and re-trigger the hooks (bounded by the iteration guard).
+  void on_quiescent(std::function<void(SimTime)> hook);
+
+  SimTime now() const { return now_; }
+  std::uint64_t events_processed() const { return events_processed_; }
+  bool finished() const { return queue_.empty(); }
+
+  /// Run until the queue empties or the clock would pass `until`.
+  /// Events at exactly `until` are processed.
+  void run(SimTime until = kTimeInfinity);
+
+  /// Process exactly one timestep (all events at the next timestamp plus
+  /// quiescent hooks).  Returns false when no events remain.
+  bool step();
+
+ private:
+  void drain_current_time();
+
+  EventQueue queue_;
+  std::vector<std::function<void(SimTime)>> hooks_;
+  SimTime now_ = 0;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace istc::sim

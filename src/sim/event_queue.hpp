@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+/// \file event_queue.hpp
+/// A monotone priority queue of timestamped events.  Ties are broken by
+/// insertion sequence so replays are deterministic regardless of heap
+/// internals.
+
+namespace istc::sim {
+
+/// Event payloads are type-erased callbacks.  The engine drains all events
+/// at a timestamp before advancing the clock, so callbacks scheduled "now"
+/// still run in this timestep.
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  void push(SimTime t, EventFn fn) {
+    ISTC_EXPECTS(fn != nullptr);
+    heap_.push(Entry{t, seq_++, std::move(fn)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  SimTime next_time() const {
+    ISTC_EXPECTS(!heap_.empty());
+    return heap_.top().time;
+  }
+
+  /// Remove and return the earliest event (FIFO among equal times).
+  EventFn pop() {
+    ISTC_EXPECTS(!heap_.empty());
+    // std::priority_queue::top() is const&; the callback must be moved out,
+    // which is safe because pop() immediately discards the entry.
+    EventFn fn = std::move(const_cast<Entry&>(heap_.top()).fn);
+    heap_.pop();
+    return fn;
+  }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventFn fn;
+    bool operator>(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace istc::sim

@@ -1,0 +1,93 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+
+namespace istc {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string tok = argv[i];
+    if (tok.rfind("--", 0) == 0) {
+      const auto eq = tok.find('=');
+      if (eq != std::string::npos) {
+        flags_.push_back({tok.substr(2, eq - 2), tok.substr(eq + 1)});
+        continue;
+      }
+      std::string value;
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      }
+      flags_.push_back({tok.substr(2), std::move(value)});
+    } else if (!tok.empty() && tok[0] == '-' && tok.size() > 1) {
+      errors_.push_back("unsupported single-dash option: " + tok);
+    } else {
+      positionals_.push_back(tok);
+    }
+  }
+}
+
+const ArgParser::Flag* ArgParser::find(const std::string& flag) const {
+  // Last occurrence wins, matching common CLI conventions.
+  const Flag* hit = nullptr;
+  for (const auto& f : flags_) {
+    if (f.name == flag) hit = &f;
+  }
+  if (hit) {
+    for (const auto& f : flags_) {
+      if (f.name == flag) f.consumed = true;
+    }
+  }
+  return hit;
+}
+
+bool ArgParser::has(const std::string& flag) const {
+  return find(flag) != nullptr;
+}
+
+std::optional<std::string> ArgParser::get(const std::string& flag) const {
+  const Flag* f = find(flag);
+  if (!f) return std::nullopt;
+  return f->value;
+}
+
+std::string ArgParser::get_or(const std::string& flag,
+                              std::string fallback) const {
+  const Flag* f = find(flag);
+  return f && !f->value.empty() ? f->value : std::move(fallback);
+}
+
+long ArgParser::get_int_or(const std::string& flag, long fallback) const {
+  const Flag* f = find(flag);
+  if (!f || f->value.empty()) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(f->value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    const_cast<ArgParser*>(this)->errors_.push_back(
+        "flag --" + flag + " expects an integer, got '" + f->value + "'");
+    return fallback;
+  }
+  return v;
+}
+
+double ArgParser::get_num_or(const std::string& flag, double fallback) const {
+  const Flag* f = find(flag);
+  if (!f || f->value.empty()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(f->value.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    const_cast<ArgParser*>(this)->errors_.push_back(
+        "flag --" + flag + " expects a number, got '" + f->value + "'");
+    return fallback;
+  }
+  return v;
+}
+
+std::vector<std::string> ArgParser::unconsumed() const {
+  std::vector<std::string> out;
+  for (const auto& f : flags_) {
+    if (!f.consumed) out.push_back(f.name);
+  }
+  return out;
+}
+
+}  // namespace istc

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+/// \file args.hpp
+/// Minimal command-line parsing for the `istc` CLI tool.
+///
+/// Grammar: positionals and `--flag`, `--flag value`, `--flag=value`
+/// tokens in any order.  A flag followed by another flag (or nothing) has
+/// an empty value, which `has()` still reports as present — that is the
+/// boolean-switch case.
+
+namespace istc {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// Positional arguments in order (argv[0] is skipped).
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  /// First positional or empty (conventionally the subcommand).
+  std::string command() const {
+    return positionals_.empty() ? std::string{} : positionals_.front();
+  }
+
+  bool has(const std::string& flag) const;
+
+  /// Raw string value (empty for switches); nullopt when absent.
+  std::optional<std::string> get(const std::string& flag) const;
+
+  std::string get_or(const std::string& flag, std::string fallback) const;
+  long get_int_or(const std::string& flag, long fallback) const;
+  double get_num_or(const std::string& flag, double fallback) const;
+
+  /// Flags whose values failed numeric parsing, and malformed tokens
+  /// (e.g. single-dash options); empty means a clean parse.
+  const std::vector<std::string>& errors() const { return errors_; }
+
+  /// Flags never queried by any accessor — typo detection for the CLI.
+  std::vector<std::string> unconsumed() const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string value;
+    mutable bool consumed = false;
+  };
+  const Flag* find(const std::string& flag) const;
+
+  std::vector<std::string> positionals_;
+  std::vector<Flag> flags_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace istc

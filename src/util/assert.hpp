@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file assert.hpp
+/// Contract-checking macros in the spirit of the Core Guidelines' Expects /
+/// Ensures.  Violations abort with a message; they are enabled in all build
+/// types because the simulator is cheap relative to the cost of silently
+/// corrupt schedules.
+
+namespace istc::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "[istc] %s violated: %s at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace istc::detail
+
+#define ISTC_EXPECTS(cond)                                                 \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::istc::detail::contract_failure("precondition", #cond, __FILE__,    \
+                                       __LINE__);                          \
+  } while (false)
+
+#define ISTC_ENSURES(cond)                                                 \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::istc::detail::contract_failure("postcondition", #cond, __FILE__,   \
+                                       __LINE__);                          \
+  } while (false)
+
+#define ISTC_ASSERT(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::istc::detail::contract_failure("invariant", #cond, __FILE__,       \
+                                       __LINE__);                          \
+  } while (false)

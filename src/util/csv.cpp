@@ -1,0 +1,50 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace istc {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_line(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  write_line(names);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  write_line(cells);
+}
+
+void CsvWriter::row(const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  char buf[64];
+  for (double v : values) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    cells.emplace_back(buf);
+  }
+  write_line(cells);
+}
+
+}  // namespace istc

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+/// \file csv.hpp
+/// Minimal CSV emission for experiment series (figure data dumps).  Values
+/// are written verbatim; fields containing separators/quotes are quoted.
+
+namespace istc {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void header(const std::vector<std::string>& names);
+  void row(const std::vector<std::string>& cells);
+  void row(const std::vector<double>& values, int precision = 6);
+
+  /// Quote a field if needed (exposed for tests).
+  static std::string escape(const std::string& field);
+
+ private:
+  void write_line(const std::vector<std::string>& cells);
+  std::ofstream out_;
+};
+
+}  // namespace istc

@@ -1,0 +1,126 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace istc {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+Table& Table::headers(std::vector<std::string> names) {
+  headers_ = std::move(names);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::integer(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  return buf;
+}
+
+std::string Table::pm(double mean, double sd, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f ± %.*f", precision, mean, precision,
+                sd);
+  return buf;
+}
+
+std::string Table::str() const {
+  std::size_t ncols = headers_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  if (ncols == 0) return title_ + "\n(empty table)\n";
+
+  std::vector<std::size_t> width(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      width[i] = std::max(width[i], cells[i].size());
+  };
+  widen(headers_);
+  for (const auto& r : rows_) widen(r);
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (std::size_t i = 0; i < ncols; ++i) {
+      s.append(width[i] + 2, '-');
+      s += '+';
+    }
+    s += '\n';
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      s += ' ';
+      s += c;
+      s.append(width[i] - c.size() + 1, ' ');
+      s += '|';
+    }
+    s += '\n';
+    return s;
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += rule();
+  if (!headers_.empty()) {
+    out += line(headers_);
+    out += rule();
+  }
+  for (const auto& r : rows_) out += line(r);
+  out += rule();
+  return out;
+}
+
+void Table::print(std::FILE* out) const {
+  const std::string s = str();
+  std::fwrite(s.data(), 1, s.size(), out);
+}
+
+KeyValueBlock::KeyValueBlock(std::string title) : title_(std::move(title)) {}
+
+KeyValueBlock& KeyValueBlock::add(std::string key, std::string value) {
+  items_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+KeyValueBlock& KeyValueBlock::add(std::string key, double value,
+                                  int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return add(std::move(key), std::string(buf));
+}
+
+std::string KeyValueBlock::str() const {
+  std::size_t w = 0;
+  for (const auto& [k, v] : items_) w = std::max(w, k.size());
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  for (const auto& [k, v] : items_) {
+    out += "  ";
+    out += k;
+    out.append(w - k.size(), ' ');
+    out += " : ";
+    out += v;
+    out += '\n';
+  }
+  return out;
+}
+
+void KeyValueBlock::print(std::FILE* out) const {
+  const std::string s = str();
+  std::fwrite(s.data(), 1, s.size(), out);
+}
+
+}  // namespace istc

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// ASCII table rendering for the experiment harness: each bench binary
+/// prints the rows of the paper table it reproduces.
+
+namespace istc {
+
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  Table& headers(std::vector<std::string> names);
+
+  /// Append a row; missing cells render empty, extra cells widen the table.
+  Table& row(std::vector<std::string> cells);
+
+  /// Printf-style cell helpers.
+  static std::string num(double v, int precision = 1);
+  static std::string integer(long long v);
+  static std::string pm(double mean, double sd, int precision = 1);
+
+  /// Render with box-drawing rules.
+  std::string str() const;
+  void print(std::FILE* out = stdout) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Simple two-column "key: value" block used for scenario parameters.
+class KeyValueBlock {
+ public:
+  explicit KeyValueBlock(std::string title = {});
+  KeyValueBlock& add(std::string key, std::string value);
+  KeyValueBlock& add(std::string key, double value, int precision = 2);
+  std::string str() const;
+  void print(std::FILE* out = stdout) const;
+
+ private:
+  std::string title_;
+  std::vector<std::pair<std::string, std::string>> items_;
+};
+
+}  // namespace istc

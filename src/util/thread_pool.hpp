@@ -1,0 +1,62 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.hpp
+/// A small fixed-size worker pool plus a deterministic parallel_for.
+///
+/// The simulator itself is single-threaded (a discrete-event schedule is a
+/// serial dependence chain), but the experiment layer runs many independent
+/// replications — Monte-Carlo starts, parameter sweeps — which parallelize
+/// embarrassingly.  Determinism note: each replication owns a forked RNG
+/// stream keyed by its index, so results are independent of thread count.
+
+namespace istc {
+
+class ThreadPool {
+ public:
+  /// \param threads 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; runs at some point on a worker thread.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Run fn(i) for i in [0, n) across the pool; blocks until done.
+/// Exceptions in tasks terminate (the experiment harness treats a failed
+/// replication as a programming error, not a recoverable event).
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Convenience: run fn(i) for i in [0, n) on a transient pool sized to the
+/// hardware; falls back to serial execution when n is tiny.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+}  // namespace istc

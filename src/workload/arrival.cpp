@@ -1,0 +1,100 @@
+#include "workload/arrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/assert.hpp"
+
+namespace istc::workload {
+
+ArrivalProcess::ArrivalProcess(ArrivalSpec spec) : spec_(spec) {
+  ISTC_EXPECTS(spec_.calm_mean > 0);
+  ISTC_EXPECTS(spec_.burst_mean > 0);
+  ISTC_EXPECTS(spec_.burst_factor >= 1.0);
+  ISTC_EXPECTS(spec_.diurnal_amplitude >= 0 && spec_.diurnal_amplitude < 1);
+  ISTC_EXPECTS(spec_.weekend_factor > 0 && spec_.weekend_factor <= 1);
+}
+
+double ArrivalProcess::modulation(SimTime t) const {
+  const double hour =
+      static_cast<double>(t % kSecondsPerDay) / 3600.0;
+  const double phase =
+      2.0 * std::numbers::pi * (hour - spec_.diurnal_peak_hour) / 24.0;
+  double f = 1.0 + spec_.diurnal_amplitude * std::cos(phase);
+  const auto day = static_cast<int>(day_index(t) % 7);
+  if (day >= 5) f *= spec_.weekend_factor;  // log starts on a Monday
+  return f;
+}
+
+std::vector<SimTime> ArrivalProcess::generate_raw(SimTime span,
+                                                  double calm_rate,
+                                                  Rng& rng) const {
+  ISTC_EXPECTS(span > 0);
+  ISTC_EXPECTS(calm_rate > 0);
+  std::vector<SimTime> out;
+  // Thinning: candidate stream at the peak possible rate; accept with
+  // probability (state_rate * modulation) / peak.
+  const double peak = calm_rate * spec_.burst_factor *
+                      (1.0 + spec_.diurnal_amplitude);
+  double t = 0.0;
+  bool burst = false;
+  // Next state flip, exponential sojourns.
+  double flip_at = rng.exponential(static_cast<double>(spec_.calm_mean));
+  const auto dspan = static_cast<double>(span);
+  while (true) {
+    t += rng.exponential(1.0 / peak);
+    if (t >= dspan) break;
+    while (t >= flip_at) {
+      burst = !burst;
+      flip_at += rng.exponential(static_cast<double>(
+          burst ? spec_.burst_mean : spec_.calm_mean));
+    }
+    const double rate = calm_rate * (burst ? spec_.burst_factor : 1.0) *
+                        modulation(static_cast<SimTime>(t));
+    if (rng.uniform() < rate / peak) {
+      out.push_back(static_cast<SimTime>(t));
+    }
+  }
+  return out;
+}
+
+std::vector<SimTime> ArrivalProcess::generate(SimTime span,
+                                              std::size_t target,
+                                              Rng& rng) const {
+  ISTC_EXPECTS(target > 0);
+  // Start from the naive homogeneous estimate and correct multiplicatively;
+  // the modulation has mean ~1 so one or two rounds suffice.
+  double calm_rate = static_cast<double>(target) / static_cast<double>(span);
+  std::vector<SimTime> arrivals;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    arrivals = generate_raw(span, calm_rate, rng);
+    if (arrivals.size() >= target) break;
+    const double got = std::max<double>(1.0, static_cast<double>(arrivals.size()));
+    calm_rate *= 1.1 * static_cast<double>(target) / got;
+  }
+  ISTC_ENSURES(arrivals.size() >= target);
+  // Thin uniformly down to the exact target with selection sampling
+  // (Knuth's Algorithm S): O(n), order-preserving, burst structure intact.
+  if (arrivals.size() > target) {
+    std::vector<SimTime> kept;
+    kept.reserve(target);
+    std::size_t remaining = arrivals.size();
+    std::size_t needed = target;
+    for (SimTime a : arrivals) {
+      if (needed > 0 &&
+          rng.uniform() < static_cast<double>(needed) /
+                              static_cast<double>(remaining)) {
+        kept.push_back(a);
+        --needed;
+      }
+      --remaining;
+    }
+    arrivals = std::move(kept);
+  }
+  ISTC_ENSURES(arrivals.size() == target);
+  std::sort(arrivals.begin(), arrivals.end());
+  return arrivals;
+}
+
+}  // namespace istc::workload

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+/// \file arrival.hpp
+/// Bursty job arrivals.
+///
+/// The paper cites long-term correlated, bursty submissions as one of the
+/// two drivers of erratic utilization.  We model a 2-state Markov-modulated
+/// Poisson process (calm/burst) with diurnal and weekly rate modulation, and
+/// generate by thinning against the peak rate, which keeps the sequence
+/// exact for the time-varying intensity.
+
+namespace istc::workload {
+
+struct ArrivalSpec {
+  /// Mean sojourn in the calm state.
+  Seconds calm_mean = 8 * kSecondsPerHour;
+  /// Mean sojourn in the burst state.
+  Seconds burst_mean = 90 * kSecondsPerMinute;
+  /// Burst-state rate multiplier over the calm rate.
+  double burst_factor = 6.0;
+  /// Peak-to-trough amplitude of the diurnal cycle in [0, 1).
+  double diurnal_amplitude = 0.6;
+  /// Hour of day at which submissions peak.
+  double diurnal_peak_hour = 14.0;
+  /// Weekend rate multiplier (Sat/Sun assuming the log starts on Monday).
+  double weekend_factor = 0.45;
+};
+
+class ArrivalProcess {
+ public:
+  explicit ArrivalProcess(ArrivalSpec spec);
+
+  /// Deterministic diurnal*weekly modulation factor at time t (mean ~1).
+  double modulation(SimTime t) const;
+
+  /// Generate arrival times in [0, span) with a base calm rate such that
+  /// the expected count is roughly `target`; then thin/trim to *exactly*
+  /// `target` arrivals.  Sorted ascending.
+  std::vector<SimTime> generate(SimTime span, std::size_t target,
+                                Rng& rng) const;
+
+  const ArrivalSpec& spec() const { return spec_; }
+
+ private:
+  /// One raw MMPP pass at the given calm-state rate (arrivals/second).
+  std::vector<SimTime> generate_raw(SimTime span, double calm_rate,
+                                    Rng& rng) const;
+
+  ArrivalSpec spec_;
+};
+
+}  // namespace istc::workload

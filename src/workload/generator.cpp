@@ -1,0 +1,142 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace istc::workload {
+
+Generator::Generator(WorkloadSpec spec) : spec_(std::move(spec)) {
+  ISTC_EXPECTS(spec_.span > 0);
+  ISTC_EXPECTS(spec_.jobs > 0);
+  ISTC_EXPECTS(spec_.offered_load > 0 && spec_.offered_load < 1.2);
+  ISTC_EXPECTS(!spec_.size_classes.empty());
+  ISTC_EXPECTS(spec_.max_cpus >= 1);
+  ISTC_EXPECTS(spec_.runtime_median > 0);
+  ISTC_EXPECTS(spec_.runtime_mean >= spec_.runtime_median);
+  ISTC_EXPECTS(spec_.runtime_max > spec_.runtime_min);
+  ISTC_EXPECTS(spec_.correlation_ref_cpus >= 1);
+  ISTC_EXPECTS(!spec_.estimate_defaults.empty());
+  ISTC_EXPECTS(spec_.estimate_defaults.size() ==
+               spec_.estimate_default_weights.size());
+  ISTC_EXPECTS(spec_.estimate_max > 0);
+}
+
+JobLog Generator::generate(const cluster::MachineSpec& machine,
+                           Rng& rng) const {
+  ISTC_EXPECTS(spec_.max_cpus <= machine.cpus);
+
+  const ArrivalProcess arrivals(spec_.arrivals);
+  const SizeDistribution sizes(spec_.size_classes, spec_.size_tail_prob,
+                               spec_.size_tail_alpha, spec_.max_cpus);
+  const RuntimeDistribution runtimes(spec_.runtime_median, spec_.runtime_mean,
+                                     spec_.runtime_min, spec_.runtime_max);
+  const EstimateModel estimates(spec_.estimate_defaults,
+                                spec_.estimate_default_weights,
+                                spec_.estimate_default_prob,
+                                spec_.estimate_pad_lo, spec_.estimate_pad_hi,
+                                spec_.estimate_max);
+
+  // Zipf-like user activity; users assigned to groups round-robin so group
+  // populations are balanced (hierarchical fair share needs both levels).
+  const int nusers = std::max(1, spec_.population.users);
+  const int ngroups = std::max(1, std::min(spec_.population.groups, nusers));
+  std::vector<double> user_weights(static_cast<std::size_t>(nusers));
+  for (int u = 0; u < nusers; ++u) {
+    user_weights[static_cast<std::size_t>(u)] =
+        1.0 / std::pow(static_cast<double>(u + 1), spec_.population.zipf_s);
+  }
+  const DiscreteSampler user_sampler(user_weights);
+
+  const std::vector<SimTime> submit_times =
+      arrivals.generate(spec_.span, spec_.jobs, rng);
+
+  std::vector<Job> jobs;
+  jobs.reserve(spec_.jobs);
+  for (std::size_t i = 0; i < submit_times.size(); ++i) {
+    Job j;
+    j.id = static_cast<JobId>(i);
+    j.klass = JobClass::kNative;
+    j.user = static_cast<UserId>(user_sampler(rng));
+    j.group = static_cast<GroupId>(j.user % ngroups);
+    j.submit = submit_times[i];
+    j.cpus = sizes(rng);
+    j.runtime = runtimes(rng);
+    if (spec_.runtime_size_exponent != 0.0) {
+      const double mult = std::pow(
+          static_cast<double>(j.cpus) /
+              static_cast<double>(spec_.correlation_ref_cpus),
+          spec_.runtime_size_exponent);
+      j.runtime = std::clamp(
+          static_cast<Seconds>(static_cast<double>(j.runtime) * mult),
+          spec_.runtime_min, spec_.runtime_max);
+    }
+    jobs.push_back(j);
+  }
+
+  // Calibrate: rescale runtimes so total work hits the offered-load target.
+  // The clamp to [runtime_min, runtime_max] bleeds work out of the tail, so
+  // iterate the rescale on the *unclamped* runtimes until the clamped total
+  // converges (a handful of rounds suffice).
+  const double target_work = spec_.offered_load *
+                             static_cast<double>(machine.cpus) *
+                             static_cast<double>(spec_.span);
+  std::vector<double> raw(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    raw[i] = static_cast<double>(jobs[i].runtime);
+  }
+  double scale = 1.0;
+  for (int round = 0; round < 25; ++round) {
+    double work = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const auto r = static_cast<Seconds>(raw[i] * scale);
+      jobs[i].runtime = std::clamp(r, spec_.runtime_min, spec_.runtime_max);
+      work += jobs[i].cpu_seconds();
+    }
+    ISTC_ASSERT(work > 0);
+    const double err = target_work / work;
+    if (err > 0.999 && err < 1.001) break;
+    scale *= err;
+  }
+
+  // Estimates are assigned after calibration so estimate >= runtime holds
+  // for the final runtimes.
+  for (auto& j : jobs) {
+    j.estimate = estimates(j.runtime, rng);
+    j.check();
+  }
+
+  return JobLog(std::move(jobs));
+}
+
+LogStats compute_stats(const JobLog& log, const cluster::MachineSpec& machine,
+                       SimTime span) {
+  LogStats s;
+  s.jobs = log.size();
+  if (log.empty() || span <= 0) return s;
+  s.offered_load = log.total_cpu_seconds() /
+                   (static_cast<double>(machine.cpus) *
+                    static_cast<double>(span));
+  std::vector<double> cpus, run_h, est_h;
+  cpus.reserve(log.size());
+  run_h.reserve(log.size());
+  est_h.reserve(log.size());
+  for (const auto& j : log.jobs()) {
+    cpus.push_back(static_cast<double>(j.cpus));
+    run_h.push_back(to_hours(j.runtime));
+    est_h.push_back(to_hours(j.estimate));
+  }
+  const Summary sc(std::move(cpus));
+  const Summary sr(std::move(run_h));
+  const Summary se(std::move(est_h));
+  s.mean_cpus = sc.mean();
+  s.median_runtime_h = sr.median();
+  s.mean_runtime_h = sr.mean();
+  s.median_estimate_h = se.median();
+  s.mean_estimate_h = se.mean();
+  return s;
+}
+
+}  // namespace istc::workload

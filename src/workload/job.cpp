@@ -1,0 +1,50 @@
+#include "workload/job.hpp"
+
+#include <algorithm>
+
+namespace istc::workload {
+
+JobLog::JobLog(std::vector<Job> jobs) : jobs_(std::move(jobs)) {
+  std::stable_sort(jobs_.begin(), jobs_.end(),
+                   [](const Job& a, const Job& b) { return a.submit < b.submit; });
+  for (auto& j : jobs_) j.check();
+}
+
+double JobLog::total_cpu_seconds() const {
+  double total = 0;
+  for (const auto& j : jobs_) total += j.cpu_seconds();
+  return total;
+}
+
+SimTime JobLog::last_submit() const {
+  return jobs_.empty() ? 0 : jobs_.back().submit;
+}
+
+JobLog with_perfect_estimates(const JobLog& log) {
+  std::vector<Job> jobs(log.jobs());
+  for (auto& j : jobs) j.estimate = j.runtime;
+  return JobLog(std::move(jobs));
+}
+
+JobLog with_scaled_jobs(const JobLog& log, double time_factor,
+                        double size_factor, int max_cpus) {
+  ISTC_EXPECTS(time_factor > 0);
+  ISTC_EXPECTS(size_factor > 0);
+  ISTC_EXPECTS(max_cpus >= 1);
+  std::vector<Job> jobs(log.jobs());
+  for (auto& j : jobs) {
+    const auto runtime = static_cast<Seconds>(
+        static_cast<double>(j.runtime) * time_factor);
+    const auto estimate = static_cast<Seconds>(
+        static_cast<double>(j.estimate) * time_factor);
+    j.runtime = std::max<Seconds>(1, runtime);
+    j.estimate = std::max(j.runtime, estimate);
+    const auto cpus =
+        static_cast<int>(static_cast<double>(j.cpus) * size_factor);
+    j.cpus = std::clamp(cpus, 1, max_cpus);
+    j.check();
+  }
+  return JobLog(std::move(jobs));
+}
+
+}  // namespace istc::workload

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+/// \file job.hpp
+/// The immutable job description fed to the simulator.  Scheduling results
+/// (start/finish) live in metrics::JobRecord, not here.
+
+namespace istc::workload {
+
+using JobId = std::uint32_t;
+using UserId = std::uint16_t;
+using GroupId = std::uint16_t;
+
+inline constexpr JobId kInvalidJob = UINT32_MAX;
+
+/// Native = from the machine's real job log (here: synthetic log).
+/// Interstitial = injected low-priority filler job.
+enum class JobClass : std::uint8_t { kNative, kInterstitial };
+
+struct Job {
+  JobId id = kInvalidJob;
+  JobClass klass = JobClass::kNative;
+  UserId user = 0;
+  GroupId group = 0;
+  int cpus = 1;
+  SimTime submit = 0;
+  /// True runtime; unknown to the scheduler until completion.
+  Seconds runtime = 0;
+  /// User-supplied estimate; the only duration the scheduler may consult.
+  /// Invariant: estimate >= runtime (generator clamps; real sites kill at
+  /// the estimate, which with this invariant never fires).
+  Seconds estimate = 0;
+
+  bool interstitial() const { return klass == JobClass::kInterstitial; }
+
+  /// CPU-seconds of real work (the "size" used for largest-5% selection).
+  double cpu_seconds() const {
+    return static_cast<double>(cpus) * static_cast<double>(runtime);
+  }
+
+  void check() const {
+    ISTC_ASSERT(cpus > 0);
+    ISTC_ASSERT(runtime > 0);
+    ISTC_ASSERT(estimate >= runtime);
+    ISTC_ASSERT(submit >= 0);
+  }
+};
+
+/// A job log: jobs sorted by submit time, ids dense in [0, size).
+class JobLog {
+ public:
+  JobLog() = default;
+  explicit JobLog(std::vector<Job> jobs);
+
+  const std::vector<Job>& jobs() const { return jobs_; }
+  std::size_t size() const { return jobs_.size(); }
+  bool empty() const { return jobs_.empty(); }
+  const Job& operator[](std::size_t i) const { return jobs_[i]; }
+
+  /// Total CPU-seconds of work in the log.
+  double total_cpu_seconds() const;
+
+  /// Last submit time (0 when empty).
+  SimTime last_submit() const;
+
+ private:
+  std::vector<Job> jobs_;
+};
+
+/// Copy of a log with every estimate set to the true runtime — the
+/// "perfect user estimates" counterfactual (the paper attributes much of
+/// the fallible-mode native impact to gross overestimates; this knob lets
+/// the ablation bench quantify that claim).
+JobLog with_perfect_estimates(const JobLog& log);
+
+/// Copy of a log with every runtime scaled by `time_factor` (estimates
+/// rescale proportionally, floors at 1 s) and every width scaled by
+/// `size_factor` (clamped to [1, max_cpus], *not* re-rounded to powers of
+/// two so the offered-load change is exact).  This is the paper's §4.3.2
+/// comparator: raising utilization by running "longer or larger" native
+/// jobs instead of interstitial ones.
+JobLog with_scaled_jobs(const JobLog& log, double time_factor,
+                        double size_factor, int max_cpus);
+
+}  // namespace istc::workload

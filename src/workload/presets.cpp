@@ -1,0 +1,122 @@
+#include "workload/presets.hpp"
+
+#include "util/assert.hpp"
+
+namespace istc::workload {
+
+using cluster::Site;
+
+namespace {
+
+/// Offered-load targets.  Slightly above the Table 1 achieved utilization
+/// for the near-saturated machines, because a queueing system cannot turn
+/// every offered CPU-second into a busy one (drainage before outages,
+/// packing losses, end effects).  Tuned once against the native-only
+/// simulation; see tests/integration/test_native_run.cpp.
+double offered_load_for(Site site) {
+  switch (site) {
+    case Site::kRoss: return 0.705;
+    case Site::kBlueMountain: return 0.795;
+    case Site::kBluePacific: return 0.945;
+  }
+  ISTC_ASSERT(false);
+  return 0;
+}
+
+}  // namespace
+
+WorkloadSpec site_workload(Site site) {
+  const cluster::SiteTargets targets = cluster::site_targets(site);
+  WorkloadSpec w;
+  w.name = cluster::site_name(site);
+  w.span = cluster::site_span(site);
+  w.jobs = static_cast<std::size_t>(targets.jobs);
+  w.offered_load = offered_load_for(site);
+
+  switch (site) {
+    case Site::kRoss:
+      // Mid-sized capability jobs; the paper notes users may submit very
+      // long jobs (order of weeks) — runtime_max reaches 5 days, bounded by
+      // the maintenance cadence (a job must fit between outages).
+      w.size_classes = {{1, 3.0},  {2, 2.0},  {4, 2.5},  {8, 2.5},
+                        {16, 2.5}, {32, 2.0}, {64, 1.5}, {128, 0.8},
+                        {256, 0.4}, {512, 0.15}};
+      w.size_tail_prob = 0.04;
+      w.size_tail_alpha = 1.0;
+      w.max_cpus = 1024;
+      w.runtime_median = hours(1);
+      w.runtime_mean = hours(3);
+      w.runtime_size_exponent = 0.45;
+      w.correlation_ref_cpus = 8;
+      w.runtime_min = 60;
+      w.runtime_max = days(5);
+      w.estimate_defaults = {hours(4), hours(12), days(1), days(3)};
+      w.estimate_default_weights = {2.0, 2.0, 1.5, 0.7};
+      w.estimate_default_prob = 0.6;
+      w.estimate_max = days(5);
+      w.population = {.users = 40, .groups = 6, .zipf_s = 0.8};
+      break;
+
+    case Site::kBlueMountain:
+      // Large ASCI capability jobs (128-CPU SGI Origin building blocks).
+      // Runtime median/mean match the paper's quoted 0.8 h / 2.5 h; the
+      // estimate model reproduces median 6 h / mean ~7.2 h.
+      w.size_classes = {{1, 3.0},   {4, 2.0},    {8, 2.0},   {16, 2.5},
+                        {32, 2.5},  {64, 2.5},   {128, 3.0}, {256, 1.2},
+                        {512, 0.8}, {1024, 0.35}, {2048, 0.12}};
+      w.size_tail_prob = 0.05;
+      w.size_tail_alpha = 0.8;
+      w.max_cpus = 4096;
+      w.runtime_median = minutes(30);
+      w.runtime_mean = minutes(75);
+      w.runtime_size_exponent = 0.55;
+      w.correlation_ref_cpus = 16;
+      w.runtime_min = 60;
+      w.runtime_max = days(2);
+      w.estimate_defaults = {hours(6), hours(12), days(1)};
+      w.estimate_default_weights = {4.0, 1.0, 0.3};
+      w.estimate_default_prob = 0.65;
+      w.estimate_max = days(2);
+      w.population = {.users = 60, .groups = 10, .zipf_s = 0.8};
+      break;
+
+    case Site::kBluePacific:
+      // Many relatively small, short jobs that "turn over quickly" (§4.3.2),
+      // driving the machine to very high utilization.
+      w.size_classes = {{1, 2.5},  {2, 2.0},  {4, 2.5},  {8, 2.5},
+                        {16, 2.5}, {32, 2.0}, {64, 1.5}, {128, 1.0},
+                        {256, 0.45}};
+      w.size_tail_prob = 0.04;
+      w.size_tail_alpha = 1.1;
+      w.max_cpus = 512;
+      w.runtime_median = minutes(25);
+      w.runtime_mean = minutes(70);
+      w.runtime_size_exponent = 0.35;
+      w.correlation_ref_cpus = 8;
+      w.runtime_min = 60;
+      w.runtime_max = days(1);
+      w.estimate_defaults = {hours(2), hours(4), hours(8)};
+      w.estimate_default_weights = {2.0, 2.0, 1.0};
+      w.estimate_default_prob = 0.6;
+      w.estimate_max = hours(30);
+      w.population = {.users = 120, .groups = 12, .zipf_s = 0.8};
+      break;
+  }
+
+  // Arrival burstiness: identical model at all sites; per-site rates come
+  // from the job-count target.
+  w.arrivals = ArrivalSpec{};
+  return w;
+}
+
+JobLog site_log(Site site) {
+  return site_log(site, 0x15C0FFEEULL + static_cast<std::uint64_t>(site));
+}
+
+JobLog site_log(Site site, std::uint64_t seed) {
+  const Generator gen(site_workload(site));
+  Rng rng(seed);
+  return gen.generate(cluster::machine_spec(site), rng);
+}
+
+}  // namespace istc::workload

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "cluster/presets.hpp"
+#include "workload/generator.hpp"
+
+/// \file presets.hpp
+/// Per-site workload specifications calibrated against the paper's Table 1
+/// (utilization, span, job count) and the Blue Mountain runtime/estimate
+/// statistics quoted in §4.3 (median actual 0.8 h vs median estimate 6 h).
+
+namespace istc::workload {
+
+/// The calibrated workload spec for a site.
+WorkloadSpec site_workload(cluster::Site site);
+
+/// Generate the site's native log with the canonical per-site seed (the
+/// "log" every experiment replays, like the paper replaying a fixed trace).
+JobLog site_log(cluster::Site site);
+
+/// Generate the site's native log with an explicit seed (for sensitivity
+/// studies and property tests).
+JobLog site_log(cluster::Site site, std::uint64_t seed);
+
+}  // namespace istc::workload

@@ -1,0 +1,105 @@
+#include "workload/swf.hpp"
+
+#include <array>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace istc::workload {
+
+namespace {
+
+constexpr int kSwfFields = 18;
+
+}  // namespace
+
+JobLog read_swf(std::istream& in, const SwfReadOptions& opts) {
+  std::vector<Job> jobs;
+  std::string line;
+  std::size_t lineno = 0;
+  SimTime first_submit = -1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto semi = line.find(';');
+    if (semi != std::string::npos) line.resize(semi);
+    std::istringstream fields(line);
+    std::array<double, kSwfFields> f{};
+    int n = 0;
+    double v;
+    while (n < kSwfFields && fields >> v) f[static_cast<std::size_t>(n++)] = v;
+    if (n == 0) continue;  // blank / comment-only line
+    if (n < 9) {
+      throw std::runtime_error("SWF line " + std::to_string(lineno) +
+                               ": expected >=9 fields, got " +
+                               std::to_string(n));
+    }
+    Job j;
+    j.id = static_cast<JobId>(jobs.size());
+    j.klass = JobClass::kNative;
+    j.submit = static_cast<SimTime>(f[1]);
+    j.runtime = static_cast<Seconds>(f[3]);
+    const auto alloc = static_cast<int>(f[4]);
+    const auto requested = static_cast<int>(f[7]);
+    j.cpus = alloc > 0 ? alloc : requested;
+    j.estimate = static_cast<Seconds>(f[8]);
+    j.user = n > 11 && f[11] >= 0 ? static_cast<UserId>(f[11]) : UserId{0};
+    j.group = n > 12 && f[12] >= 0 ? static_cast<GroupId>(f[12]) : GroupId{0};
+
+    const bool invalid = j.runtime <= 0 || j.cpus <= 0 || j.submit < 0;
+    if (invalid) {
+      if (opts.skip_invalid) continue;
+      throw std::runtime_error("SWF line " + std::to_string(lineno) +
+                               ": invalid job record");
+    }
+    if (j.estimate < j.runtime) {
+      if (!opts.clamp_estimates) {
+        throw std::runtime_error("SWF line " + std::to_string(lineno) +
+                                 ": estimate below runtime");
+      }
+      j.estimate = j.runtime;
+    }
+    if (first_submit < 0) first_submit = j.submit;
+    jobs.push_back(j);
+  }
+  if (opts.rebase_time && first_submit > 0) {
+    for (auto& j : jobs) j.submit -= first_submit;
+  }
+  return JobLog(std::move(jobs));
+}
+
+JobLog read_swf_file(const std::string& path, const SwfReadOptions& opts) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_swf_file: cannot open " + path);
+  return read_swf(in, opts);
+}
+
+void write_swf(std::ostream& out, const JobLog& log,
+               const std::string& header_comment) {
+  if (!header_comment.empty()) {
+    std::istringstream lines(header_comment);
+    std::string l;
+    while (std::getline(lines, l)) out << "; " << l << '\n';
+  }
+  for (const auto& j : log.jobs()) {
+    // job submit wait run procs avgcpu mem reqprocs reqtime reqmem status
+    // user group exe queue partition precede think
+    out << (j.id + 1) << ' ' << j.submit << ' ' << -1 << ' ' << j.runtime
+        << ' ' << j.cpus << ' ' << -1 << ' ' << -1 << ' ' << j.cpus << ' '
+        << j.estimate << ' ' << -1 << ' ' << 1 << ' ' << j.user << ' '
+        << j.group << ' ' << -1 << ' ' << -1 << ' ' << -1 << ' ' << -1 << ' '
+        << -1 << '\n';
+  }
+}
+
+void write_swf_file(const std::string& path, const JobLog& log,
+                    const std::string& header_comment) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_swf_file: cannot open " + path);
+  write_swf(out, log, header_comment);
+}
+
+}  // namespace istc::workload

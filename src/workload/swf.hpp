@@ -1,0 +1,45 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/job.hpp"
+
+/// \file swf.hpp
+/// Standard Workload Format (SWF) I/O.
+///
+/// The paper replays real site logs; this repo ships a synthetic-generator
+/// substitute, but any SWF trace (e.g. from the Parallel Workloads Archive)
+/// can be dropped in instead.  SWF is line-oriented: 18 whitespace-separated
+/// fields per job, ';' starts a comment.  We consume the fields relevant to
+/// this study: submit time (2), run time (4), allocated/requested processors
+/// (5/8), requested time = user estimate (9), user (12), group (13).
+
+namespace istc::workload {
+
+struct SwfReadOptions {
+  /// Jobs with non-positive runtime or processors are skipped (failed /
+  /// cancelled entries in real traces).
+  bool skip_invalid = true;
+  /// Shift submit times so the first job arrives at t=0.
+  bool rebase_time = true;
+  /// Clamp estimate up to runtime when a trace has estimate < runtime
+  /// (sites that killed at the limit logged runtime == limit; sites that
+  /// did not can log estimate below runtime, which our scheduler forbids).
+  bool clamp_estimates = true;
+};
+
+/// Parse an SWF stream.  Throws std::runtime_error on malformed lines.
+JobLog read_swf(std::istream& in, const SwfReadOptions& opts = {});
+
+/// Parse an SWF file by path.
+JobLog read_swf_file(const std::string& path, const SwfReadOptions& opts = {});
+
+/// Serialize a log as SWF (fields we do not model are -1).
+void write_swf(std::ostream& out, const JobLog& log,
+               const std::string& header_comment = {});
+
+void write_swf_file(const std::string& path, const JobLog& log,
+                    const std::string& header_comment = {});
+
+}  // namespace istc::workload

@@ -1,0 +1,96 @@
+#include "cluster/presets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace istc::cluster {
+namespace {
+
+// The presets must mirror the paper's Table 1 exactly.
+TEST(Presets, Table1Ross) {
+  const auto m = machine_spec(Site::kRoss);
+  EXPECT_EQ(m.name, "Ross");
+  EXPECT_EQ(m.site, "Sandia");
+  EXPECT_EQ(m.queue_system, "PBS");
+  EXPECT_EQ(m.cpus, 1436);
+  EXPECT_DOUBLE_EQ(m.clock_ghz, 0.588);
+  EXPECT_NEAR(m.tera_cycles(), 0.844, 0.001);
+  const auto t = site_targets(Site::kRoss);
+  EXPECT_DOUBLE_EQ(t.utilization, 0.631);
+  EXPECT_DOUBLE_EQ(t.span_days, 40.7);
+  EXPECT_EQ(t.jobs, 4423);
+}
+
+TEST(Presets, Table1BlueMountain) {
+  const auto m = machine_spec(Site::kBlueMountain);
+  EXPECT_EQ(m.queue_system, "LSF");
+  EXPECT_EQ(m.cpus, 4662);
+  EXPECT_DOUBLE_EQ(m.clock_ghz, 0.262);
+  EXPECT_NEAR(m.tera_cycles(), 1.221, 0.001);
+  const auto t = site_targets(Site::kBlueMountain);
+  EXPECT_DOUBLE_EQ(t.utilization, 0.790);
+  EXPECT_DOUBLE_EQ(t.span_days, 84.2);
+  EXPECT_EQ(t.jobs, 7763);
+}
+
+TEST(Presets, Table1BluePacific) {
+  const auto m = machine_spec(Site::kBluePacific);
+  EXPECT_EQ(m.queue_system, "DPCS");
+  EXPECT_EQ(m.cpus, 926);
+  EXPECT_DOUBLE_EQ(m.clock_ghz, 0.369);
+  EXPECT_NEAR(m.tera_cycles(), 0.342, 0.001);
+  const auto t = site_targets(Site::kBluePacific);
+  EXPECT_DOUBLE_EQ(t.utilization, 0.907);
+  EXPECT_DOUBLE_EQ(t.span_days, 63.0);
+  EXPECT_EQ(t.jobs, 12761);
+}
+
+TEST(Presets, SiteNames) {
+  EXPECT_STREQ(site_name(Site::kRoss), "Ross");
+  EXPECT_STREQ(site_name(Site::kBlueMountain), "Blue Mountain");
+  EXPECT_STREQ(site_name(Site::kBluePacific), "Blue Pacific");
+}
+
+TEST(Presets, AllSitesEnumerated) {
+  EXPECT_EQ(all_sites().size(), 3u);
+}
+
+TEST(Presets, SpanMatchesTargets) {
+  for (auto site : all_sites()) {
+    EXPECT_EQ(site_span(site),
+              static_cast<SimTime>(site_targets(site).span_days * 86400.0));
+  }
+}
+
+TEST(Presets, DowntimeDeterministicAndWithinSpan) {
+  for (auto site : all_sites()) {
+    const auto a = site_downtime(site);
+    const auto b = site_downtime(site);
+    ASSERT_EQ(a.windows().size(), b.windows().size());
+    EXPECT_FALSE(a.empty());
+    for (std::size_t i = 0; i < a.windows().size(); ++i) {
+      EXPECT_EQ(a.windows()[i].start, b.windows()[i].start);
+      EXPECT_LT(a.windows()[i].end, site_span(site));
+    }
+  }
+}
+
+TEST(Presets, DowntimeFractionModest) {
+  // Outages should depress utilization by a few percent, not dominate it.
+  for (auto site : all_sites()) {
+    const auto cal = site_downtime(site);
+    const double frac =
+        static_cast<double>(cal.down_seconds(0, site_span(site))) /
+        static_cast<double>(site_span(site));
+    EXPECT_GT(frac, 0.01);
+    EXPECT_LT(frac, 0.08);
+  }
+}
+
+TEST(Presets, MakeMachineBundlesDowntime) {
+  const auto m = make_machine(Site::kRoss);
+  EXPECT_EQ(m.total_cpus(), 1436);
+  EXPECT_FALSE(m.downtime().empty());
+}
+
+}  // namespace
+}  // namespace istc::cluster

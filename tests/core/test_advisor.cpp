@@ -1,0 +1,117 @@
+#include "core/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/presets.hpp"
+
+namespace istc::core {
+namespace {
+
+AdvisorInputs base_inputs(cluster::Site site, double util) {
+  AdvisorInputs in;
+  in.machine = cluster::machine_spec(site);
+  in.native_utilization = util;
+  in.project_cycles = 7.7e15;
+  in.max_native_delay = minutes(15);
+  in.max_breakage = 1.10;
+  return in;
+}
+
+TEST(Advisor, WidthIsPowerOfTwoWithinBreakage) {
+  const auto rec = advise(base_inputs(cluster::Site::kBlueMountain, 0.79));
+  EXPECT_GT(rec.cpus_per_job, 0);
+  EXPECT_EQ(rec.cpus_per_job & (rec.cpus_per_job - 1), 0);
+  EXPECT_LE(rec.breakage, 1.10);
+}
+
+TEST(Advisor, BluePacificGetsNarrowJobs) {
+  // ~86 spare CPUs: 32-wide jobs break badly (1.35); the advisor must pick
+  // something narrower.
+  const auto rec = advise(base_inputs(cluster::Site::kBluePacific, 0.907));
+  EXPECT_LT(rec.cpus_per_job, 32);
+  EXPECT_LE(rec.breakage, 1.10);
+}
+
+TEST(Advisor, RuntimeEqualsDelayTolerance) {
+  auto in = base_inputs(cluster::Site::kBlueMountain, 0.79);
+  in.max_native_delay = minutes(10);
+  const auto rec = advise(in);
+  EXPECT_EQ(rec.job_runtime, minutes(10));
+  // Machine-neutral size converts back to roughly the same runtime.
+  EXPECT_NEAR(static_cast<double>(rec.work_sec_at_1ghz) / 0.262,
+              static_cast<double>(rec.job_runtime), 5.0);
+}
+
+TEST(Advisor, JobsCoverProjectWork) {
+  const auto in = base_inputs(cluster::Site::kRoss, 0.631);
+  const auto rec = advise(in);
+  const double per_job = static_cast<double>(rec.cpus_per_job) *
+                         static_cast<double>(rec.work_sec_at_1ghz) * 1e9;
+  EXPECT_GE(static_cast<double>(rec.jobs) * per_job, in.project_cycles);
+  EXPECT_LT((static_cast<double>(rec.jobs) - 1.0) * per_job,
+            in.project_cycles);
+}
+
+TEST(Advisor, PredictedMakespanTracksFittedModel) {
+  const auto in = base_inputs(cluster::Site::kBlueMountain, 0.79);
+  const auto rec = advise(in);
+  const auto theory = theory_inputs(in.machine, in.native_utilization);
+  const double lo = fitted_makespan_s(theory, in.project_cycles) / 3600.0;
+  EXPECT_GE(rec.predicted_makespan_h, lo * 0.99);
+  EXPECT_LE(rec.predicted_makespan_h, lo * 1.15);  // breakage adds a bit
+}
+
+TEST(Advisor, WarnsOnVeryHighUtilization) {
+  const auto rec = advise(base_inputs(cluster::Site::kBluePacific, 0.93));
+  bool warned = false;
+  for (const auto& n : rec.notes) {
+    warned |= n.find("utilization cap") != std::string::npos;
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST(Advisor, TimeBreakageDefaultsToUnity) {
+  const auto rec = advise(base_inputs(cluster::Site::kBlueMountain, 0.79));
+  EXPECT_DOUBLE_EQ(rec.time_breakage, 1.0);
+}
+
+TEST(Advisor, TimeBreakageAppliedWithCalendar) {
+  auto in = base_inputs(cluster::Site::kBlueMountain, 0.79);
+  in.downtime = cluster::site_downtime(cluster::Site::kBlueMountain);
+  in.horizon = cluster::site_span(cluster::Site::kBlueMountain);
+  const auto with_cal = advise(in);
+  const auto without = advise(base_inputs(cluster::Site::kBlueMountain,
+                                          0.79));
+  EXPECT_GT(with_cal.time_breakage, 1.0);
+  EXPECT_GE(with_cal.predicted_makespan_h, without.predicted_makespan_h);
+}
+
+TEST(Advisor, DenseMaintenanceTriggersNote) {
+  auto in = base_inputs(cluster::Site::kBlueMountain, 0.79);
+  in.max_native_delay = hours(2);  // long jobs
+  // Hourly 5-minute windows: brutal cadence.
+  std::vector<cluster::DowntimeWindow> windows;
+  for (SimTime t = hours(1); t < days(2); t += hours(1)) {
+    windows.push_back({t, t + minutes(5)});
+  }
+  in.downtime = cluster::DowntimeCalendar(std::move(windows));
+  in.horizon = days(2);
+  const auto rec = advise(in);
+  EXPECT_GT(rec.time_breakage, 1.02);
+  bool noted = false;
+  for (const auto& n : rec.notes) {
+    noted |= n.find("maintenance cadence") != std::string::npos;
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(Advisor, TighterBreakageToleranceNarrowsJobs) {
+  auto loose = base_inputs(cluster::Site::kBlueMountain, 0.79);
+  loose.max_breakage = 1.5;
+  auto tight = loose;
+  tight.max_breakage = 1.01;
+  EXPECT_LE(advise(tight).cpus_per_job, advise(loose).cpus_per_job);
+}
+
+}  // namespace
+}  // namespace istc::core

@@ -1,0 +1,118 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/utilization.hpp"
+#include "metrics/waits.hpp"
+
+namespace istc::core {
+namespace {
+
+using cluster::Site;
+
+TEST(Experiment, NativeBaselineIsCached) {
+  const auto& a = native_baseline(Site::kRoss);
+  const auto& b = native_baseline(Site::kRoss);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Experiment, ContinualRunCacheKeysOnShapeAndCap) {
+  const auto& a = continual_run(Site::kRoss, 32, 120);
+  const auto& b = continual_run(Site::kRoss, 32, 120);
+  EXPECT_EQ(&a, &b);
+  const auto& c = continual_run(Site::kRoss, 32, 120, 0.95);
+  EXPECT_NE(&a, &c);
+}
+
+TEST(Experiment, RunScenarioDeterministic) {
+  Scenario sc;
+  sc.site = Site::kRoss;
+  sc.log_seed = 42;
+  const auto r1 = run_scenario(sc);
+  const auto r2 = run_scenario(sc);
+  ASSERT_EQ(r1.records.size(), r2.records.size());
+  for (std::size_t i = 0; i < r1.records.size(); i += 131) {
+    EXPECT_EQ(r1.records[i].start, r2.records[i].start);
+    EXPECT_EQ(r1.records[i].end, r2.records[i].end);
+  }
+}
+
+TEST(Experiment, PerfectEstimatesScenarioRuns) {
+  Scenario sc;
+  sc.site = Site::kRoss;
+  sc.perfect_estimates = true;
+  const auto run = run_scenario(sc);
+  EXPECT_EQ(run.records.size(), 4423u);
+  for (std::size_t i = 0; i < run.records.size(); i += 97) {
+    EXPECT_EQ(run.records[i].job.estimate, run.records[i].job.runtime);
+  }
+}
+
+TEST(Experiment, TimeScalingRaisesUtilization) {
+  Scenario base;
+  base.site = Site::kRoss;
+  Scenario longer = base;
+  longer.native_time_factor = 1.2;
+  const auto r0 = run_scenario(base);
+  const auto r1 = run_scenario(longer);
+  const double u0 = metrics::average_utilization(r0.records,
+                                                 r0.machine.cpus, 0, r0.span);
+  const double u1 = metrics::average_utilization(r1.records,
+                                                 r1.machine.cpus, 0, r1.span);
+  EXPECT_GT(u1, u0 + 0.05);
+}
+
+TEST(Experiment, TileRecordsShiftsAllTimes) {
+  const auto& base = native_baseline(Site::kRoss);
+  const SimTime shift = base.span + days(10);
+  const auto tiled = tile_records(base.records, shift, 2);
+  ASSERT_EQ(tiled.size(), base.records.size() * 2);
+  const auto& first_copy = tiled[0];
+  const auto& second_copy = tiled[base.records.size()];
+  EXPECT_EQ(second_copy.start, first_copy.start + shift);
+  EXPECT_EQ(second_copy.end, first_copy.end + shift);
+  EXPECT_EQ(second_copy.job.submit, first_copy.job.submit + shift);
+}
+
+TEST(Experiment, TileCalendarShiftsWindows) {
+  cluster::DowntimeCalendar cal({{100, 200}});
+  const auto tiled = tile_calendar(cal, 1000, 3);
+  ASSERT_EQ(tiled.windows().size(), 3u);
+  EXPECT_EQ(tiled.windows()[1].start, 1100);
+  EXPECT_EQ(tiled.windows()[2].end, 2200);
+}
+
+TEST(Experiment, OmniscientMakespansDeterministicAndPositive) {
+  const auto spec = ProjectSpec::paper(500, 32, 120);
+  const auto a = omniscient_makespans(Site::kRoss, spec, 4, 777);
+  const auto b = omniscient_makespans(Site::kRoss, spec, 4, 777);
+  ASSERT_EQ(a.hours.size(), 4u);
+  EXPECT_EQ(a.hours, b.hours);
+  for (double h : a.hours) EXPECT_GT(h, 0.0);
+}
+
+TEST(Experiment, OmniscientSeedChangesStarts) {
+  const auto spec = ProjectSpec::paper(500, 32, 120);
+  const auto a = omniscient_makespans(Site::kRoss, spec, 4, 1);
+  const auto b = omniscient_makespans(Site::kRoss, spec, 4, 2);
+  EXPECT_NE(a.hours, b.hours);
+}
+
+TEST(Experiment, FallibleMakespansComeFromCachedContinualRun) {
+  const auto spec = ProjectSpec::paper(200, 32, 120);
+  const auto sample = fallible_makespans(Site::kRoss, spec, 50);
+  ASSERT_TRUE(sample.feasible());
+  EXPECT_EQ(sample.hours.size(), 50u);
+  for (double h : sample.hours) EXPECT_GT(h, 0.0);
+}
+
+TEST(Experiment, MakespanSampleSummary) {
+  MakespanSample s;
+  EXPECT_FALSE(s.feasible());
+  s.hours = {1.0, 2.0, 3.0};
+  EXPECT_TRUE(s.feasible());
+  EXPECT_DOUBLE_EQ(s.summary().mean(), 2.0);
+}
+
+}  // namespace
+}  // namespace istc::core

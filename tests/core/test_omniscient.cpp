@@ -1,0 +1,188 @@
+#include "core/omniscient.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace istc::core {
+namespace {
+
+cluster::Machine machine_of(int cpus, cluster::DowntimeCalendar cal = {}) {
+  return cluster::Machine(
+      {.name = "m", .site = "", .queue_system = "", .cpus = cpus,
+       .clock_ghz = 1.0},
+      std::move(cal));
+}
+
+sched::JobRecord nrec(SimTime start, Seconds run, int cpus) {
+  sched::JobRecord r;
+  r.job.cpus = cpus;
+  r.job.submit = start;
+  r.job.runtime = run;
+  r.job.estimate = run;
+  r.start = start;
+  r.end = start + run;
+  return r;
+}
+
+TEST(FreeCapacity, EmptyMachineFullyFree) {
+  const auto m = machine_of(100);
+  const std::vector<sched::JobRecord> none;
+  const FreeCapacity f(none, m);
+  EXPECT_EQ(f.capacity(), 100);
+  EXPECT_EQ(f.free_at(0), 100);
+  EXPECT_EQ(f.free_at(123456), 100);
+  EXPECT_DOUBLE_EQ(f.average_free_fraction(0, 1000), 1.0);
+}
+
+TEST(FreeCapacity, SubtractsNativeOccupancy) {
+  const auto m = machine_of(100);
+  const std::vector<sched::JobRecord> recs{nrec(10, 20, 40), nrec(20, 20, 30)};
+  const FreeCapacity f(recs, m);
+  EXPECT_EQ(f.free_at(5), 100);
+  EXPECT_EQ(f.free_at(10), 60);
+  EXPECT_EQ(f.free_at(25), 30);
+  EXPECT_EQ(f.free_at(35), 70);
+  EXPECT_EQ(f.free_at(40), 100);
+}
+
+TEST(FreeCapacity, DowntimeZeroesFreeCapacity) {
+  const auto m = machine_of(100, cluster::DowntimeCalendar({{50, 80}}));
+  const std::vector<sched::JobRecord> recs{nrec(0, 40, 100)};
+  const FreeCapacity f(recs, m);
+  EXPECT_EQ(f.free_at(45), 100);
+  EXPECT_EQ(f.free_at(50), 0);
+  EXPECT_EQ(f.free_at(79), 0);
+  EXPECT_EQ(f.free_at(80), 100);
+}
+
+TEST(FreeCapacity, AverageFreeFraction) {
+  const auto m = machine_of(100);
+  const std::vector<sched::JobRecord> recs{nrec(0, 50, 100)};
+  const FreeCapacity f(recs, m);
+  EXPECT_DOUBLE_EQ(f.average_free_fraction(0, 100), 0.5);
+  EXPECT_DOUBLE_EQ(f.average_free_fraction(0, 50), 0.0);
+  EXPECT_DOUBLE_EQ(f.average_free_fraction(50, 100), 1.0);
+}
+
+TEST(Omniscient, EmptyMachinePacksDensely) {
+  const auto m = machine_of(100);
+  const std::vector<sched::JobRecord> none;
+  const FreeCapacity f(none, m);
+  // 30 jobs of 10 cpus x 50 s on 100 cpus: 10 at a time, 3 waves = 150 s.
+  const auto r = pack_omniscient(f, m, ProjectSpec::paper(30, 10, 50), 0);
+  EXPECT_EQ(r.jobs_placed, 30u);
+  EXPECT_EQ(r.makespan, 150);
+  ASSERT_EQ(r.batches.size(), 3u);
+  EXPECT_EQ(r.batches[0].second, 10u);
+}
+
+TEST(Omniscient, NeverTouchesNativeCpus) {
+  // A feasible native schedule: one job per 300-second slot, so occupancy
+  // varies randomly but never overlaps (never exceeds capacity).
+  const auto m = machine_of(50);
+  std::vector<sched::JobRecord> recs;
+  Rng rng(3);
+  for (int i = 0; i < 60; ++i) {
+    const SimTime slot = i * 300;
+    recs.push_back(nrec(slot, rng.range(10, 290),
+                        static_cast<int>(rng.range(1, 50))));
+  }
+  const FreeCapacity f(recs, m);
+  const auto spec = ProjectSpec::paper(200, 4, 30);
+  const auto result = pack_omniscient(f, m, spec, 0);
+  EXPECT_EQ(result.jobs_placed, 200u);
+  // Audit: at every batch, interstitial usage fits inside free capacity at
+  // every instant of the batch window.
+  for (const auto& [start, count] : result.batches) {
+    // Reconstruct concurrent interstitial usage at `start` from batches
+    // overlapping it.
+    int inter_busy = 0;
+    for (const auto& [s2, c2] : result.batches) {
+      if (s2 <= start && start < s2 + 30) {
+        inter_busy += static_cast<int>(c2) * 4;
+      }
+    }
+    EXPECT_LE(inter_busy, f.free_at(start))
+        << "native CPUs stolen at t=" << start;
+  }
+}
+
+TEST(Omniscient, MakespanShrinksWithMoreFreeCapacity) {
+  const auto m = machine_of(100);
+  const std::vector<sched::JobRecord> light{nrec(0, 100000, 20)};
+  const std::vector<sched::JobRecord> heavy{nrec(0, 100000, 80)};
+  const auto spec = ProjectSpec::paper(100, 10, 60);
+  const auto r_light =
+      pack_omniscient(FreeCapacity(light, m), m, spec, 0);
+  const auto r_heavy =
+      pack_omniscient(FreeCapacity(heavy, m), m, spec, 0);
+  EXPECT_LT(r_light.makespan, r_heavy.makespan);
+}
+
+TEST(Omniscient, BreakageVisibleAtNarrowFreeCapacity) {
+  // 90 free cpus, 32-cpu jobs: 2 fit (64), wasting 26 — the paper's Blue
+  // Pacific example.  vs 1-cpu jobs which use all 90.
+  const auto m = machine_of(100);
+  const std::vector<sched::JobRecord> recs{nrec(0, 1000000, 10)};
+  const FreeCapacity f(recs, m);
+  const auto wide = pack_omniscient(f, m, ProjectSpec::paper(90, 32, 60), 0);
+  const auto narrow =
+      pack_omniscient(f, m, ProjectSpec::paper(2880, 1, 60), 0);
+  // Same total work (90*32 = 2880 cpu-jobs): wide takes 45 waves of 2,
+  // narrow takes 32 waves of 90.
+  EXPECT_EQ(wide.makespan, 45 * 60);
+  EXPECT_EQ(narrow.makespan, 32 * 60);
+  EXPECT_GT(static_cast<double>(wide.makespan) /
+                static_cast<double>(narrow.makespan),
+            1.3);
+}
+
+TEST(Omniscient, RespectsProjectStart) {
+  const auto m = machine_of(10);
+  const std::vector<sched::JobRecord> none;
+  const FreeCapacity f(none, m);
+  const auto r = pack_omniscient(f, m, ProjectSpec::paper(1, 10, 60), 5000);
+  ASSERT_EQ(r.batches.size(), 1u);
+  EXPECT_EQ(r.batches[0].first, 5000);
+  EXPECT_EQ(r.makespan, 60);
+}
+
+TEST(Omniscient, WaitsOutDowntime) {
+  const auto m = machine_of(10, cluster::DowntimeCalendar({{100, 200}}));
+  const std::vector<sched::JobRecord> none;
+  const FreeCapacity f(none, m);
+  // 60-second jobs started at 90 would cross the window: the second wave
+  // must wait until 200.
+  const auto r = pack_omniscient(f, m, ProjectSpec::paper(2, 10, 60), 30);
+  ASSERT_EQ(r.batches.size(), 2u);
+  EXPECT_EQ(r.batches[0].first, 30);
+  EXPECT_EQ(r.batches[1].first, 200);
+}
+
+TEST(Omniscient, DeterministicForSameInputs) {
+  const auto m = machine_of(64);
+  // Up to five 150-second jobs of 3 CPUs overlap at once: at most 15 busy.
+  std::vector<sched::JobRecord> recs;
+  for (int i = 0; i < 20; ++i) recs.push_back(nrec(i * 37, 150, 3));
+  const FreeCapacity f(recs, m);
+  const auto spec = ProjectSpec::paper(500, 2, 45);
+  const auto a = pack_omniscient(f, m, spec, 7);
+  const auto b = pack_omniscient(f, m, spec, 7);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.batches, b.batches);
+}
+
+#ifdef GTEST_HAS_DEATH_TEST
+TEST(OmniscientDeath, ContinualSpecRejected) {
+  const auto m = machine_of(10);
+  const std::vector<sched::JobRecord> none;
+  const FreeCapacity f(none, m);
+  EXPECT_DEATH(
+      pack_omniscient(f, m, ProjectSpec::continual_stream(1, 60, 100), 0),
+      "precondition");
+}
+#endif
+
+}  // namespace
+}  // namespace istc::core

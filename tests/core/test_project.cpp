@@ -1,0 +1,87 @@
+#include "core/project.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/presets.hpp"
+
+namespace istc::core {
+namespace {
+
+using cluster::Site;
+
+TEST(Project, PaperConstructorSizes) {
+  // Table 2's project sizes: kJobs x CPUs x 120 s @ 1 GHz in peta-cycles.
+  EXPECT_NEAR(ProjectSpec::paper(64000, 1, 120).peta_cycles(), 7.7, 0.1);
+  EXPECT_NEAR(ProjectSpec::paper(2000, 32, 120).peta_cycles(), 7.7, 0.1);
+  EXPECT_NEAR(ProjectSpec::paper(256000, 1, 120).peta_cycles(), 30.7, 0.1);
+  EXPECT_NEAR(ProjectSpec::paper(1024000, 1, 120).peta_cycles(), 122.9, 0.1);
+  EXPECT_NEAR(ProjectSpec::paper(32000, 32, 120).peta_cycles(), 122.9, 0.1);
+  EXPECT_NEAR(ProjectSpec::paper(4000, 32, 960).peta_cycles(), 122.9, 0.1);
+}
+
+TEST(Project, RuntimeNormalizationMatchesPaper) {
+  // "120 s @ 1 GHz" on each machine (paper §4.3 job durations).
+  const auto p120 = ProjectSpec::paper(1000, 32, 120);
+  const auto p960 = ProjectSpec::paper(1000, 32, 960);
+  EXPECT_EQ(p120.runtime_on(cluster::machine_spec(Site::kBlueMountain)), 458);
+  EXPECT_EQ(p960.runtime_on(cluster::machine_spec(Site::kBlueMountain)),
+            3664);
+  EXPECT_EQ(p120.runtime_on(cluster::machine_spec(Site::kBluePacific)), 325);
+  EXPECT_EQ(p960.runtime_on(cluster::machine_spec(Site::kBluePacific)), 2602);
+  EXPECT_EQ(p120.runtime_on(cluster::machine_spec(Site::kRoss)), 204);
+  EXPECT_EQ(p960.runtime_on(cluster::machine_spec(Site::kRoss)), 1633);
+}
+
+TEST(Project, RuntimeNeverZero) {
+  ProjectSpec p;
+  p.work_per_cpu = 1;  // one cycle
+  EXPECT_EQ(p.runtime_on(cluster::machine_spec(Site::kRoss)), 1);
+}
+
+TEST(Project, ContinualStream) {
+  const auto p = ProjectSpec::continual_stream(32, 120, days(10));
+  EXPECT_TRUE(p.continual());
+  EXPECT_EQ(p.stop_time, days(10));
+  EXPECT_DOUBLE_EQ(p.peta_cycles(), 0.0);
+}
+
+TEST(Project, BoundedIsNotContinual) {
+  EXPECT_FALSE(ProjectSpec::paper(10, 1, 120).continual());
+}
+
+TEST(Project, MakeJobFieldsCorrect) {
+  const auto spec = ProjectSpec::paper(100, 32, 120);
+  const auto m = cluster::machine_spec(Site::kBlueMountain);
+  const auto j = spec.make_job(5000, 12345, m);
+  EXPECT_EQ(j.id, 5000u);
+  EXPECT_TRUE(j.interstitial());
+  EXPECT_EQ(j.user, kInterstitialUser);
+  EXPECT_EQ(j.group, kInterstitialGroup);
+  EXPECT_EQ(j.cpus, 32);
+  EXPECT_EQ(j.submit, 12345);
+  EXPECT_EQ(j.runtime, 458);
+  EXPECT_EQ(j.estimate, j.runtime);  // exact estimates (zero variance)
+}
+
+TEST(Project, TotalCyclesArithmetic) {
+  const auto p = ProjectSpec::paper(10, 4, 120);
+  EXPECT_DOUBLE_EQ(p.total_cycles(), 10.0 * 4.0 * 120e9);
+}
+
+#ifdef GTEST_HAS_DEATH_TEST
+TEST(ProjectDeath, BadUtilizationCapRejected) {
+  ProjectSpec p = ProjectSpec::paper(10, 1, 120);
+  p.utilization_cap = 1.5;
+  EXPECT_DEATH(p.check(), "invariant");
+}
+
+TEST(ProjectDeath, StopBeforeStartRejected) {
+  ProjectSpec p = ProjectSpec::paper(10, 1, 120);
+  p.start_time = 100;
+  p.stop_time = 50;
+  EXPECT_DEATH(p.check(), "invariant");
+}
+#endif
+
+}  // namespace
+}  // namespace istc::core

@@ -1,0 +1,138 @@
+#include "core/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/presets.hpp"
+
+namespace istc::core {
+namespace {
+
+using cluster::Site;
+
+TheoryInputs paper_inputs(Site site) {
+  return theory_inputs(cluster::machine_spec(site),
+                       cluster::site_targets(site).utilization);
+}
+
+TEST(Theory, IdealMakespanFormula) {
+  // Blue Mountain, 7.7 Pc: P/(N*C*(1-U)).
+  const auto in = paper_inputs(Site::kBlueMountain);
+  const double expected =
+      7.7e15 / (4662.0 * 0.262e9 * (1.0 - 0.790));
+  EXPECT_NEAR(ideal_makespan_s(in, 7.7e15), expected, 1.0);
+  EXPECT_NEAR(ideal_makespan_s(in, 7.7e15) / 3600.0, 8.34, 0.05);
+}
+
+TEST(Theory, FittedMakespanUsesPaperConstants) {
+  const auto in = paper_inputs(Site::kRoss);
+  const double ideal = ideal_makespan_s(in, 1e15);
+  EXPECT_DOUBLE_EQ(fitted_makespan_s(in, 1e15), 5256.0 + 1.16 * ideal);
+}
+
+TEST(Theory, DedicatedFasterThanIdeal) {
+  for (auto site : cluster::all_sites()) {
+    const auto in = paper_inputs(site);
+    EXPECT_LT(dedicated_makespan_s(in, 1e15), ideal_makespan_s(in, 1e15));
+  }
+}
+
+TEST(Theory, SpareCpus) {
+  const auto in = paper_inputs(Site::kBluePacific);
+  // 926 * (1-.907) ~ 86 spare CPUs (the paper's "about 90").
+  EXPECT_NEAR(spare_cpus(in), 86.1, 0.1);
+}
+
+// §4.2's worked breakage examples, exactly as printed in the paper.
+TEST(Theory, BreakageRoss) {
+  const auto in = paper_inputs(Site::kRoss);
+  EXPECT_EQ(breakage_slots(in, 32), 16);   // floor(16.55)
+  EXPECT_NEAR(breakage_factor(in, 32), 1.035, 0.001);
+}
+
+TEST(Theory, BreakageBlueMountain) {
+  const auto in = paper_inputs(Site::kBlueMountain);
+  EXPECT_EQ(breakage_slots(in, 32), 30);   // floor(30.59)
+  EXPECT_NEAR(breakage_factor(in, 32), 1.020, 0.001);
+}
+
+TEST(Theory, BreakageBluePacific) {
+  const auto in = paper_inputs(Site::kBluePacific);
+  EXPECT_EQ(breakage_slots(in, 32), 2);    // floor(2.69) — just below 3!
+  EXPECT_NEAR(breakage_factor(in, 32), 1.346, 0.001);
+}
+
+TEST(Theory, OneCpuJobsHaveNearUnitBreakage) {
+  for (auto site : cluster::all_sites()) {
+    const auto in = paper_inputs(site);
+    EXPECT_GE(breakage_factor(in, 1), 1.0);
+    EXPECT_LT(breakage_factor(in, 1), 1.02);
+  }
+}
+
+TEST(Theory, BreakageMonotoneInJobWidthOnAverage) {
+  // Wider jobs can only waste as much or more of the spare capacity.
+  const auto in = paper_inputs(Site::kBluePacific);
+  EXPECT_LE(breakage_factor(in, 1), breakage_factor(in, 32));
+}
+
+TEST(Theory, BreakageCorrectedMakespan) {
+  const auto in = paper_inputs(Site::kBluePacific);
+  EXPECT_NEAR(breakage_corrected_makespan_s(in, 1e15, 32),
+              ideal_makespan_s(in, 1e15) * breakage_factor(in, 32), 1e-6);
+  EXPECT_NEAR(breakage_corrected_makespan_s(in, 1e15, 32) /
+                  ideal_makespan_s(in, 1e15),
+              1.346, 0.001);
+}
+
+TEST(Theory, HigherUtilizationLongerMakespan) {
+  const auto m = cluster::machine_spec(Site::kBlueMountain);
+  EXPECT_LT(ideal_makespan_s(theory_inputs(m, 0.5), 1e15),
+            ideal_makespan_s(theory_inputs(m, 0.9), 1e15));
+}
+
+TEST(Theory, Table2ScaleSanity) {
+  // The paper's omniscient Blue Pacific 123-Pc makespan is ~979 h; the
+  // ideal model gives ~1076 h — same order, slightly above the measured.
+  const auto in = paper_inputs(Site::kBluePacific);
+  EXPECT_NEAR(ideal_makespan_s(in, 123e15) / 3600.0, 1076.0, 15.0);
+}
+
+TEST(TheoryTimeBreakage, ZeroWithoutOutages) {
+  cluster::DowntimeCalendar none;
+  EXPECT_DOUBLE_EQ(time_breakage_loss(none, days(30), 458), 0.0);
+  EXPECT_DOUBLE_EQ(time_breakage_factor(none, days(30), 458), 1.0);
+}
+
+TEST(TheoryTimeBreakage, KnownCalendar) {
+  // Two 1-hour windows in 10 days: up time = 10 d - 2 h.
+  cluster::DowntimeCalendar cal(
+      {{days(3), days(3) + hours(1)}, {days(7), days(7) + hours(1)}});
+  const double up = static_cast<double>(days(10) - hours(2));
+  const Seconds r = 3600;
+  EXPECT_NEAR(time_breakage_loss(cal, days(10), r), 2.0 * 1800.0 / up,
+              1e-12);
+}
+
+TEST(TheoryTimeBreakage, GrowsWithJobLength) {
+  const auto cal = cluster::site_downtime(Site::kBlueMountain);
+  const auto span = cluster::site_span(Site::kBlueMountain);
+  EXPECT_LT(time_breakage_factor(cal, span, 458),
+            time_breakage_factor(cal, span, 3664));
+  // Both are small corrections for the paper's job lengths.
+  EXPECT_LT(time_breakage_factor(cal, span, 3664), 1.01);
+}
+
+#ifdef GTEST_HAS_DEATH_TEST
+TEST(TheoryDeath, FullUtilizationRejected) {
+  const auto m = cluster::machine_spec(Site::kRoss);
+  EXPECT_DEATH(theory_inputs(m, 1.0), "precondition");
+}
+
+TEST(TheoryDeath, JobWiderThanSpareCapacityRejected) {
+  const auto in = paper_inputs(Site::kBluePacific);  // ~86 spare
+  EXPECT_DEATH(breakage_factor(in, 128), "precondition");
+}
+#endif
+
+}  // namespace
+}  // namespace istc::core

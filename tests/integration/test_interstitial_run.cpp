@@ -1,0 +1,121 @@
+// End-to-end continual interstitial runs: the §4.3.2 behaviours.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "metrics/makespan.hpp"
+#include "metrics/utilization.hpp"
+#include "metrics/waits.hpp"
+
+namespace istc {
+namespace {
+
+using cluster::Site;
+
+TEST(ContinualRun, UtilizationLiftsSubstantially) {
+  // Table 6: Blue Mountain 0.776 -> 0.942 overall.
+  const auto& with_i = core::continual_run(Site::kBlueMountain, 32, 120);
+  const double overall = metrics::average_utilization(
+      with_i.records, with_i.machine.cpus, 0, with_i.span);
+  const double native = core::native_utilization(Site::kBlueMountain);
+  EXPECT_GT(overall, native + 0.10);
+  EXPECT_GT(overall, 0.90);
+}
+
+TEST(ContinualRun, NativeUtilizationUnchanged) {
+  // Table 6: native utilization stays at its baseline — the same native
+  // work completes inside the log window.
+  const auto& with_i = core::continual_run(Site::kBlueMountain, 32, 120);
+  const double native_in_run = metrics::average_utilization(
+      with_i.records, with_i.machine.cpus, 0, with_i.span,
+      metrics::JobFilter::kNativeOnly);
+  EXPECT_NEAR(native_in_run, core::native_utilization(Site::kBlueMountain),
+              0.02);
+}
+
+TEST(ContinualRun, NativeThroughputPreserved) {
+  // "the number of native jobs making it through ... was the same".
+  const auto& base = core::native_baseline(Site::kBlueMountain);
+  const auto& with_i = core::continual_run(Site::kBlueMountain, 32, 120);
+  EXPECT_EQ(with_i.native_count(), base.records.size());
+}
+
+TEST(ContinualRun, ManyInterstitialJobsHarvested) {
+  // Table 6 reports ~409k 458-second jobs; the calibrated simulation must
+  // land in the same regime (hundreds of thousands).
+  const auto& with_i = core::continual_run(Site::kBlueMountain, 32, 120);
+  EXPECT_GT(with_i.interstitial_count(), 200000u);
+  EXPECT_LT(with_i.interstitial_count(), 700000u);
+}
+
+TEST(ContinualRun, LongerJobsMeanFewerJobs) {
+  // Table 6: 458 s jobs -> ~409k, 3664 s jobs -> ~49k (about 8x fewer).
+  const auto& short_j = core::continual_run(Site::kBlueMountain, 32, 120);
+  const auto& long_j = core::continual_run(Site::kBlueMountain, 32, 960);
+  const double ratio =
+      static_cast<double>(short_j.interstitial_count()) /
+      static_cast<double>(long_j.interstitial_count());
+  EXPECT_NEAR(ratio, 8.0, 1.5);
+}
+
+TEST(ContinualRun, MedianWaitRisesByAboutOneInterstitialRuntime) {
+  // Table 6: median wait 0 -> 0.2k (458 s jobs) and 0.4k (3664 s jobs):
+  // the delay is bounded near the interstitial job runtime.
+  const auto& base = core::native_baseline(Site::kBlueMountain);
+  const auto& with_i = core::continual_run(Site::kBlueMountain, 32, 120);
+  const auto w0 = metrics::wait_stats(base.records);
+  const auto w1 = metrics::wait_stats(with_i.records);
+  EXPECT_GE(w1.median_wait_s, w0.median_wait_s);
+  EXPECT_LT(w1.median_wait_s, w0.median_wait_s + 3 * 458.0);
+}
+
+TEST(ContinualRun, LongerInterstitialJobsHurtNativesMore) {
+  // Table 5's conclusion: "the fewer jobs that run for a longer time have
+  // a greater affect on the native jobs."
+  const auto& short_j = core::continual_run(Site::kBlueMountain, 32, 120);
+  const auto& long_j = core::continual_run(Site::kBlueMountain, 32, 960);
+  const auto ws = metrics::wait_stats(short_j.records);
+  const auto wl = metrics::wait_stats(long_j.records);
+  EXPECT_GE(wl.median_wait_s, ws.median_wait_s);
+}
+
+TEST(ContinualRun, InterstitialStopsAtSpan) {
+  const auto& with_i = core::continual_run(Site::kBlueMountain, 32, 120);
+  for (const auto& r : with_i.records) {
+    if (r.interstitial()) {
+      ASSERT_LT(r.start, with_i.span);
+    }
+  }
+}
+
+TEST(ContinualRun, InterstitialJobsHaveUniformShape) {
+  const auto& with_i = core::continual_run(Site::kBlueMountain, 32, 120);
+  for (const auto& r : with_i.records) {
+    if (!r.interstitial()) continue;
+    ASSERT_EQ(r.job.cpus, 32);
+    ASSERT_EQ(r.job.runtime, 458);
+    ASSERT_EQ(r.wait(), 0);  // started the instant they were submitted
+  }
+}
+
+TEST(ContinualRun, BluePacificSmallLiftAtHighUtilization) {
+  // Table 7: already at .916, the lift is only a few points.
+  const auto& with_i = core::continual_run(Site::kBluePacific, 32, 120);
+  const double overall = metrics::average_utilization(
+      with_i.records, with_i.machine.cpus, 0, with_i.span);
+  const double native = core::native_utilization(Site::kBluePacific);
+  const double lift = overall - native;
+  EXPECT_GT(lift, 0.005);
+  EXPECT_LT(lift, 0.08);
+}
+
+TEST(ContinualRun, RossLargeLiftAtLowUtilization) {
+  // Table 8 (Ross): 0.631 -> ~0.988 overall.
+  const auto& with_i = core::continual_run(Site::kRoss, 32, 120);
+  const double overall = metrics::average_utilization(
+      with_i.records, with_i.machine.cpus, 0, with_i.span);
+  EXPECT_GT(overall, 0.90);
+}
+
+}  // namespace
+}  // namespace istc

@@ -1,0 +1,106 @@
+// Native-only simulations of the three sites must land on the paper's
+// Table 1 utilizations — this is the calibration contract everything else
+// builds on.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "metrics/utilization.hpp"
+#include "metrics/waits.hpp"
+
+namespace istc {
+namespace {
+
+using cluster::Site;
+
+class NativeCalibration : public ::testing::TestWithParam<Site> {};
+
+TEST_P(NativeCalibration, UtilizationMatchesTable1) {
+  const Site site = GetParam();
+  const double measured = core::native_utilization(site);
+  const double target = cluster::site_targets(site).utilization;
+  EXPECT_NEAR(measured, target, 0.02) << cluster::site_name(site);
+}
+
+TEST_P(NativeCalibration, AllNativeJobsComplete) {
+  const Site site = GetParam();
+  const auto& base = core::native_baseline(site);
+  EXPECT_EQ(base.records.size(),
+            static_cast<std::size_t>(cluster::site_targets(site).jobs));
+  EXPECT_EQ(base.interstitial_count(), 0u);
+}
+
+TEST_P(NativeCalibration, WaitsAreCausal) {
+  const Site site = GetParam();
+  for (const auto& r : core::native_baseline(site).records) {
+    ASSERT_GE(r.start, r.job.submit);
+    ASSERT_EQ(r.end - r.start, r.job.runtime);
+  }
+}
+
+TEST_P(NativeCalibration, NoInstantOversubscribed) {
+  const Site site = GetParam();
+  const auto& base = core::native_baseline(site);
+  const auto steps =
+      metrics::busy_step_function(base.records, metrics::JobFilter::kAll);
+  const int cap = base.machine.cpus;
+  for (const auto& [t, busy] : steps) {
+    ASSERT_LE(busy, cap) << "oversubscribed at t=" << t;
+  }
+}
+
+TEST_P(NativeCalibration, NothingRunsDuringOutages) {
+  const Site site = GetParam();
+  const auto cal = cluster::site_downtime(site);
+  for (const auto& r : core::native_baseline(site).records) {
+    ASSERT_EQ(cal.down_seconds(r.start, r.end), 0)
+        << "job " << r.job.id << " ran through an outage";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sites, NativeCalibration,
+                         ::testing::Values(Site::kRoss, Site::kBlueMountain,
+                                           Site::kBluePacific),
+                         [](const ::testing::TestParamInfo<Site>& param_info) {
+                           switch (param_info.param) {
+                             case Site::kRoss: return "Ross";
+                             case Site::kBlueMountain: return "BlueMountain";
+                             case Site::kBluePacific: return "BluePacific";
+                           }
+                           return "unknown";
+                         });
+
+TEST(NativeShape, BlueMountainMedianWaitNearZero) {
+  // Table 5/6 baseline: median native wait ~0 on Blue Mountain.
+  const auto w =
+      metrics::wait_stats(core::native_baseline(Site::kBlueMountain).records);
+  EXPECT_LT(w.median_wait_s, 600.0);
+}
+
+TEST(NativeShape, BluePacificWaitsLargerThanBlueMountain) {
+  // The near-saturated machine queues more (Table 7 vs 6 baselines).
+  const auto bp =
+      metrics::wait_stats(core::native_baseline(Site::kBluePacific).records);
+  const auto bm =
+      metrics::wait_stats(core::native_baseline(Site::kBlueMountain).records);
+  EXPECT_GT(bp.median_wait_s, bm.median_wait_s);
+}
+
+TEST(NativeShape, UtilizationIsErratic) {
+  // §1: "the utilization is quite variable" — hourly utilization must swing
+  // substantially around its mean (this variability is what interstitial
+  // computing exploits).
+  const auto& base = core::native_baseline(Site::kBlueMountain);
+  const auto series = metrics::utilization_series(
+      base.records, base.machine.cpus, base.span);
+  double lo = 1.0, hi = 0.0;
+  for (double u : series) {
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(lo, 0.4);
+  EXPECT_GT(hi, 0.95);
+}
+
+}  // namespace
+}  // namespace istc

@@ -1,0 +1,92 @@
+// Site-scale invariants of the preemption extension: a full Blue Mountain
+// co-simulation under fill-and-evict.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/experiment.hpp"
+#include "metrics/utilization.hpp"
+#include "metrics/waits.hpp"
+
+namespace istc {
+namespace {
+
+using cluster::Site;
+
+const sched::RunResult& preemptive_run() {
+  static const sched::RunResult run = [] {
+    core::Scenario sc;
+    sc.site = Site::kBlueMountain;
+    auto stream = core::ProjectSpec::continual_stream(
+        32, 120, cluster::site_span(sc.site));
+    stream.gate = core::GatePolicy::kAlways;
+    stream.recovery = core::PreemptionRecovery::kCheckpoint;
+    sc.project = stream;
+    sc.preempt_interstitial = true;
+    return core::run_scenario(sc);
+  }();
+  return run;
+}
+
+TEST(PreemptionSite, NativeStartsIdenticalToBaseline) {
+  const auto& base = core::native_baseline(Site::kBlueMountain);
+  const auto& run = preemptive_run();
+  std::map<workload::JobId, SimTime> base_starts, run_starts;
+  for (const auto& r : base.records) base_starts[r.job.id] = r.start;
+  for (const auto& r : run.records) {
+    if (!r.interstitial()) run_starts[r.job.id] = r.start;
+  }
+  EXPECT_EQ(base_starts, run_starts);
+}
+
+TEST(PreemptionSite, OccupancyIncludingKillsNeverExceedsCapacity) {
+  const auto& run = preemptive_run();
+  std::map<SimTime, int> delta;
+  auto add = [&](const sched::JobRecord& r) {
+    if (r.end <= r.start) return;
+    delta[r.start] += r.job.cpus;
+    delta[r.end] -= r.job.cpus;
+  };
+  for (const auto& r : run.records) add(r);
+  for (const auto& r : run.killed) add(r);
+  int busy = 0;
+  for (const auto& [t, d] : delta) {
+    busy += d;
+    ASSERT_GE(busy, 0);
+    ASSERT_LE(busy, run.machine.cpus) << "t=" << t;
+  }
+}
+
+TEST(PreemptionSite, SubstantialHarvestSurvivesEviction) {
+  const auto& run = preemptive_run();
+  EXPECT_GT(run.interstitial_count(), 200000u);
+  EXPECT_GT(run.killed.size(), 10000u);  // evictions really happen
+  // Useful utilization (completed + checkpointed work) beats the gated
+  // design's floor.
+  double busy = metrics::busy_cpu_seconds(run.records, 0, run.span,
+                                          metrics::JobFilter::kAll);
+  for (const auto& k : run.killed) {
+    const SimTime a = std::max<SimTime>(0, k.start);
+    const SimTime b = std::min(run.span, k.end);
+    if (b > a) {
+      busy += static_cast<double>(k.job.cpus) * static_cast<double>(b - a);
+    }
+  }
+  const double useful = busy / (static_cast<double>(run.machine.cpus) *
+                                static_cast<double>(run.span));
+  EXPECT_GT(useful, 0.94);
+}
+
+TEST(PreemptionSite, KilledRecordsAreConsistent) {
+  const auto& run = preemptive_run();
+  for (const auto& r : run.killed) {
+    ASSERT_TRUE(r.interstitial());
+    ASSERT_GE(r.start, 0);
+    ASSERT_GT(r.end, r.start);                 // some execution happened...
+    ASSERT_LT(r.end - r.start, r.job.runtime); // ...but not completion
+  }
+}
+
+}  // namespace
+}  // namespace istc

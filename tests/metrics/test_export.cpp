@@ -1,0 +1,111 @@
+#include "metrics/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "workload/swf.hpp"
+
+namespace istc::metrics {
+namespace {
+
+sched::JobRecord rec(workload::JobId id, SimTime submit, SimTime start,
+                     Seconds run, int cpus, bool interstitial = false) {
+  sched::JobRecord r;
+  r.job.id = id;
+  r.job.submit = submit;
+  r.job.cpus = cpus;
+  r.job.runtime = run;
+  r.job.estimate = run * 2;
+  r.job.user = 3;
+  r.job.group = 1;
+  r.job.klass = interstitial ? workload::JobClass::kInterstitial
+                             : workload::JobClass::kNative;
+  r.start = start;
+  r.end = start + run;
+  return r;
+}
+
+TEST(Export, SwfRecordsFieldsAndQueueTag) {
+  const std::vector<sched::JobRecord> rs{
+      rec(0, 100, 150, 60, 8),
+      rec(1, 200, 200, 30, 4, /*interstitial=*/true),
+  };
+  std::ostringstream out;
+  write_swf_records(out, rs, "result trace");
+  std::istringstream lines(out.str());
+  std::string l;
+  std::getline(lines, l);
+  EXPECT_EQ(l, "; result trace");
+  std::getline(lines, l);
+  // seq submit wait run procs ... estimate ... queue field = 1 (native)
+  EXPECT_EQ(l.substr(0, 15), "1 100 50 60 8 -");
+  EXPECT_NE(l.find(" 120 "), std::string::npos);  // estimate
+  std::getline(lines, l);
+  EXPECT_EQ(l.substr(0, 12), "2 200 0 30 4");
+  // queue column (15th field) is 2 for interstitial.
+  std::istringstream fields(l);
+  std::string f;
+  for (int i = 0; i < 15; ++i) fields >> f;
+  EXPECT_EQ(f, "2");
+}
+
+TEST(Export, SwfRecordsRoundTripThroughReader) {
+  const std::vector<sched::JobRecord> rs{rec(0, 10, 40, 60, 8),
+                                         rec(1, 20, 25, 30, 4)};
+  std::ostringstream out;
+  write_swf_records(out, rs);
+  std::istringstream in(out.str());
+  workload::SwfReadOptions opts;
+  opts.rebase_time = false;
+  const auto log = workload::read_swf(in, opts);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].submit, 10);
+  EXPECT_EQ(log[0].runtime, 60);
+  EXPECT_EQ(log[0].estimate, 120);
+  EXPECT_EQ(log[0].cpus, 8);
+  EXPECT_EQ(log[0].user, 3);
+}
+
+class ExportFileTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/istc_export_test.out";
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string read_all() {
+    std::ifstream in(path_);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+};
+
+TEST_F(ExportFileTest, SwfFileWritten) {
+  const std::vector<sched::JobRecord> rs{rec(0, 0, 5, 10, 2)};
+  write_swf_records_file(path_, rs, "hdr");
+  const auto content = read_all();
+  EXPECT_NE(content.find("; hdr"), std::string::npos);
+  EXPECT_NE(content.find("1 0 5 10 2"), std::string::npos);
+}
+
+TEST_F(ExportFileTest, CsvHasHeaderAndRows) {
+  const std::vector<sched::JobRecord> rs{
+      rec(7, 0, 5, 10, 2), rec(8, 1, 1, 10, 2, /*interstitial=*/true)};
+  write_records_csv(path_, rs);
+  const auto content = read_all();
+  EXPECT_NE(content.find("id,class,user"), std::string::npos);
+  EXPECT_NE(content.find("7,native"), std::string::npos);
+  EXPECT_NE(content.find("8,interstitial"), std::string::npos);
+  // wait and EF of record 7: wait 5, ef 1.5.
+  EXPECT_NE(content.find(",5,1.5000"), std::string::npos);
+}
+
+TEST(Export, MissingDirectoryThrows) {
+  const std::vector<sched::JobRecord> rs;
+  EXPECT_THROW(write_swf_records_file("/no/such/dir/x.swf", rs),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace istc::metrics

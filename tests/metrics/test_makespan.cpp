@@ -1,0 +1,99 @@
+#include "metrics/makespan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace istc::metrics {
+namespace {
+
+sched::JobRecord irec(SimTime start, Seconds run) {
+  sched::JobRecord r;
+  r.job.klass = workload::JobClass::kInterstitial;
+  r.job.cpus = 1;
+  r.job.submit = start;
+  r.job.runtime = run;
+  r.job.estimate = run;
+  r.start = start;
+  r.end = start + run;
+  return r;
+}
+
+sched::JobRecord nrec(SimTime start, Seconds run) {
+  auto r = irec(start, run);
+  r.job.klass = workload::JobClass::kNative;
+  return r;
+}
+
+TEST(Completions, SortedInterstitialOnly) {
+  const std::vector<sched::JobRecord> rs{irec(30, 10), nrec(0, 100),
+                                         irec(0, 10), irec(10, 10)};
+  const auto c = interstitial_completions(rs);
+  EXPECT_EQ(c, (std::vector<SimTime>{10, 20, 40}));
+}
+
+TEST(DirectMakespan, LastCompletionMinusStart) {
+  const std::vector<sched::JobRecord> rs{irec(100, 50), irec(200, 50),
+                                         nrec(0, 10000)};
+  EXPECT_EQ(direct_makespan(rs, 80), 170);
+}
+
+TEST(SampledMakespans, UniformStreamMatchesExpectation) {
+  // Completions every 10 s forever: a project of N jobs started anywhere
+  // takes about 10*N seconds.
+  std::vector<SimTime> completions;
+  for (SimTime t = 10; t <= 100000; t += 10) completions.push_back(t);
+  Rng rng(1);
+  const auto m =
+      sampled_makespans(completions, 100, 200, /*horizon=*/50000, rng);
+  ASSERT_EQ(m.size(), 200u);
+  for (double v : m) {
+    EXPECT_GE(v, 990.0);
+    EXPECT_LE(v, 1010.0);
+  }
+}
+
+TEST(SampledMakespans, CountsOnlyCompletionsAfterStart) {
+  const std::vector<SimTime> completions{100, 200, 300, 400, 500};
+  Rng rng(2);
+  // njobs = 2, horizon tiny so t1 is within [0, 50): expect c[1] = 200 - t1.
+  const auto m = sampled_makespans(completions, 2, 50, 50, rng);
+  ASSERT_FALSE(m.empty());
+  for (double v : m) {
+    EXPECT_GT(v, 150.0);
+    EXPECT_LE(v, 200.0);
+  }
+}
+
+TEST(SampledMakespans, InfeasibleProjectYieldsEmpty) {
+  const std::vector<SimTime> completions{100, 200};
+  Rng rng(3);
+  EXPECT_TRUE(sampled_makespans(completions, 5, 10, 1000, rng).empty());
+}
+
+TEST(SampledMakespans, MostlyInfeasibleHorizonTruncates) {
+  // Only starts before t=100 can see 3 completions; horizon much larger.
+  const std::vector<SimTime> completions{100, 200, 300};
+  Rng rng(4);
+  const auto m = sampled_makespans(completions, 3, 50, 1000000, rng);
+  // Feasibility region is ~1e-4 of the horizon: sampling gives up early.
+  EXPECT_LT(m.size(), 50u);
+}
+
+TEST(SampledMakespans, DeterministicPerSeed) {
+  std::vector<SimTime> completions;
+  for (SimTime t = 5; t < 50000; t += 5) completions.push_back(t);
+  Rng a(7), b(7);
+  EXPECT_EQ(sampled_makespans(completions, 50, 100, 20000, a),
+            sampled_makespans(completions, 50, 100, 20000, b));
+}
+
+#ifdef GTEST_HAS_DEATH_TEST
+TEST(DirectMakespanDeath, NoInterstitialRecordsAborts) {
+  const std::vector<sched::JobRecord> rs{nrec(0, 10)};
+  EXPECT_DEATH(direct_makespan(rs, 0), "precondition");
+}
+#endif
+
+}  // namespace
+}  // namespace istc::metrics

@@ -1,0 +1,124 @@
+#include "metrics/utilization.hpp"
+
+#include <gtest/gtest.h>
+
+namespace istc::metrics {
+namespace {
+
+sched::JobRecord rec(SimTime start, SimTime end, int cpus,
+                     bool interstitial = false) {
+  sched::JobRecord r;
+  r.job.id = 0;
+  r.job.cpus = cpus;
+  r.job.submit = start;
+  r.job.runtime = end - start;
+  r.job.estimate = end - start;
+  r.job.klass = interstitial ? workload::JobClass::kInterstitial
+                             : workload::JobClass::kNative;
+  r.start = start;
+  r.end = end;
+  return r;
+}
+
+TEST(Utilization, Filters) {
+  const auto native = rec(0, 10, 1, false);
+  const auto inter = rec(0, 10, 1, true);
+  EXPECT_TRUE(passes(native, JobFilter::kAll));
+  EXPECT_TRUE(passes(native, JobFilter::kNativeOnly));
+  EXPECT_FALSE(passes(native, JobFilter::kInterstitialOnly));
+  EXPECT_TRUE(passes(inter, JobFilter::kInterstitialOnly));
+  EXPECT_FALSE(passes(inter, JobFilter::kNativeOnly));
+}
+
+TEST(Utilization, BusyCpuSecondsClipsToWindow) {
+  const std::vector<sched::JobRecord> rs{rec(0, 100, 4)};
+  EXPECT_DOUBLE_EQ(busy_cpu_seconds(rs, 0, 100, JobFilter::kAll), 400.0);
+  EXPECT_DOUBLE_EQ(busy_cpu_seconds(rs, 50, 100, JobFilter::kAll), 200.0);
+  EXPECT_DOUBLE_EQ(busy_cpu_seconds(rs, 90, 200, JobFilter::kAll), 40.0);
+  EXPECT_DOUBLE_EQ(busy_cpu_seconds(rs, 100, 200, JobFilter::kAll), 0.0);
+}
+
+TEST(Utilization, AverageUtilization) {
+  const std::vector<sched::JobRecord> rs{rec(0, 50, 10), rec(50, 100, 5)};
+  // 10 cpus for 50 s + 5 for 50 s on a 10-cpu machine over 100 s = 0.75.
+  EXPECT_DOUBLE_EQ(average_utilization(rs, 10, 0, 100), 0.75);
+}
+
+TEST(Utilization, SeparatesNativeAndInterstitial) {
+  const std::vector<sched::JobRecord> rs{rec(0, 100, 6, false),
+                                         rec(0, 100, 2, true)};
+  EXPECT_DOUBLE_EQ(average_utilization(rs, 10, 0, 100, JobFilter::kAll), 0.8);
+  EXPECT_DOUBLE_EQ(
+      average_utilization(rs, 10, 0, 100, JobFilter::kNativeOnly), 0.6);
+  EXPECT_DOUBLE_EQ(
+      average_utilization(rs, 10, 0, 100, JobFilter::kInterstitialOnly),
+      0.2);
+}
+
+TEST(Utilization, SeriesBucketsCorrectly) {
+  const std::vector<sched::JobRecord> rs{rec(0, 3600, 10),
+                                         rec(3600, 5400, 10)};
+  const auto s = utilization_series(rs, 10, 7200, 3600);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  EXPECT_DOUBLE_EQ(s[1], 0.5);
+}
+
+TEST(Utilization, SeriesHandlesPartialLastBucket) {
+  const std::vector<sched::JobRecord> rs{rec(0, 5000, 10)};
+  const auto s = utilization_series(rs, 10, 5000, 3600);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  // Second bucket: 1400 busy seconds of 3600 (denominator is full bucket).
+  EXPECT_NEAR(s[1], 1400.0 / 3600.0, 1e-12);
+}
+
+TEST(Utilization, SeriesIgnoresWorkPastSpan) {
+  const std::vector<sched::JobRecord> rs{rec(1800, 7200, 10)};
+  const auto s = utilization_series(rs, 10, 3600, 3600);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s[0], 0.5);
+}
+
+TEST(Utilization, BusyStepFunctionBuildsAndBalances) {
+  const std::vector<sched::JobRecord> rs{rec(10, 30, 4), rec(20, 40, 2),
+                                         rec(30, 50, 8)};
+  const auto steps = busy_step_function(rs, JobFilter::kAll);
+  ASSERT_FALSE(steps.empty());
+  EXPECT_EQ(steps.front().first, 0);
+  EXPECT_EQ(steps.front().second, 0);
+  // Evaluate at sample points.
+  auto at = [&](SimTime t) {
+    int v = 0;
+    for (const auto& [time, busy] : steps) {
+      if (time <= t) v = busy;
+    }
+    return v;
+  };
+  EXPECT_EQ(at(5), 0);
+  EXPECT_EQ(at(10), 4);
+  EXPECT_EQ(at(25), 6);
+  EXPECT_EQ(at(35), 10);
+  EXPECT_EQ(at(45), 8);
+  EXPECT_EQ(at(50), 0);
+}
+
+TEST(Utilization, BusyStepFunctionRespectsFilter) {
+  const std::vector<sched::JobRecord> rs{rec(0, 10, 4, false),
+                                         rec(0, 10, 2, true)};
+  const auto native = busy_step_function(rs, JobFilter::kNativeOnly);
+  int peak = 0;
+  for (const auto& [t, b] : native) peak = std::max(peak, b);
+  EXPECT_EQ(peak, 4);
+}
+
+TEST(Utilization, EmptyRecordsYieldZero) {
+  const std::vector<sched::JobRecord> none;
+  EXPECT_DOUBLE_EQ(average_utilization(none, 10, 0, 100), 0.0);
+  const auto steps = busy_step_function(none, JobFilter::kAll);
+  ASSERT_EQ(steps.size(), 1u);
+  EXPECT_EQ(steps[0].second, 0);
+}
+
+}  // namespace
+}  // namespace istc::metrics

@@ -1,0 +1,54 @@
+#include "sched/presets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace istc::sched {
+namespace {
+
+using cluster::Site;
+
+// Table 1's per-site queueing systems, as modelled.
+TEST(SchedPresets, RossIsConservativeEqualShare) {
+  const auto p = site_policy(Site::kRoss);
+  EXPECT_EQ(p.backfill, BackfillMode::kConservative);
+  EXPECT_EQ(p.fairshare.mode, FairShareMode::kEqualUsers);
+  EXPECT_FALSE(p.time_of_day.has_value());
+  EXPECT_NE(p.name.find("PBS"), std::string::npos);
+}
+
+TEST(SchedPresets, BlueMountainIsEasyGroupHierarchy) {
+  const auto p = site_policy(Site::kBlueMountain);
+  EXPECT_EQ(p.backfill, BackfillMode::kEasy);
+  EXPECT_EQ(p.fairshare.mode, FairShareMode::kGroupHierarchy);
+  EXPECT_FALSE(p.time_of_day.has_value());
+  EXPECT_NE(p.name.find("LSF"), std::string::npos);
+}
+
+TEST(SchedPresets, BluePacificIsEasyUserGroupWithTimeOfDay) {
+  const auto p = site_policy(Site::kBluePacific);
+  EXPECT_EQ(p.backfill, BackfillMode::kEasy);
+  EXPECT_EQ(p.fairshare.mode, FairShareMode::kUserAndGroup);
+  ASSERT_TRUE(p.time_of_day.has_value());
+  EXPECT_EQ(p.time_of_day->min_cpus_gated, 128);
+  EXPECT_NE(p.name.find("DPCS"), std::string::npos);
+}
+
+TEST(SchedPresets, BluePacificGateLeavesInterstitialJobsFree) {
+  // The canonical 32-CPU interstitial job must not be day-gated, or the
+  // paper's continual experiments would stall every morning.
+  const auto p = site_policy(Site::kBluePacific);
+  workload::Job j;
+  j.cpus = 32;
+  j.runtime = 325;
+  j.estimate = 325;
+  EXPECT_FALSE(p.time_of_day->gates(j));
+}
+
+TEST(SchedPresets, AllSitesShareWeeklyHalfLife) {
+  for (auto site : cluster::all_sites()) {
+    EXPECT_EQ(site_policy(site).fairshare.half_life, days(7));
+  }
+}
+
+}  // namespace
+}  // namespace istc::sched

@@ -1,0 +1,114 @@
+// Differential test: ResourceProfile against a brute-force second-by-second
+// reference implementation, over randomized operation sequences.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/resource_profile.hpp"
+#include "util/rng.hpp"
+
+namespace istc::sched {
+namespace {
+
+/// Dense array reference: free[t] for t in [0, horizon).
+class ReferenceProfile {
+ public:
+  ReferenceProfile(int capacity, SimTime horizon)
+      : capacity_(capacity),
+        free_(static_cast<std::size_t>(horizon), capacity) {}
+
+  int free_at(SimTime t) const {
+    return t < horizon() ? free_[static_cast<std::size_t>(t)] : capacity_;
+  }
+
+  int min_free(SimTime start, SimTime end) const {
+    int lo = capacity_;
+    for (SimTime t = start; t < end; ++t) lo = std::min(lo, free_at(t));
+    return lo;
+  }
+
+  void reserve(SimTime start, SimTime end, int cpus) {
+    // The reference must contain every reservation entirely, or the two
+    // implementations silently diverge past the horizon.
+    ASSERT_LE(end, horizon());
+    for (SimTime t = start; t < end; ++t) {
+      free_[static_cast<std::size_t>(t)] -= cpus;
+    }
+  }
+
+  void release(SimTime start, SimTime end, int cpus) {
+    ASSERT_LE(end, horizon());
+    for (SimTime t = start; t < end; ++t) {
+      free_[static_cast<std::size_t>(t)] += cpus;
+    }
+  }
+
+  SimTime earliest_fit(int cpus, Seconds dur, SimTime not_before) const {
+    for (SimTime t = not_before;; ++t) {
+      if (min_free(t, t + dur) >= cpus) return t;
+    }
+  }
+
+  SimTime horizon() const { return static_cast<SimTime>(free_.size()); }
+
+ private:
+  int capacity_;
+  std::vector<int> free_;
+};
+
+class ProfileDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProfileDifferential, MatchesBruteForce) {
+  constexpr int kCapacity = 24;
+  constexpr SimTime kHorizon = 600;  // query/insertion window
+  ResourceProfile fast(0, kCapacity);
+  // Congestion can push fits far past the insertion window; size the
+  // dense reference generously so every reservation fits inside it.
+  ReferenceProfile slow(kCapacity, kHorizon * 40);
+  Rng rng(GetParam());
+
+  struct Reservation {
+    SimTime start, end;
+    int cpus;
+  };
+  std::vector<Reservation> live;
+
+  for (int op = 0; op < 400; ++op) {
+    const auto choice = rng.below(10);
+    if (choice < 4) {
+      // Reserve at a feasible location.
+      const int cpus = static_cast<int>(rng.range(1, kCapacity));
+      const Seconds dur = rng.range(1, 60);
+      const SimTime after = rng.range(0, kHorizon);
+      const SimTime t = fast.earliest_fit(cpus, dur, after);
+      ASSERT_EQ(t, slow.earliest_fit(cpus, dur, after))
+          << "op " << op << " cpus=" << cpus << " dur=" << dur
+          << " after=" << after;
+      fast.reserve(t, t + dur, cpus);
+      slow.reserve(t, t + dur, cpus);
+      live.push_back({t, t + dur, cpus});
+    } else if (choice < 6 && !live.empty()) {
+      // Release a random live reservation.
+      const auto idx = rng.below(live.size());
+      const auto r = live[idx];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+      fast.release(r.start, r.end, r.cpus);
+      slow.release(r.start, r.end, r.cpus);
+    } else if (choice < 8) {
+      const SimTime t = rng.range(0, kHorizon);
+      ASSERT_EQ(fast.free_at(t), slow.free_at(t)) << "free_at(" << t << ")";
+    } else {
+      const SimTime a = rng.range(0, kHorizon);
+      const SimTime b = a + rng.range(1, 80);
+      ASSERT_EQ(fast.min_free(a, b), slow.min_free(a, b))
+          << "min_free(" << a << "," << b << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProfileDifferential,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace istc::sched

@@ -1,0 +1,123 @@
+#include "sched/timeofday.hpp"
+
+#include <gtest/gtest.h>
+
+namespace istc::sched {
+namespace {
+
+workload::Job wide_job(int cpus, Seconds est = 3600) {
+  workload::Job j;
+  j.cpus = cpus;
+  j.runtime = est;
+  j.estimate = est;
+  return j;
+}
+
+TimeOfDayRule night_rule() {
+  return TimeOfDayRule{.min_cpus_gated = 128,
+                       .min_estimate_gated = hours(12),
+                       .night_start_hour = 18,
+                       .night_end_hour = 8,
+                       .weekends_open = true};
+}
+
+TEST(TimeOfDay, SmallShortJobsNeverGated) {
+  const auto r = night_rule();
+  EXPECT_FALSE(r.gates(wide_job(127, hours(11))));
+  EXPECT_TRUE(r.allowed(wide_job(1), hours(12)));  // midday
+}
+
+TEST(TimeOfDay, WideJobsGated) {
+  const auto r = night_rule();
+  EXPECT_TRUE(r.gates(wide_job(128)));
+  EXPECT_TRUE(r.gates(wide_job(512)));
+}
+
+TEST(TimeOfDay, LongJobsGated) {
+  const auto r = night_rule();
+  EXPECT_TRUE(r.gates(wide_job(1, hours(12))));
+}
+
+TEST(TimeOfDay, WrappingNightWindow) {
+  const auto r = night_rule();
+  // Monday (day 0).
+  EXPECT_TRUE(r.window_open(hours(19)));   // 19:00
+  EXPECT_TRUE(r.window_open(hours(2)));    // 02:00
+  EXPECT_TRUE(r.window_open(hours(7)));    // 07:xx
+  EXPECT_FALSE(r.window_open(hours(8)));   // 08:00 closes
+  EXPECT_FALSE(r.window_open(hours(12)));  // midday
+  EXPECT_FALSE(r.window_open(hours(17)));  // 17:xx
+  EXPECT_TRUE(r.window_open(hours(18)));   // 18:00 opens
+}
+
+TEST(TimeOfDay, NonWrappingWindow) {
+  TimeOfDayRule r{.min_cpus_gated = 1,
+                  .min_estimate_gated = kTimeInfinity,
+                  .night_start_hour = 9,
+                  .night_end_hour = 17,
+                  .weekends_open = false};
+  EXPECT_FALSE(r.window_open(hours(8)));
+  EXPECT_TRUE(r.window_open(hours(9)));
+  EXPECT_TRUE(r.window_open(hours(16)));
+  EXPECT_FALSE(r.window_open(hours(17)));
+}
+
+TEST(TimeOfDay, WeekendsOpenAllDay) {
+  const auto r = night_rule();
+  // Saturday midday (day 5).
+  EXPECT_TRUE(r.window_open(days(5) + hours(12)));
+  // The following Monday midday is closed again.
+  EXPECT_FALSE(r.window_open(days(7) + hours(12)));
+}
+
+TEST(TimeOfDay, EarliestAllowedIdentityWhenOpen) {
+  const auto r = night_rule();
+  const auto j = wide_job(256);
+  EXPECT_EQ(r.earliest_allowed(j, hours(20)), hours(20));
+  // Ungated job: always now.
+  EXPECT_EQ(r.earliest_allowed(wide_job(1), hours(12)), hours(12));
+}
+
+TEST(TimeOfDay, EarliestAllowedJumpsToNightfall) {
+  const auto r = night_rule();
+  const auto j = wide_job(256);
+  // Monday 09:30 -> Monday 18:00.
+  EXPECT_EQ(r.earliest_allowed(j, hours(9) + minutes(30)), hours(18));
+  // Exactly at the close (08:00) -> 18:00 same day.
+  EXPECT_EQ(r.earliest_allowed(j, hours(8)), hours(18));
+}
+
+TEST(TimeOfDay, EarliestAllowedRoundsUpToWholeHour) {
+  const auto r = night_rule();
+  const auto j = wide_job(256);
+  const SimTime t = hours(17) + minutes(59) + 59;
+  EXPECT_EQ(r.earliest_allowed(j, t), hours(18));
+}
+
+TEST(TimeOfDay, FridayMiddayJumpsToEvening) {
+  const auto r = night_rule();
+  const auto j = wide_job(256);
+  const SimTime friday_noon = days(4) + hours(12);
+  EXPECT_EQ(r.earliest_allowed(j, friday_noon), days(4) + hours(18));
+}
+
+// Property: earliest_allowed always lands in an open window, at or after t.
+class TodSweep : public ::testing::TestWithParam<SimTime> {};
+
+TEST_P(TodSweep, EarliestAllowedIsOpenAndMonotone) {
+  const auto r = night_rule();
+  const auto j = wide_job(512, hours(20));
+  const SimTime t = GetParam();
+  const SimTime e = r.earliest_allowed(j, t);
+  EXPECT_GE(e, t);
+  EXPECT_TRUE(r.allowed(j, e));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Times, TodSweep,
+    ::testing::Values(0, hours(3), hours(8), hours(12), hours(17) + 1,
+                      hours(18), days(4) + hours(16), days(5) + hours(12),
+                      days(6) + hours(23), days(13) + hours(9)));
+
+}  // namespace
+}  // namespace istc::sched

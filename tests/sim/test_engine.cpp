@@ -1,0 +1,201 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace istc::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0);
+  EXPECT_TRUE(e.finished());
+}
+
+TEST(Engine, RunsEventsInOrder) {
+  Engine e;
+  std::vector<SimTime> fired;
+  e.schedule(20, [&] { fired.push_back(20); });
+  e.schedule(10, [&] { fired.push_back(10); });
+  e.run();
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(e.now(), 20);
+  EXPECT_EQ(e.events_processed(), 2u);
+}
+
+TEST(Engine, ScheduleInRelative) {
+  Engine e;
+  SimTime seen = -1;
+  e.schedule(5, [&e, &seen] {
+    e.schedule_in(10, [&e, &seen] { seen = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(seen, 15);
+}
+
+TEST(Engine, QuiescentHookOncePerTimestamp) {
+  Engine e;
+  std::vector<SimTime> hook_times;
+  e.on_quiescent([&](SimTime t) { hook_times.push_back(t); });
+  e.schedule(5, [] {});
+  e.schedule(5, [] {});
+  e.schedule(5, [] {});
+  e.schedule(9, [] {});
+  e.run();
+  EXPECT_EQ(hook_times, (std::vector<SimTime>{5, 9}));
+}
+
+TEST(Engine, HookRunsAfterAllEventsAtTimestamp) {
+  Engine e;
+  int events_before_hook = 0;
+  int counted_at_hook = -1;
+  e.on_quiescent([&](SimTime) { counted_at_hook = events_before_hook; });
+  for (int i = 0; i < 4; ++i) e.schedule(3, [&] { ++events_before_hook; });
+  e.run();
+  EXPECT_EQ(counted_at_hook, 4);
+}
+
+TEST(Engine, EventScheduledForNowByEventRunsThisStep) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(5, [&] {
+    order.push_back(1);
+    e.schedule(5, [&] { order.push_back(2); });
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(e.now(), 5);
+}
+
+TEST(Engine, HookMaySchedulePresentAndFuture) {
+  Engine e;
+  int hook_calls = 0;
+  bool future_ran = false;
+  e.on_quiescent([&](SimTime t) {
+    ++hook_calls;
+    if (t == 1 && hook_calls == 1) {
+      e.schedule(4, [&] { future_ran = true; });
+    }
+  });
+  e.schedule(1, [] {});
+  e.run();
+  EXPECT_TRUE(future_ran);
+  EXPECT_GE(hook_calls, 2);  // once at t=1, once at t=4
+}
+
+TEST(Engine, MultipleHooksInRegistrationOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.on_quiescent([&](SimTime) { order.push_back(1); });
+  e.on_quiescent([&](SimTime) { order.push_back(2); });
+  e.schedule(3, [] {});
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Engine, RunUntilStopsAndResumes) {
+  Engine e;
+  std::vector<SimTime> fired;
+  e.schedule(10, [&] { fired.push_back(10); });
+  e.schedule(20, [&] { fired.push_back(20); });
+  e.schedule(30, [&] { fired.push_back(30); });
+  e.run(20);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_FALSE(e.finished());
+  e.run();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(Engine, RunUntilAdvancesClockToLimit) {
+  Engine e;
+  e.schedule(5, [] {});
+  e.run(100);
+  EXPECT_EQ(e.now(), 100);
+}
+
+TEST(Engine, StepProcessesOneTimestamp) {
+  Engine e;
+  int fired = 0;
+  e.schedule(5, [&] { ++fired; });
+  e.schedule(5, [&] { ++fired; });
+  e.schedule(8, [&] { ++fired; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(e.now(), 5);
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 3);
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, ChainedSimulationDrains) {
+  // A self-perpetuating chain that stops after N links.
+  Engine e;
+  int links = 0;
+  std::function<void()> link = [&] {
+    if (++links < 100) e.schedule_in(7, link);
+  };
+  e.schedule(0, link);
+  e.run();
+  EXPECT_EQ(links, 100);
+  EXPECT_EQ(e.now(), 99 * 7);
+}
+
+TEST(Engine, EventsProcessedCounts) {
+  Engine e;
+  for (int i = 0; i < 7; ++i) e.schedule(i, [] {});
+  e.run();
+  EXPECT_EQ(e.events_processed(), 7u);
+}
+
+TEST(Engine, RunWithEmptyQueueIsNoOp) {
+  Engine e;
+  e.run();
+  EXPECT_EQ(e.now(), 0);
+  EXPECT_TRUE(e.finished());
+}
+
+TEST(Engine, FinishedReflectsQueueState) {
+  Engine e;
+  e.schedule(5, [] {});
+  EXPECT_FALSE(e.finished());
+  e.run();
+  EXPECT_TRUE(e.finished());
+}
+
+TEST(Engine, HookNotCalledWithoutEvents) {
+  Engine e;
+  int calls = 0;
+  e.on_quiescent([&](SimTime) { ++calls; });
+  e.run();
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Engine, RunUntilExactEventTimeProcessesIt) {
+  Engine e;
+  bool fired = false;
+  e.schedule(10, [&] { fired = true; });
+  e.run(10);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(e.now(), 10);
+}
+
+TEST(Engine, ScheduleAtCurrentTimeBeforeRunWorks) {
+  Engine e;
+  bool fired = false;
+  e.schedule(0, [&] { fired = true; });
+  e.run();
+  EXPECT_TRUE(fired);
+}
+
+#ifdef GTEST_HAS_DEATH_TEST
+TEST(EngineDeath, SchedulingInThePastAborts) {
+  Engine e;
+  e.schedule(10, [] {});
+  e.run();
+  EXPECT_DEATH(e.schedule(5, [] {}), "precondition");
+}
+#endif
+
+}  // namespace
+}  // namespace istc::sim

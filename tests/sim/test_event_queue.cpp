@@ -1,0 +1,75 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace istc::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(30, [&] { fired.push_back(30); });
+  q.push(10, [&] { fired.push_back(10); });
+  q.push(20, [&] { fired.push_back(20); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(fired, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(EventQueue, FifoAmongEqualTimes) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 50; ++i) q.push(5, [&fired, i] { fired.push_back(i); });
+  while (!q.empty()) q.pop()();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTime) {
+  EventQueue q;
+  q.push(42, [] {});
+  q.push(7, [] {});
+  EXPECT_EQ(q.next_time(), 7);
+  q.pop();
+  EXPECT_EQ(q.next_time(), 42);
+}
+
+TEST(EventQueue, SizeTracksPushPop) {
+  EventQueue q;
+  q.push(1, [] {});
+  q.push(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, InterleavedPushPopKeepsOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(10, [&] { fired.push_back(10); });
+  q.push(5, [&] { fired.push_back(5); });
+  q.pop()();  // fires 5
+  q.push(1, [&] { fired.push_back(1); });  // earlier than remaining 10
+  q.pop()();
+  q.pop()();
+  EXPECT_EQ(fired, (std::vector<int>{5, 1, 10}));
+}
+
+TEST(EventQueue, NegativeTimesAllowedAndOrdered) {
+  // The queue itself is time-agnostic (the engine enforces monotonicity).
+  EventQueue q;
+  std::vector<SimTime> fired;
+  q.push(-5, [&] { fired.push_back(-5); });
+  q.push(-10, [&] { fired.push_back(-10); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(fired, (std::vector<SimTime>{-10, -5}));
+}
+
+}  // namespace
+}  // namespace istc::sim

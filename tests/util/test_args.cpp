@@ -1,0 +1,108 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace istc {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv{"istc"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, EmptyCommandLine) {
+  const auto a = parse({});
+  EXPECT_TRUE(a.positionals().empty());
+  EXPECT_EQ(a.command(), "");
+  EXPECT_TRUE(a.errors().empty());
+}
+
+TEST(Args, PositionalsInOrder) {
+  const auto a = parse({"plan", "extra"});
+  ASSERT_EQ(a.positionals().size(), 2u);
+  EXPECT_EQ(a.command(), "plan");
+  EXPECT_EQ(a.positionals()[1], "extra");
+}
+
+TEST(Args, FlagWithSeparateValue) {
+  const auto a = parse({"--site", "ross"});
+  EXPECT_TRUE(a.has("site"));
+  EXPECT_EQ(a.get_or("site", "x"), "ross");
+}
+
+TEST(Args, FlagWithEqualsValue) {
+  const auto a = parse({"--cap=0.9"});
+  EXPECT_EQ(a.get_or("cap", ""), "0.9");
+  EXPECT_DOUBLE_EQ(a.get_num_or("cap", 0.0), 0.9);
+}
+
+TEST(Args, SwitchWithoutValue) {
+  const auto a = parse({"--verbose", "--site", "ross"});
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_EQ(a.get("verbose").value(), "");
+  EXPECT_EQ(a.get_or("verbose", "fallback"), "fallback");
+}
+
+TEST(Args, AbsentFlag) {
+  const auto a = parse({"report"});
+  EXPECT_FALSE(a.has("site"));
+  EXPECT_FALSE(a.get("site").has_value());
+  EXPECT_EQ(a.get_or("site", "dflt"), "dflt");
+  EXPECT_EQ(a.get_int_or("cpus", 7), 7);
+}
+
+TEST(Args, IntegerParsing) {
+  const auto a = parse({"--cpus", "32"});
+  EXPECT_EQ(a.get_int_or("cpus", 0), 32);
+  EXPECT_TRUE(a.errors().empty());
+}
+
+TEST(Args, BadIntegerRecordsError) {
+  const auto a = parse({"--cpus", "thirty"});
+  EXPECT_EQ(a.get_int_or("cpus", 5), 5);
+  ASSERT_EQ(a.errors().size(), 1u);
+  EXPECT_NE(a.errors()[0].find("cpus"), std::string::npos);
+}
+
+TEST(Args, BadNumberRecordsError) {
+  const auto a = parse({"--cap", "0.9x"});
+  EXPECT_DOUBLE_EQ(a.get_num_or("cap", 1.0), 1.0);
+  EXPECT_EQ(a.errors().size(), 1u);
+}
+
+TEST(Args, LastOccurrenceWins) {
+  const auto a = parse({"--site", "ross", "--site", "bluemtn"});
+  EXPECT_EQ(a.get_or("site", ""), "bluemtn");
+}
+
+TEST(Args, SingleDashRejected) {
+  const auto a = parse({"-v"});
+  ASSERT_EQ(a.errors().size(), 1u);
+  EXPECT_NE(a.errors()[0].find("-v"), std::string::npos);
+}
+
+TEST(Args, UnconsumedFlagsDetected) {
+  const auto a = parse({"--site", "ross", "--typo", "zzz"});
+  EXPECT_EQ(a.get_or("site", ""), "ross");
+  const auto unknown = a.unconsumed();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Args, MixedPositionalsAndFlags) {
+  const auto a = parse({"harvest", "--cpus", "16", "tail"});
+  EXPECT_EQ(a.command(), "harvest");
+  ASSERT_EQ(a.positionals().size(), 2u);
+  EXPECT_EQ(a.positionals()[1], "tail");
+  EXPECT_EQ(a.get_int_or("cpus", 0), 16);
+}
+
+TEST(Args, NegativeNumberAsValue) {
+  // "-5" does not start with "--" so it is consumed as the flag's value.
+  const auto a = parse({"--offset", "-5"});
+  EXPECT_EQ(a.get_int_or("offset", 0), -5);
+}
+
+}  // namespace
+}  // namespace istc

@@ -1,0 +1,168 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace istc {
+namespace {
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownSample) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i) * 10 + i;
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  OnlineStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Summary, BasicStats) {
+  const Summary s({3.0, 1.0, 2.0, 4.0, 5.0});
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Summary, EvenCountMedianInterpolates) {
+  const Summary s({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+}
+
+TEST(Summary, Quantiles) {
+  std::vector<double> v;
+  for (int i = 0; i <= 100; ++i) v.push_back(i);
+  const Summary s(std::move(v));
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 25.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.95), 95.0);
+}
+
+TEST(Summary, MeanPmStdFormat) {
+  const Summary s({1.0, 2.0, 3.0});
+  EXPECT_EQ(s.mean_pm_std(1), "2.0 ± 1.0");
+}
+
+TEST(MedianOf, OddAndEven) {
+  const std::vector<double> odd{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median_of(odd), 3.0);
+  const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median_of(even), 2.5);
+}
+
+TEST(SortedQuantile, SingleElement) {
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(sorted_quantile(one, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(sorted_quantile(one, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(sorted_quantile(one, 1.0), 7.0);
+}
+
+TEST(Correlation, PerfectPositive) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(correlation(x, y), 1.0, 1e-12);
+}
+
+TEST(Correlation, PerfectNegative) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{8, 6, 4, 2};
+  EXPECT_NEAR(correlation(x, y), -1.0, 1e-12);
+}
+
+TEST(Correlation, DegenerateIsZero) {
+  const std::vector<double> x{1, 1, 1};
+  const std::vector<double> y{2, 5, 9};
+  EXPECT_DOUBLE_EQ(correlation(x, y), 0.0);
+}
+
+TEST(LinearFit, ExactLine) {
+  const std::vector<double> x{0, 1, 2, 3};
+  const std::vector<double> y{5, 7, 9, 11};  // y = 5 + 2x
+  const LinearFit f = linear_fit(x, y);
+  EXPECT_NEAR(f.intercept, 5.0, 1e-12);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineReasonable) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 0.5 * i + ((i % 2) ? 0.2 : -0.2));
+  }
+  const LinearFit f = linear_fit(x, y);
+  EXPECT_NEAR(f.slope, 0.5, 0.01);
+  EXPECT_NEAR(f.intercept, 3.0, 0.25);
+  EXPECT_GT(f.r2, 0.99);
+}
+
+// Property: Summary mean/std agree with OnlineStats on random data.
+class SummaryVsOnline : public ::testing::TestWithParam<int> {};
+
+TEST_P(SummaryVsOnline, Agree) {
+  std::vector<double> v;
+  OnlineStats os;
+  for (int i = 0; i < GetParam(); ++i) {
+    const double x = std::cos(i * 0.7) * 100 + i;
+    v.push_back(x);
+    os.add(x);
+  }
+  const Summary s(std::move(v));
+  EXPECT_NEAR(s.mean(), os.mean(), 1e-9);
+  EXPECT_NEAR(s.stddev(), os.stddev(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SummaryVsOnline,
+                         ::testing::Values(1, 2, 3, 10, 100, 1000));
+
+}  // namespace
+}  // namespace istc

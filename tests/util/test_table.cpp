@@ -1,0 +1,86 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace istc {
+namespace {
+
+TEST(Table, CellFormatters) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.0, 0), "3");
+  EXPECT_EQ(Table::integer(42), "42");
+  EXPECT_EQ(Table::integer(-7), "-7");
+  EXPECT_EQ(Table::pm(12.3, 4.5, 1), "12.3 ± 4.5");
+}
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t("title");
+  t.headers({"a", "bb"});
+  t.row({"1", "2"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("title"), std::string::npos);
+  EXPECT_NE(s.find("| a "), std::string::npos);
+  EXPECT_NE(s.find("| bb "), std::string::npos);
+  EXPECT_NE(s.find("| 1 "), std::string::npos);
+}
+
+TEST(Table, ColumnWidthsAccommodateLongestCell) {
+  Table t;
+  t.headers({"x"});
+  t.row({"longvalue"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| longvalue |"), std::string::npos);
+  EXPECT_NE(s.find("| x         |"), std::string::npos);
+}
+
+TEST(Table, MissingCellsRenderEmpty) {
+  Table t;
+  t.headers({"a", "b", "c"});
+  t.row({"1"});
+  const std::string s = t.str();
+  // Three columns drawn even though the row had one cell.
+  EXPECT_NE(s.find("| 1 |"), std::string::npos);
+}
+
+TEST(Table, ExtraCellsWidenTable) {
+  Table t;
+  t.headers({"a"});
+  t.row({"1", "2", "3"});
+  EXPECT_NE(t.str().find("| 3 |"), std::string::npos);
+}
+
+TEST(Table, EmptyTable) {
+  Table t("only title");
+  EXPECT_NE(t.str().find("empty table"), std::string::npos);
+}
+
+TEST(Table, RowCount) {
+  Table t;
+  EXPECT_EQ(t.rows(), 0u);
+  t.row({"x"});
+  t.row({"y"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(KeyValueBlock, Renders) {
+  KeyValueBlock kv("params");
+  kv.add("alpha", "1");
+  kv.add("beta", 2.5, 1);
+  const std::string s = kv.str();
+  EXPECT_NE(s.find("params"), std::string::npos);
+  EXPECT_NE(s.find("alpha : 1"), std::string::npos);
+  EXPECT_NE(s.find("beta"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+}
+
+TEST(KeyValueBlock, KeysAligned) {
+  KeyValueBlock kv;
+  kv.add("a", "1");
+  kv.add("longer", "2");
+  const std::string s = kv.str();
+  // Short key padded to the longest key width before the colon.
+  EXPECT_NE(s.find("a      : 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace istc

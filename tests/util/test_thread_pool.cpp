@@ -1,0 +1,105 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace istc {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, SizeReflectsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ParallelFor, CoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, hits.size(),
+               [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterations) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+  SUCCEED();
+}
+
+TEST(ParallelFor, MoreTasksThanWorkers) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  parallel_for(pool, 500, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long>(i));
+  });
+  EXPECT_EQ(sum.load(), 500L * 499 / 2);
+}
+
+TEST(ParallelFor, TransientPoolOverload) {
+  std::atomic<int> n{0};
+  parallel_for(16, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 16);
+}
+
+TEST(ParallelFor, SerialFallbackForTinyN) {
+  std::atomic<int> n{0};
+  parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    n.fetch_add(1);
+  });
+  EXPECT_EQ(n.load(), 1);
+}
+
+// Determinism contract: per-index forked RNG streams give results that are
+// independent of thread count / interleaving.
+TEST(ParallelFor, DeterministicWithForkedStreams) {
+  const Rng root(99);
+  auto run = [&](std::size_t workers) {
+    ThreadPool pool(workers);
+    std::vector<double> out(64);
+    parallel_for(pool, out.size(), [&](std::size_t i) {
+      Rng rng = root.fork(i);
+      double acc = 0;
+      for (int k = 0; k < 100; ++k) acc += rng.uniform();
+      out[i] = acc;
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(7));
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> a{0};
+  parallel_for(pool, 10, [&](std::size_t) { a.fetch_add(1); });
+  parallel_for(pool, 20, [&](std::size_t) { a.fetch_add(1); });
+  EXPECT_EQ(a.load(), 30);
+}
+
+}  // namespace
+}  // namespace istc

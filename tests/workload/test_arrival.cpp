@@ -1,0 +1,124 @@
+#include "workload/arrival.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace istc::workload {
+namespace {
+
+TEST(ArrivalProcess, GeneratesExactTargetCount) {
+  ArrivalProcess p{ArrivalSpec{}};
+  Rng rng(1);
+  for (std::size_t target : {1u, 10u, 500u, 5000u}) {
+    const auto a = p.generate(days(30), target, rng);
+    EXPECT_EQ(a.size(), target);
+  }
+}
+
+TEST(ArrivalProcess, SortedWithinSpan) {
+  ArrivalProcess p{ArrivalSpec{}};
+  Rng rng(2);
+  const SimTime span = days(20);
+  const auto a = p.generate(span, 2000, rng);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  EXPECT_GE(a.front(), 0);
+  EXPECT_LT(a.back(), span);
+}
+
+TEST(ArrivalProcess, DeterministicPerSeed) {
+  ArrivalProcess p{ArrivalSpec{}};
+  Rng a(3), b(3);
+  EXPECT_EQ(p.generate(days(10), 500, a), p.generate(days(10), 500, b));
+}
+
+TEST(ArrivalProcess, ModulationPeaksNearPeakHour) {
+  ArrivalSpec spec;
+  spec.diurnal_amplitude = 0.6;
+  spec.diurnal_peak_hour = 14.0;
+  ArrivalProcess p{spec};
+  const double at_peak = p.modulation(hours(14));
+  const double at_trough = p.modulation(hours(2));
+  EXPECT_GT(at_peak, at_trough);
+  EXPECT_NEAR(at_peak, 1.6, 0.01);
+  EXPECT_NEAR(at_trough, 0.4, 0.01);
+}
+
+TEST(ArrivalProcess, WeekendDampened) {
+  ArrivalSpec spec;
+  spec.weekend_factor = 0.5;
+  ArrivalProcess p{spec};
+  // Day 5 (Saturday, trace starts Monday) at the same hour as day 4.
+  const double friday = p.modulation(days(4) + hours(14));
+  const double saturday = p.modulation(days(5) + hours(14));
+  EXPECT_NEAR(saturday / friday, 0.5, 1e-9);
+}
+
+TEST(ArrivalProcess, ZeroAmplitudeIsFlatWeekdays) {
+  ArrivalSpec spec;
+  spec.diurnal_amplitude = 0.0;
+  ArrivalProcess p{spec};
+  EXPECT_DOUBLE_EQ(p.modulation(hours(3)), p.modulation(hours(15)));
+}
+
+TEST(ArrivalProcess, BurstinessIncreasesClumping) {
+  // Compare inter-arrival coefficient of variation: the MMPP+diurnal stream
+  // should be more variable than near-Poisson (burst_factor=1, flat).
+  ArrivalSpec bursty;
+  bursty.burst_factor = 8.0;
+  ArrivalSpec calm;
+  calm.burst_factor = 1.0;
+  calm.diurnal_amplitude = 0.0;
+  calm.weekend_factor = 1.0;
+
+  auto cv = [](const std::vector<SimTime>& a) {
+    double mean = 0, m2 = 0;
+    std::vector<double> gaps;
+    for (std::size_t i = 1; i < a.size(); ++i) {
+      gaps.push_back(static_cast<double>(a[i] - a[i - 1]));
+    }
+    for (double g : gaps) mean += g;
+    mean /= static_cast<double>(gaps.size());
+    for (double g : gaps) m2 += (g - mean) * (g - mean);
+    m2 /= static_cast<double>(gaps.size() - 1);
+    return std::sqrt(m2) / mean;
+  };
+
+  Rng r1(4), r2(4);
+  const auto a_bursty = ArrivalProcess{bursty}.generate(days(60), 8000, r1);
+  const auto a_calm = ArrivalProcess{calm}.generate(days(60), 8000, r2);
+  EXPECT_GT(cv(a_bursty), cv(a_calm) * 1.3);
+}
+
+TEST(ArrivalProcess, HandlesTargetLargerThanInitialEstimate) {
+  // Force the retry/upscale path with a very bursty, dampened profile.
+  ArrivalSpec spec;
+  spec.weekend_factor = 0.3;
+  spec.diurnal_amplitude = 0.8;
+  ArrivalProcess p{spec};
+  Rng rng(5);
+  const auto a = p.generate(days(3), 10000, rng);
+  EXPECT_EQ(a.size(), 10000u);
+}
+
+class ArrivalTargetSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ArrivalTargetSweep, ExactCountAndRange) {
+  ArrivalProcess p{ArrivalSpec{}};
+  Rng rng(6 + GetParam());
+  const SimTime span = days(15);
+  const auto a = p.generate(span, GetParam(), rng);
+  ASSERT_EQ(a.size(), GetParam());
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  for (SimTime t : a) {
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, span);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, ArrivalTargetSweep,
+                         ::testing::Values(1, 2, 17, 100, 1234, 20000));
+
+}  // namespace
+}  // namespace istc::workload

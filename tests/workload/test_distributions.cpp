@@ -1,0 +1,173 @@
+#include "workload/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace istc::workload {
+namespace {
+
+TEST(FloorPow2, KnownValues) {
+  EXPECT_EQ(floor_pow2(1), 1);
+  EXPECT_EQ(floor_pow2(2), 2);
+  EXPECT_EQ(floor_pow2(3), 2);
+  EXPECT_EQ(floor_pow2(4), 4);
+  EXPECT_EQ(floor_pow2(1023), 512);
+  EXPECT_EQ(floor_pow2(1024), 1024);
+}
+
+TEST(SizeDistribution, OnlyEmitsDeclaredClassesWithoutTail) {
+  SizeDistribution d({{4, 1.0}, {16, 2.0}}, /*tail_prob=*/0.0,
+                     /*tail_alpha=*/1.0, /*max_cpus=*/64);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const int c = d(rng);
+    EXPECT_TRUE(c == 4 || c == 16);
+  }
+}
+
+TEST(SizeDistribution, ClassWeightsRespected) {
+  SizeDistribution d({{1, 1.0}, {8, 3.0}}, 0.0, 1.0, 8);
+  Rng rng(2);
+  int eights = 0;
+  const int draws = 40000;
+  for (int i = 0; i < draws; ++i) eights += d(rng) == 8;
+  EXPECT_NEAR(eights / static_cast<double>(draws), 0.75, 0.01);
+}
+
+TEST(SizeDistribution, TailEmitsPowersOfTwoUpToMax) {
+  SizeDistribution d({{1, 1.0}}, /*tail_prob=*/1.0, /*tail_alpha=*/0.7,
+                     /*max_cpus=*/1024);
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const int c = d(rng);
+    EXPECT_GE(c, 1);
+    EXPECT_LE(c, 1024);
+    EXPECT_EQ(c & (c - 1), 0) << "not a power of two: " << c;
+  }
+}
+
+TEST(SizeDistribution, TailReachesLargeSizes) {
+  SizeDistribution d({{1, 1.0}}, 1.0, 0.5, 1024);
+  Rng rng(4);
+  int big = 0;
+  for (int i = 0; i < 20000; ++i) big += d(rng) >= 256;
+  EXPECT_GT(big, 100);  // a fat tail must actually produce wide jobs
+}
+
+TEST(RuntimeDistribution, MedianAndMeanNearTargets) {
+  const Seconds med = 3600, mean = 9000;
+  RuntimeDistribution d(med, mean, 1, 1000000);
+  Rng rng(5);
+  std::vector<double> v;
+  OnlineStats s;
+  for (int i = 0; i < 200000; ++i) {
+    const auto r = static_cast<double>(d(rng));
+    v.push_back(r);
+    s.add(r);
+  }
+  EXPECT_NEAR(median_of(v), static_cast<double>(med),
+              static_cast<double>(med) * 0.05);
+  EXPECT_NEAR(s.mean(), static_cast<double>(mean),
+              static_cast<double>(mean) * 0.08);
+}
+
+TEST(RuntimeDistribution, RespectsClamps) {
+  RuntimeDistribution d(3600, 9000, 600, 7200);
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const Seconds r = d(rng);
+    EXPECT_GE(r, 600);
+    EXPECT_LE(r, 7200);
+  }
+}
+
+TEST(RuntimeDistribution, EqualMeanMedianDegeneratesToConstant) {
+  RuntimeDistribution d(1000, 1000, 1, 100000);
+  EXPECT_DOUBLE_EQ(d.sigma(), 0.0);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d(rng), 1000);
+}
+
+TEST(EstimateModel, AlwaysAtLeastRuntime) {
+  EstimateModel m({3600}, {1.0}, 0.5, 1.1, 2.0, 7200);
+  Rng rng(8);
+  for (Seconds run : {Seconds{10}, Seconds{3600}, Seconds{7000},
+                      Seconds{20000}}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_GE(m(run, rng), run);
+    }
+  }
+}
+
+TEST(EstimateModel, CapAtMaxUnlessRuntimeExceedsIt) {
+  EstimateModel m({36000}, {1.0}, 1.0, 1.1, 2.0, 7200);
+  Rng rng(9);
+  EXPECT_EQ(m(100, rng), 7200);      // default 10 h clamped to 2 h max
+  EXPECT_EQ(m(9000, rng), 9000);     // runtime above max wins
+}
+
+TEST(EstimateModel, DefaultsGrosslyOverestimateShortJobs) {
+  // The paper's estimate pathology: median estimate 6 h vs median run 0.8 h.
+  EstimateModel m({hours(6), hours(12)}, {4.0, 1.0}, 1.0, 1.1, 2.0,
+                  hours(24));
+  Rng rng(10);
+  const Seconds run = minutes(48);
+  OnlineStats s;
+  for (int i = 0; i < 20000; ++i) {
+    s.add(static_cast<double>(m(run, rng)));
+  }
+  EXPECT_GT(s.mean(), static_cast<double>(hours(6)));
+}
+
+TEST(EstimateModel, PaddedEstimatesQuantizedTo15Min) {
+  EstimateModel m({hours(6)}, {1.0}, 0.0, 1.2, 2.0, hours(24));
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const Seconds est = m(3000, rng);
+    EXPECT_EQ(est % (15 * kSecondsPerMinute), 0) << est;
+  }
+}
+
+TEST(EstimateModel, PaddedEstimateWithinPadBounds) {
+  EstimateModel m({hours(6)}, {1.0}, 0.0, 1.5, 3.0, hours(100));
+  Rng rng(12);
+  const Seconds run = 10000;
+  for (int i = 0; i < 2000; ++i) {
+    const Seconds est = m(run, rng);
+    EXPECT_GE(est, run);
+    // upper bound: 3x padded + one 15-min granule
+    EXPECT_LE(est, static_cast<Seconds>(3.0 * 10000) + 900);
+  }
+}
+
+// Property sweep: distribution parameters across a grid stay in-contract.
+struct DistParam {
+  Seconds median;
+  Seconds mean;
+};
+
+class RuntimeSweep : public ::testing::TestWithParam<DistParam> {};
+
+TEST_P(RuntimeSweep, SamplesWithinClamps) {
+  const auto p = GetParam();
+  RuntimeDistribution d(p.median, p.mean, 60, days(5));
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    const Seconds r = d(rng);
+    ASSERT_GE(r, 60);
+    ASSERT_LE(r, days(5));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RuntimeSweep,
+    ::testing::Values(DistParam{600, 600}, DistParam{600, 1800},
+                      DistParam{3600, 9000}, DistParam{hours(2), hours(9)},
+                      DistParam{minutes(25), minutes(70)}));
+
+}  // namespace
+}  // namespace istc::workload

@@ -1,0 +1,180 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace istc::workload {
+namespace {
+
+cluster::MachineSpec test_machine() {
+  return {.name = "t", .site = "", .queue_system = "", .cpus = 512,
+          .clock_ghz = 0.5};
+}
+
+WorkloadSpec small_spec() {
+  WorkloadSpec w;
+  w.name = "test";
+  w.span = days(10);
+  w.jobs = 2000;
+  w.offered_load = 0.7;
+  w.size_classes = {{1, 2.0}, {4, 2.0}, {16, 1.5}, {64, 1.0}, {128, 0.4}};
+  w.size_tail_prob = 0.03;
+  w.size_tail_alpha = 1.0;
+  w.max_cpus = 256;
+  w.runtime_median = minutes(30);
+  w.runtime_mean = minutes(90);
+  w.runtime_min = 60;
+  w.runtime_max = days(1);
+  w.estimate_defaults = {hours(4), hours(8)};
+  w.estimate_default_weights = {2.0, 1.0};
+  w.estimate_default_prob = 0.6;
+  w.estimate_max = days(1);
+  w.population = {.users = 20, .groups = 4, .zipf_s = 0.8};
+  return w;
+}
+
+TEST(Generator, ProducesRequestedJobCount) {
+  Rng rng(1);
+  const auto log = Generator(small_spec()).generate(test_machine(), rng);
+  EXPECT_EQ(log.size(), 2000u);
+}
+
+TEST(Generator, AllJobsValid) {
+  Rng rng(2);
+  const auto spec = small_spec();
+  const auto log = Generator(spec).generate(test_machine(), rng);
+  for (const auto& j : log.jobs()) {
+    EXPECT_GE(j.submit, 0);
+    EXPECT_LT(j.submit, spec.span);
+    EXPECT_GE(j.cpus, 1);
+    EXPECT_LE(j.cpus, spec.max_cpus);
+    EXPECT_GE(j.runtime, spec.runtime_min);
+    EXPECT_LE(j.runtime, spec.runtime_max);
+    EXPECT_GE(j.estimate, j.runtime);
+    EXPECT_LT(j.user, 20);
+    EXPECT_LT(j.group, 4);
+  }
+}
+
+TEST(Generator, IdsDenseAndUnique) {
+  Rng rng(3);
+  const auto log = Generator(small_spec()).generate(test_machine(), rng);
+  std::set<JobId> ids;
+  for (const auto& j : log.jobs()) ids.insert(j.id);
+  EXPECT_EQ(ids.size(), log.size());
+  EXPECT_EQ(*ids.begin(), 0u);
+  EXPECT_EQ(*ids.rbegin(), log.size() - 1);
+}
+
+TEST(Generator, OfferedLoadCalibrated) {
+  Rng rng(4);
+  const auto spec = small_spec();
+  const auto m = test_machine();
+  const auto log = Generator(spec).generate(m, rng);
+  const double offered =
+      log.total_cpu_seconds() /
+      (static_cast<double>(m.cpus) * static_cast<double>(spec.span));
+  EXPECT_NEAR(offered, spec.offered_load, spec.offered_load * 0.02);
+}
+
+TEST(Generator, CalibrationSurvivesAggressiveClamps) {
+  // Tight runtime_max forces the iterative recalibration to work hard.
+  auto spec = small_spec();
+  spec.runtime_max = hours(4);
+  spec.offered_load = 0.6;
+  Rng rng(5);
+  const auto m = test_machine();
+  const auto log = Generator(spec).generate(m, rng);
+  const double offered =
+      log.total_cpu_seconds() /
+      (static_cast<double>(m.cpus) * static_cast<double>(spec.span));
+  EXPECT_NEAR(offered, 0.6, 0.05);
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  const auto spec = small_spec();
+  Rng a(6), b(6);
+  const auto l1 = Generator(spec).generate(test_machine(), a);
+  const auto l2 = Generator(spec).generate(test_machine(), b);
+  ASSERT_EQ(l1.size(), l2.size());
+  for (std::size_t i = 0; i < l1.size(); ++i) {
+    EXPECT_EQ(l1[i].submit, l2[i].submit);
+    EXPECT_EQ(l1[i].cpus, l2[i].cpus);
+    EXPECT_EQ(l1[i].runtime, l2[i].runtime);
+    EXPECT_EQ(l1[i].estimate, l2[i].estimate);
+    EXPECT_EQ(l1[i].user, l2[i].user);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const auto spec = small_spec();
+  Rng a(7), b(8);
+  const auto l1 = Generator(spec).generate(test_machine(), a);
+  const auto l2 = Generator(spec).generate(test_machine(), b);
+  int diffs = 0;
+  for (std::size_t i = 0; i < l1.size(); ++i) {
+    diffs += l1[i].runtime != l2[i].runtime;
+  }
+  EXPECT_GT(diffs, 100);
+}
+
+TEST(Generator, SizeRuntimeCorrelationRaisesJointTail) {
+  auto corr = small_spec();
+  corr.runtime_size_exponent = 0.6;
+  corr.correlation_ref_cpus = 4;
+  auto uncorr = small_spec();
+
+  Rng r1(9), r2(9);
+  const auto lc = Generator(corr).generate(test_machine(), r1);
+  const auto lu = Generator(uncorr).generate(test_machine(), r2);
+
+  auto mean_runtime_of_wide = [](const JobLog& log) {
+    double sum = 0;
+    int n = 0;
+    for (const auto& j : log.jobs()) {
+      if (j.cpus >= 64) {
+        sum += static_cast<double>(j.runtime);
+        ++n;
+      }
+    }
+    return n ? sum / n : 0.0;
+  };
+  auto mean_runtime_of_narrow = [](const JobLog& log) {
+    double sum = 0;
+    int n = 0;
+    for (const auto& j : log.jobs()) {
+      if (j.cpus <= 2) {
+        sum += static_cast<double>(j.runtime);
+        ++n;
+      }
+    }
+    return n ? sum / n : 0.0;
+  };
+  // Correlated: wide jobs run much longer than narrow ones.
+  EXPECT_GT(mean_runtime_of_wide(lc), 2.0 * mean_runtime_of_narrow(lc));
+  // Uncorrelated: roughly comparable.
+  EXPECT_LT(mean_runtime_of_wide(lu), 2.0 * mean_runtime_of_narrow(lu));
+}
+
+TEST(ComputeStats, ReportsSaneValues) {
+  Rng rng(10);
+  const auto spec = small_spec();
+  const auto m = test_machine();
+  const auto log = Generator(spec).generate(m, rng);
+  const auto s = compute_stats(log, m, spec.span);
+  EXPECT_EQ(s.jobs, 2000u);
+  EXPECT_NEAR(s.offered_load, 0.7, 0.02);
+  EXPECT_GT(s.mean_cpus, 1.0);
+  EXPECT_GT(s.mean_runtime_h, s.median_runtime_h);   // right-skewed
+  EXPECT_GT(s.median_estimate_h, s.median_runtime_h);  // overestimates
+}
+
+TEST(ComputeStats, EmptyLog) {
+  const auto s = compute_stats(JobLog{}, test_machine(), days(1));
+  EXPECT_EQ(s.jobs, 0u);
+  EXPECT_DOUBLE_EQ(s.offered_load, 0.0);
+}
+
+}  // namespace
+}  // namespace istc::workload

@@ -1,0 +1,125 @@
+#include "workload/job.hpp"
+
+#include <gtest/gtest.h>
+
+namespace istc::workload {
+namespace {
+
+Job make(JobId id, SimTime submit, int cpus = 4, Seconds run = 100,
+         Seconds est = 200) {
+  Job j;
+  j.id = id;
+  j.submit = submit;
+  j.cpus = cpus;
+  j.runtime = run;
+  j.estimate = est;
+  return j;
+}
+
+TEST(Job, DefaultsAreNative) {
+  Job j;
+  EXPECT_EQ(j.klass, JobClass::kNative);
+  EXPECT_FALSE(j.interstitial());
+}
+
+TEST(Job, InterstitialFlag) {
+  Job j = make(1, 0);
+  j.klass = JobClass::kInterstitial;
+  EXPECT_TRUE(j.interstitial());
+}
+
+TEST(Job, CpuSeconds) {
+  const Job j = make(1, 0, 8, 250);
+  EXPECT_DOUBLE_EQ(j.cpu_seconds(), 2000.0);
+}
+
+TEST(Job, CheckAcceptsValid) {
+  make(1, 5).check();  // must not abort
+  SUCCEED();
+}
+
+#ifdef GTEST_HAS_DEATH_TEST
+TEST(JobDeath, EstimateBelowRuntimeRejected) {
+  Job j = make(1, 0, 4, 300, 200);
+  EXPECT_DEATH(j.check(), "invariant");
+}
+
+TEST(JobDeath, ZeroCpusRejected) {
+  Job j = make(1, 0, 0);
+  EXPECT_DEATH(j.check(), "invariant");
+}
+
+TEST(JobDeath, ZeroRuntimeRejected) {
+  Job j = make(1, 0, 4, 0, 10);
+  EXPECT_DEATH(j.check(), "invariant");
+}
+#endif
+
+TEST(JobLog, SortsBySubmit) {
+  std::vector<Job> jobs{make(0, 50), make(1, 10), make(2, 30)};
+  const JobLog log(std::move(jobs));
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].submit, 10);
+  EXPECT_EQ(log[1].submit, 30);
+  EXPECT_EQ(log[2].submit, 50);
+  EXPECT_EQ(log.last_submit(), 50);
+}
+
+TEST(JobLog, StableForEqualSubmits) {
+  std::vector<Job> jobs{make(0, 10), make(1, 10), make(2, 10)};
+  const JobLog log(std::move(jobs));
+  EXPECT_EQ(log[0].id, 0u);
+  EXPECT_EQ(log[1].id, 1u);
+  EXPECT_EQ(log[2].id, 2u);
+}
+
+TEST(JobLog, TotalCpuSeconds) {
+  std::vector<Job> jobs{make(0, 0, 2, 100), make(1, 0, 3, 100)};
+  const JobLog log(std::move(jobs));
+  EXPECT_DOUBLE_EQ(log.total_cpu_seconds(), 500.0);
+}
+
+TEST(JobLog, PerfectEstimatesTransform) {
+  std::vector<Job> jobs{make(0, 0, 4, 100, 900), make(1, 5, 2, 50, 50)};
+  const JobLog log(std::move(jobs));
+  const JobLog perfect = with_perfect_estimates(log);
+  ASSERT_EQ(perfect.size(), 2u);
+  for (const auto& j : perfect.jobs()) EXPECT_EQ(j.estimate, j.runtime);
+  // Original untouched.
+  EXPECT_EQ(log[0].estimate, 900);
+}
+
+TEST(JobLog, ScaledJobsTime) {
+  std::vector<Job> jobs{make(0, 0, 4, 100, 200)};
+  const JobLog scaled =
+      with_scaled_jobs(JobLog(std::move(jobs)), 1.5, 1.0, 64);
+  EXPECT_EQ(scaled[0].runtime, 150);
+  EXPECT_EQ(scaled[0].estimate, 300);
+  EXPECT_EQ(scaled[0].cpus, 4);
+}
+
+TEST(JobLog, ScaledJobsSizeClamped) {
+  std::vector<Job> jobs{make(0, 0, 48, 100, 200), make(1, 0, 1, 100, 200)};
+  const JobLog scaled =
+      with_scaled_jobs(JobLog(std::move(jobs)), 1.0, 1.5, 64);
+  EXPECT_EQ(scaled[0].cpus, 64);  // 72 clamped to machine width
+  EXPECT_EQ(scaled[1].cpus, 1);
+}
+
+TEST(JobLog, ScaledJobsKeepsEstimateInvariant) {
+  std::vector<Job> jobs{make(0, 0, 4, 100, 100)};
+  const JobLog scaled =
+      with_scaled_jobs(JobLog(std::move(jobs)), 0.001, 1.0, 64);
+  EXPECT_GE(scaled[0].runtime, 1);
+  EXPECT_GE(scaled[0].estimate, scaled[0].runtime);
+}
+
+TEST(JobLog, EmptyLog) {
+  const JobLog log;
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.last_submit(), 0);
+  EXPECT_DOUBLE_EQ(log.total_cpu_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace istc::workload

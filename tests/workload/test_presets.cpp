@@ -1,0 +1,112 @@
+#include "workload/presets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace istc::workload {
+namespace {
+
+using cluster::Site;
+
+TEST(WorkloadPresets, JobCountsMatchTable1) {
+  EXPECT_EQ(site_workload(Site::kRoss).jobs, 4423u);
+  EXPECT_EQ(site_workload(Site::kBlueMountain).jobs, 7763u);
+  EXPECT_EQ(site_workload(Site::kBluePacific).jobs, 12761u);
+}
+
+TEST(WorkloadPresets, SpansMatchTable1) {
+  for (auto site : cluster::all_sites()) {
+    EXPECT_EQ(site_workload(site).span, cluster::site_span(site));
+  }
+}
+
+TEST(WorkloadPresets, MaxCpusWithinMachines) {
+  for (auto site : cluster::all_sites()) {
+    EXPECT_LE(site_workload(site).max_cpus,
+              cluster::machine_spec(site).cpus);
+  }
+}
+
+TEST(WorkloadPresets, EstimatesFitBetweenOutages) {
+  // If a job's estimate cannot fit between consecutive downtime windows it
+  // can never start: the preset must keep estimate_max under the smallest
+  // gap in the site's maintenance calendar.
+  for (auto site : cluster::all_sites()) {
+    const auto cal = cluster::site_downtime(site);
+    const auto& ws = cal.windows();
+    SimTime min_gap = cluster::site_span(site);
+    for (std::size_t i = 1; i < ws.size(); ++i) {
+      min_gap = std::min(min_gap, ws[i].start - ws[i - 1].end);
+    }
+    EXPECT_LT(site_workload(site).estimate_max, min_gap)
+        << cluster::site_name(site);
+  }
+}
+
+TEST(WorkloadPresets, SiteLogGeneratesTargetJobs) {
+  for (auto site : cluster::all_sites()) {
+    const auto log = site_log(site);
+    EXPECT_EQ(log.size(), site_workload(site).jobs);
+  }
+}
+
+TEST(WorkloadPresets, CanonicalLogIsDeterministic) {
+  const auto a = site_log(Site::kBlueMountain);
+  const auto b = site_log(Site::kBlueMountain);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 97) {
+    EXPECT_EQ(a[i].submit, b[i].submit);
+    EXPECT_EQ(a[i].runtime, b[i].runtime);
+    EXPECT_EQ(a[i].cpus, b[i].cpus);
+  }
+}
+
+TEST(WorkloadPresets, OfferedLoadNearTable1Utilization) {
+  // Offered load must sit at or slightly above the Table 1 utilization —
+  // a scheduler cannot achieve more than what is offered.
+  for (auto site : cluster::all_sites()) {
+    const auto m = cluster::machine_spec(site);
+    const auto spec = site_workload(site);
+    const auto log = site_log(site);
+    const double offered =
+        log.total_cpu_seconds() /
+        (static_cast<double>(m.cpus) * static_cast<double>(spec.span));
+    const double target = cluster::site_targets(site).utilization;
+    EXPECT_GE(offered, target - 0.01) << cluster::site_name(site);
+    EXPECT_LE(offered, target + 0.09) << cluster::site_name(site);
+  }
+}
+
+TEST(WorkloadPresets, BlueMountainEstimatePathologyReproduced) {
+  // §4.3: median estimated run time 6 h vs median actual 0.8 h.
+  const auto m = cluster::machine_spec(Site::kBlueMountain);
+  const auto log = site_log(Site::kBlueMountain);
+  const auto s =
+      compute_stats(log, m, cluster::site_span(Site::kBlueMountain));
+  EXPECT_NEAR(s.median_estimate_h, 6.0, 1.0);
+  EXPECT_NEAR(s.median_runtime_h, 0.8, 0.4);
+  EXPECT_GT(s.mean_estimate_h, s.mean_runtime_h);
+}
+
+TEST(WorkloadPresets, BluePacificJobsSmallerAndShorter) {
+  // §4.3.2: Blue Pacific natives are relatively smaller/shorter than Blue
+  // Mountain's (they "turn over quickly").
+  const auto bp = compute_stats(site_log(Site::kBluePacific),
+                                cluster::machine_spec(Site::kBluePacific),
+                                cluster::site_span(Site::kBluePacific));
+  const auto bm = compute_stats(site_log(Site::kBlueMountain),
+                                cluster::machine_spec(Site::kBlueMountain),
+                                cluster::site_span(Site::kBlueMountain));
+  EXPECT_LT(bp.mean_cpus, bm.mean_cpus);
+  EXPECT_LT(bp.mean_runtime_h, bm.mean_runtime_h);
+}
+
+TEST(WorkloadPresets, RossHasMultiDayJobs) {
+  // The paper: Ross users submit very long jobs.
+  const auto log = site_log(Site::kRoss);
+  int multiday = 0;
+  for (const auto& j : log.jobs()) multiday += j.runtime > days(1);
+  EXPECT_GT(multiday, 10);
+}
+
+}  // namespace
+}  // namespace istc::workload

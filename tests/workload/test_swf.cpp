@@ -1,0 +1,120 @@
+#include "workload/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace istc::workload {
+namespace {
+
+constexpr const char* kSample =
+    "; Sample SWF trace\n"
+    "; Computer: test\n"
+    "1 100 5 300 8 -1 -1 8 600 -1 1 3 2 -1 -1 -1 -1 -1\n"
+    "2 150 0 120 4 -1 -1 4 240 -1 1 5 1 -1 -1 -1 -1 -1\n";
+
+TEST(Swf, ParsesBasicTrace) {
+  std::istringstream in(kSample);
+  SwfReadOptions opts;
+  opts.rebase_time = false;
+  const auto log = read_swf(in, opts);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].submit, 100);
+  EXPECT_EQ(log[0].runtime, 300);
+  EXPECT_EQ(log[0].cpus, 8);
+  EXPECT_EQ(log[0].estimate, 600);
+  EXPECT_EQ(log[0].user, 3);
+  EXPECT_EQ(log[0].group, 2);
+  EXPECT_EQ(log[1].cpus, 4);
+}
+
+TEST(Swf, RebasesTimeToFirstSubmit) {
+  std::istringstream in(kSample);
+  const auto log = read_swf(in);
+  EXPECT_EQ(log[0].submit, 0);
+  EXPECT_EQ(log[1].submit, 50);
+}
+
+TEST(Swf, SkipsCommentsAndBlankLines) {
+  std::istringstream in("; comment\n\n   \n" + std::string(kSample));
+  EXPECT_EQ(read_swf(in).size(), 2u);
+}
+
+TEST(Swf, SkipsInvalidJobsWhenAsked) {
+  std::istringstream in(
+      "1 100 0 -1 8 -1 -1 8 600 -1 0 1 1 -1 -1 -1 -1 -1\n"   // runtime -1
+      "2 150 0 120 0 -1 -1 0 240 -1 0 1 1 -1 -1 -1 -1 -1\n"  // 0 cpus
+      "3 200 0 120 4 -1 -1 4 240 -1 1 1 1 -1 -1 -1 -1 -1\n");
+  const auto log = read_swf(in);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].runtime, 120);
+}
+
+TEST(Swf, ThrowsOnInvalidWhenStrict) {
+  std::istringstream in("1 100 0 -1 8 -1 -1 8 600 -1 0 1 1 -1 -1 -1 -1 -1\n");
+  SwfReadOptions opts;
+  opts.skip_invalid = false;
+  EXPECT_THROW(read_swf(in, opts), std::runtime_error);
+}
+
+TEST(Swf, ClampsEstimateUpToRuntime) {
+  std::istringstream in("1 0 0 500 4 -1 -1 4 100 -1 1 1 1 -1 -1 -1 -1 -1\n");
+  const auto log = read_swf(in);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].estimate, 500);
+}
+
+TEST(Swf, ThrowsOnLowEstimateWhenStrict) {
+  std::istringstream in("1 0 0 500 4 -1 -1 4 100 -1 1 1 1 -1 -1 -1 -1 -1\n");
+  SwfReadOptions opts;
+  opts.clamp_estimates = false;
+  EXPECT_THROW(read_swf(in, opts), std::runtime_error);
+}
+
+TEST(Swf, ThrowsOnShortLine) {
+  std::istringstream in("1 2 3\n");
+  EXPECT_THROW(read_swf(in), std::runtime_error);
+}
+
+TEST(Swf, FallsBackToRequestedProcs) {
+  // allocated = -1, requested = 16
+  std::istringstream in("1 0 0 60 -1 -1 -1 16 120 -1 1 1 1 -1 -1 -1 -1 -1\n");
+  const auto log = read_swf(in);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].cpus, 16);
+}
+
+TEST(Swf, RoundTrip) {
+  std::istringstream in(kSample);
+  SwfReadOptions opts;
+  opts.rebase_time = false;
+  const auto log = read_swf(in, opts);
+
+  std::ostringstream out;
+  write_swf(out, log, "round trip\nsecond header line");
+  std::istringstream back(out.str());
+  const auto log2 = read_swf(back, opts);
+
+  ASSERT_EQ(log2.size(), log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(log2[i].submit, log[i].submit);
+    EXPECT_EQ(log2[i].runtime, log[i].runtime);
+    EXPECT_EQ(log2[i].cpus, log[i].cpus);
+    EXPECT_EQ(log2[i].estimate, log[i].estimate);
+    EXPECT_EQ(log2[i].user, log[i].user);
+    EXPECT_EQ(log2[i].group, log[i].group);
+  }
+}
+
+TEST(Swf, WriteEmitsHeaderComments) {
+  std::ostringstream out;
+  write_swf(out, JobLog{}, "line one");
+  EXPECT_EQ(out.str(), "; line one\n");
+}
+
+TEST(Swf, MissingFileThrows) {
+  EXPECT_THROW(read_swf_file("/no/such/file.swf"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace istc::workload
