@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "metrics/waits.hpp"
+#include "trace/summary.hpp"
 
 namespace istc::bench {
 
@@ -58,6 +59,34 @@ double native_util_of(const sched::RunResult& run) {
                                       metrics::JobFilter::kNativeOnly);
 }
 
+void print_trace_counters(const char* title, const sched::RunResult& run) {
+  const trace::TraceSummary& t = run.trace;
+  if (t.sched_passes == 0) return;  // run predates tracing or untraced
+  KeyValueBlock kv(title);
+  kv.add("scheduler passes",
+         Table::integer(static_cast<long long>(t.sched_passes)));
+  kv.add("pass cost total (us)",
+         Table::integer(static_cast<long long>(t.sched_pass_us_total)));
+  kv.add("pass cost mean (us)", t.mean_pass_us(), 2);
+  kv.add("pass cost max (us)",
+         Table::integer(static_cast<long long>(t.sched_pass_us_max)));
+  kv.add("backfill scans",
+         Table::integer(static_cast<long long>(t.backfill_scans)));
+  kv.add("events drained",
+         Table::integer(static_cast<long long>(t.engine_events_drained)));
+  kv.add("gate open / closed",
+         Table::integer(static_cast<long long>(t.gate_open)) + " / " +
+             Table::integer(static_cast<long long>(t.gate_closed)));
+  kv.add("interstitial submitted",
+         Table::integer(static_cast<long long>(t.interstitial_submitted)));
+  kv.add("rejected by gate",
+         Table::integer(
+             static_cast<long long>(t.interstitial_rejected_by_gate)));
+  kv.add("interstitial killed",
+         Table::integer(static_cast<long long>(t.interstitial_killed)));
+  kv.print();
+}
+
 void print_continual_table(cluster::Site site, Seconds short_1ghz,
                            Seconds long_1ghz) {
   const auto& base = core::native_baseline(site);
@@ -93,6 +122,11 @@ void print_continual_table(cluster::Site site, Seconds short_1ghz,
          median_waits_cell(base.records), median_waits_cell(s_run.records),
          median_waits_cell(l_run.records)});
   t.print();
+
+  std::printf("\n");
+  char title[64];
+  std::snprintf(title, sizeof title, "scheduling cost (%s stream)", h_short);
+  print_trace_counters(title, s_run);
 }
 
 }  // namespace istc::bench

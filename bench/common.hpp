@@ -40,6 +40,12 @@ std::string median_waits_cell(std::span<const sched::JobRecord> records);
 double overall_util(const sched::RunResult& run);
 double native_util_of(const sched::RunResult& run);
 
+/// Scheduling-cost counters of a run (RunResult::trace, populated by the
+/// counters-only tracer every cached experiment run carries), printed as a
+/// key-value block so BENCH_*.json trajectories can track scheduler-pass
+/// cost per experiment.  No-op for runs without trace data.
+void print_trace_counters(const char* title, const sched::RunResult& run);
+
 /// The shared body of Tables 6, 7 and 8: continual interstitial computing
 /// on one machine with two job lengths (seconds @ 1 GHz).
 void print_continual_table(cluster::Site site, Seconds short_1ghz,

@@ -19,6 +19,8 @@
 #include "sched/presets.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/engine.hpp"
+#include "trace/export.hpp"
+#include "trace/tracer.hpp"
 #include "util/table.hpp"
 #include "workload/presets.hpp"
 #include "workload/swf.hpp"
@@ -27,14 +29,15 @@ namespace {
 
 istc::sched::RunResult replay(const istc::workload::JobLog& log,
                               const istc::cluster::MachineSpec& machine,
-                              istc::SimTime span,
-                              bool with_interstitial) {
+                              istc::SimTime span, bool with_interstitial,
+                              istc::trace::Tracer* tracer = nullptr) {
   using namespace istc;
   sim::Engine engine;
   // A generic EASY + user-fair-share policy for foreign traces.
   sched::PolicySpec policy;
   policy.name = "EASY + equal-user fair share";
   sched::BatchScheduler scheduler(engine, cluster::Machine(machine), policy);
+  if (tracer != nullptr) scheduler.set_tracer(tracer);
   scheduler.load(log);
   std::optional<core::InterstitialDriver> driver;
   if (with_interstitial) {
@@ -78,7 +81,8 @@ int main(int argc, char** argv) {
   std::printf("%zu jobs spanning %.1f days\n\n", log.size(), to_days(span));
 
   const auto native = replay(log, machine, span, false);
-  const auto with_i = replay(log, machine, span, true);
+  trace::Tracer tracer(trace::TraceMode::kFull, 4u << 20);
+  const auto with_i = replay(log, machine, span, true, &tracer);
 
   const double u0 = metrics::average_utilization(native.records, machine.cpus,
                                                  0, span);
@@ -98,5 +102,19 @@ int main(int argc, char** argv) {
 
   std::printf("\nSpare cycles harvested: %.1f%% of the machine.\n",
               100.0 * (u1 - u0));
+
+  // Export the interstitial replay's event trace for visual inspection:
+  // load log_replay_trace.json in chrome://tracing (or ui.perfetto.dev)
+  // to see jobs on CPU-block tracks and every Fig. 1 gate decision.
+  const std::string trace_path = "log_replay_trace.json";
+  trace::write_chrome_trace_file(
+      trace_path, tracer,
+      {.machine_name = machine.name, .total_cpus = machine.cpus});
+  std::printf("Wrote %s (%zu events) - open it in chrome://tracing\n",
+              trace_path.c_str(), tracer.size());
+  if (tracer.dropped() > 0) {
+    std::printf("(buffer cap reached: %zu later events dropped)\n",
+                tracer.dropped());
+  }
   return 0;
 }

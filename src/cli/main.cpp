@@ -19,6 +19,8 @@
 #include "metrics/waits.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/engine.hpp"
+#include "trace/export.hpp"
+#include "trace/tracer.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 #include "workload/presets.hpp"
@@ -38,7 +40,10 @@ int usage() {
       "  istc plan    --site <...> --petacycles 7.7 [--max-delay-s 900]\n"
       "               [--max-breakage 1.10]\n"
       "  istc replay  --swf trace.swf [--cpus 1024] [--clock 1.0]\n"
-      "               [--icpus 8] [--isec1ghz 120]\n");
+      "               [--icpus 8] [--isec1ghz 120]\n"
+      "\n"
+      "harvest and replay accept trace exports (see README, Inspecting a\n"
+      "run): --trace out.jsonl --trace-chrome out.json --trace-csv out.csv\n");
   return 2;
 }
 
@@ -79,6 +84,47 @@ void print_run_summary(const char* title, const sched::RunResult& run) {
   kv.print();
 }
 
+/// Shared --trace / --trace-chrome / --trace-csv handling.  Returns an
+/// engaged tracer when any export was requested.
+std::optional<trace::Tracer> make_tracer(const ArgParser& args) {
+  if (args.get("trace") || args.get("trace-chrome") || args.get("trace-csv")) {
+    return std::make_optional<trace::Tracer>(trace::TraceMode::kFull);
+  }
+  return std::nullopt;
+}
+
+void export_traces(const ArgParser& args, const trace::Tracer& tracer,
+                   const cluster::MachineSpec& machine) {
+  const auto write = [](const char* what, const std::string& path,
+                        auto&& writer) {
+    if (path.empty()) return;
+    try {
+      writer(path);
+      std::printf("wrote %s trace to %s\n", what, path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "trace export failed: %s\n", e.what());
+    }
+  };
+  write("JSONL", args.get_or("trace", ""), [&](const std::string& p) {
+    trace::write_jsonl_file(p, tracer);
+  });
+  write("chrome://tracing", args.get_or("trace-chrome", ""),
+        [&](const std::string& p) {
+          trace::write_chrome_trace_file(
+              p, tracer, {.machine_name = machine.name,
+                          .total_cpus = machine.cpus});
+        });
+  write("counter CSV", args.get_or("trace-csv", ""),
+        [&](const std::string& p) {
+          trace::write_counters_csv(p, tracer.summary());
+        });
+  if (tracer.dropped() > 0) {
+    std::fprintf(stderr,
+                 "warning: %llu events past the buffer cap were dropped\n",
+                 static_cast<unsigned long long>(tracer.dropped()));
+  }
+}
+
 int cmd_report(const ArgParser& args) {
   const auto site = parse_site(args.get_or("site", ""));
   if (!site) return usage();
@@ -105,7 +151,10 @@ int cmd_harvest(const ArgParser& args) {
   stream.utilization_cap = cap;
   stream.gate = gate;
   sc.project = stream;
+  std::optional<trace::Tracer> tracer = make_tracer(args);
+  if (tracer) sc.tracer = &*tracer;
   const auto run = core::run_scenario(sc);
+  if (tracer) export_traces(args, *tracer, run.machine);
   print_run_summary("continual interstitial harvest", run);
   std::printf("\nbaseline for comparison:\n\n");
   print_run_summary("native-only baseline", core::native_baseline(*site));
@@ -164,11 +213,16 @@ int cmd_replay(const ArgParser& args) {
   }
   const SimTime span = log.last_submit() + 1;
 
+  // Trace exports capture the with-interstitial replay (the run whose gate
+  // decisions one typically wants to inspect).
+  std::optional<trace::Tracer> tracer = make_tracer(args);
+
   auto simulate = [&](bool interstitial) {
     sim::Engine engine;
     sched::PolicySpec policy;
     sched::BatchScheduler scheduler(engine, cluster::Machine(machine),
                                     policy);
+    if (interstitial && tracer) scheduler.set_tracer(&*tracer);
     scheduler.load(log);
     std::optional<core::InterstitialDriver> driver;
     if (interstitial) {
@@ -182,6 +236,7 @@ int cmd_replay(const ArgParser& args) {
   print_run_summary("trace replay (native only)", simulate(false));
   std::printf("\n");
   print_run_summary("trace replay (with interstitial)", simulate(true));
+  if (tracer) export_traces(args, *tracer, machine);
   return 0;
 }
 

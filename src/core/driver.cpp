@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "trace/tracer.hpp"
 #include "util/assert.hpp"
 
 namespace istc::core {
@@ -97,6 +98,13 @@ void InterstitialDriver::on_pass(const sched::PassContext& ctx) {
   }
   const auto& machine = scheduler_.machine();
 
+  // The wall time the gate actually compared against (paper's
+  // "backFillWallTime"; the whole-queue variant for the default policy).
+  const SimTime wall_time = spec_.gate == GatePolicy::kHeadOnly
+                                ? ctx.head_earliest_start
+                                : ctx.queue_earliest_start;
+  std::size_t started = 0;
+
   if (gate_open) {
     const std::size_t k = submittable(ctx);
     for (std::size_t i = 0; i < k; ++i) {
@@ -109,12 +117,34 @@ void InterstitialDriver::on_pass(const sched::PassContext& ctx) {
         job.estimate = job.runtime;
       }
       if (!scheduler_.try_start_immediately(job)) break;  // downtime ahead
+      ++started;
       if (is_fragment) {
         resume_.pop_back();
       } else {
         ++submitted_;
       }
       ++next_id_;
+    }
+  }
+
+  // Every gate evaluation becomes one trace record: verdict, the wall time
+  // it compared, and the k it submitted (open) or withheld (closed).
+  trace::Tracer* tracer = scheduler_.tracer();
+  if (ISTC_TRACE_COUNTERS_ON(tracer)) {
+    const std::size_t rejected = gate_open ? 0 : submittable(ctx);
+    trace::TraceSummary& c = tracer->counters();
+    ++c.gate_decisions;
+    ++(gate_open ? c.gate_open : c.gate_closed);
+    c.interstitial_submitted += started;
+    c.interstitial_rejected_by_gate += rejected;
+    if (ISTC_TRACE_EVENTS_ON(tracer)) {
+      trace::TraceEvent e;
+      e.time = ctx.now;
+      e.kind = trace::EventKind::kGateDecision;
+      e.open = gate_open;
+      e.aux_time = ctx.queue_empty ? kTimeInfinity : wall_time;
+      e.value = static_cast<std::int64_t>(gate_open ? started : rejected);
+      tracer->record(e);
     }
   }
 

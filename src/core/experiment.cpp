@@ -41,6 +41,7 @@ sched::RunResult run_scenario(const Scenario& scenario) {
   policy.preempt_interstitial = scenario.preempt_interstitial;
   sched::BatchScheduler scheduler(engine, cluster::make_machine(site),
                                   std::move(policy));
+  if (scenario.tracer != nullptr) scheduler.set_tracer(scenario.tracer);
   scheduler.load(log);
 
   std::optional<InterstitialDriver> driver;
@@ -68,8 +69,12 @@ const sched::RunResult& native_baseline(Site site) {
   std::lock_guard lk(g_cache_mu);
   auto it = g_native_cache.find(site);
   if (it == g_native_cache.end()) {
-    it = g_native_cache.emplace(site, run_scenario(Scenario{site, {}, 0}))
-             .first;
+    // Counters-only tracing is cheap (no event records) and gives every
+    // cached run a scheduling-cost profile in RunResult::trace.
+    trace::Tracer tracer(trace::TraceMode::kCountersOnly);
+    Scenario scenario{site, {}, 0};
+    scenario.tracer = &tracer;
+    it = g_native_cache.emplace(site, run_scenario(scenario)).first;
   }
   return it->second;
 }
@@ -93,7 +98,10 @@ const sched::RunResult& continual_run(Site site, int cpus_per_job,
   ProjectSpec stream = ProjectSpec::continual_stream(
       cpus_per_job, sec_at_1ghz, cluster::site_span(site));
   stream.utilization_cap = utilization_cap;
-  sched::RunResult result = run_scenario(Scenario{site, stream, 0});
+  trace::Tracer tracer(trace::TraceMode::kCountersOnly);
+  Scenario scenario{site, stream, 0};
+  scenario.tracer = &tracer;
+  sched::RunResult result = run_scenario(scenario);
   std::lock_guard lk(g_cache_mu);
   return g_continual_cache.emplace(key, std::move(result)).first->second;
 }

@@ -8,6 +8,7 @@
 #include "core/omniscient.hpp"
 #include "core/project.hpp"
 #include "sched/record.hpp"
+#include "trace/tracer.hpp"
 #include "util/stats.hpp"
 
 /// \file experiment.hpp
@@ -39,6 +40,10 @@ struct Scenario {
   /// Extension: natives evict running interstitial jobs instead of waiting
   /// (sched::PolicySpec::preempt_interstitial).
   bool preempt_interstitial = false;
+  /// Observability: when set, the engine/scheduler/driver record into this
+  /// tracer and the RunResult carries its TraceSummary.  Not owned; must
+  /// outlive the call.  Tracing never perturbs the schedule.
+  trace::Tracer* tracer = nullptr;
 };
 
 /// Run a scenario to completion and collect all records.

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "cluster/machine.hpp"
+#include "trace/summary.hpp"
 #include "util/assert.hpp"
 #include "util/time.hpp"
 #include "workload/job.hpp"
@@ -47,6 +48,9 @@ struct RunResult {
   /// end is the kill time, so end - start < runtime and cpu-time in
   /// [start, end) is the wasted work.
   std::vector<JobRecord> killed;
+  /// Scheduling-cost counters, populated when a trace::Tracer was attached
+  /// to the run (all-zero otherwise); see trace/summary.hpp.
+  trace::TraceSummary trace;
 
   /// Wasted CPU-seconds of killed interstitial jobs.
   double wasted_cpu_seconds() const;

@@ -24,7 +24,44 @@ void BatchScheduler::submit(const workload::Job& job) {
   job.check();
   ISTC_EXPECTS(job.cpus <= machine_.total_cpus());
   ISTC_EXPECTS(job.submit >= engine_.now());
-  engine_.schedule(job.submit, [this, job] { pending_.push_back(job); });
+  engine_.schedule(job.submit, [this, job] {
+    trace_job(trace::EventKind::kJobSubmit, job, job.estimate);
+    pending_.push_back(job);
+  });
+}
+
+void BatchScheduler::set_tracer(trace::Tracer* tracer) {
+  tracer_ = tracer;
+  engine_.set_tracer(tracer);
+  if (!ISTC_TRACE_EVENTS_ON(tracer_)) return;
+  // The outage calendar is static; record it once so every exporter can
+  // draw the windows without consulting the cluster model.
+  for (const auto& w : machine_.downtime().windows()) {
+    trace::TraceEvent begin;
+    begin.time = w.start;
+    begin.kind = trace::EventKind::kDowntimeBegin;
+    begin.aux_time = w.end;
+    tracer_->record(begin);
+    trace::TraceEvent end;
+    end.time = w.end;
+    end.kind = trace::EventKind::kDowntimeEnd;
+    end.aux_time = w.start;
+    tracer_->record(end);
+  }
+}
+
+void BatchScheduler::trace_job(trace::EventKind kind, const workload::Job& job,
+                               std::int64_t value, SimTime aux_time) {
+  if (!ISTC_TRACE_EVENTS_ON(tracer_)) return;
+  trace::TraceEvent e;
+  e.time = engine_.now();
+  e.kind = kind;
+  e.interstitial = job.interstitial();
+  e.job = static_cast<std::int64_t>(job.id);
+  e.cpus = job.cpus;
+  e.aux_time = aux_time;
+  e.value = value;
+  tracer_->record(e);
 }
 
 void BatchScheduler::set_post_pass_hook(
@@ -86,6 +123,20 @@ void BatchScheduler::start_job(const workload::Job& job, SimTime now) {
   } else {
     ++stats_.native_starts;
   }
+  trace_job(trace::EventKind::kJobStart, job, job.runtime, now + job.estimate);
+  if (const auto it = reserved_start_.find(job.id);
+      it != reserved_start_.end()) {
+    const SimTime reserved = it->second;
+    reserved_start_.erase(it);
+    const bool honored = now <= reserved;
+    if (ISTC_TRACE_COUNTERS_ON(tracer_)) {
+      ++(honored ? tracer_->counters().reservations_honored
+                 : tracer_->counters().reservations_violated);
+    }
+    trace_job(honored ? trace::EventKind::kReservationHonored
+                      : trace::EventKind::kReservationViolated,
+              job, honored ? 0 : now - reserved, reserved);
+  }
   machine_.allocate(job.cpus);
   running_.emplace(job.id, Running{job, now, now + job.estimate});
   const workload::JobId id = job.id;
@@ -103,6 +154,7 @@ void BatchScheduler::complete_job(workload::JobId id, SimTime now) {
     return;
   }
   const Running& r = it->second;
+  trace_job(trace::EventKind::kJobFinish, r.job, 0, r.start);
   machine_.release(r.job.cpus);
   // Interstitial jobs run outside the fair-share ledger: they are a
   // facility-level scavenger stream, not a competing allocation.
@@ -119,6 +171,9 @@ void BatchScheduler::pass(SimTime now) {
   in_pass_ = true;
   ++stats_.passes;
   stats_.max_queue_length = std::max(stats_.max_queue_length, pending_.size());
+  // Times the whole pass including the post-pass (interstitial) hook; the
+  // wall-clock cost lands in the summary only, never the event stream.
+  trace::ScopedPassTimer pass_timer(tracer_);
 
   // Future free-CPU profile from running jobs' *estimated* completions —
   // the only schedule knowledge a real resource manager has.
@@ -143,6 +198,13 @@ void BatchScheduler::pass(SimTime now) {
                      }
                      return pending_[a].id < pending_[b].id;
                    });
+  if (!pending_.empty() && ISTC_TRACE_EVENTS_ON(tracer_)) {
+    trace::TraceEvent e;
+    e.time = now;
+    e.kind = trace::EventKind::kFairShareRecompute;
+    e.value = static_cast<std::int64_t>(pending_.size());
+    tracer_->record(e);
+  }
 
   std::vector<bool> started(pending_.size(), false);
   SimTime head_earliest = kTimeInfinity;
@@ -151,6 +213,9 @@ void BatchScheduler::pass(SimTime now) {
 
   for (const std::size_t idx : order) {
     const workload::Job& job = pending_[idx];
+    if (ISTC_TRACE_COUNTERS_ON(tracer_)) {
+      ++tracer_->counters().backfill_scans;
+    }
     SimTime t = earliest_start(profile, job, now);
     // kNone (ablation baseline): strict priority order — once one job is
     // blocked, nothing junior may start, but earliest times still feed the
@@ -185,6 +250,15 @@ void BatchScheduler::pass(SimTime now) {
     if (is_head || policy_.backfill == BackfillMode::kConservative) {
       profile.reserve(t, t + job.estimate, job.cpus);
       ++stats_.reservations;
+      if (ISTC_TRACE_COUNTERS_ON(tracer_)) {
+        ++tracer_->counters().reservations_made;
+      }
+      if (ISTC_TRACE_EVENTS_ON(tracer_)) {
+        // Only the newest reservation per job is scored honored/violated;
+        // reservations drift every pass as estimates expire.
+        reserved_start_[job.id] = t;
+        trace_job(trace::EventKind::kReservationMade, job, 0, t);
+      }
     }
   }
 
@@ -248,11 +322,15 @@ bool BatchScheduler::preempt_for(const workload::Job& job, SimTime now,
   for (const Running* v : victims) {
     if (profile.min_free(now, now + job.estimate) >= job.cpus) break;
     const workload::JobId id = v->job.id;
+    trace_job(trace::EventKind::kJobKill, v->job, 0, v->start);
     machine_.release(v->job.cpus);
     profile.release(now, v->est_end, v->job.cpus);
     killed_records_.push_back(JobRecord{v->job, v->start, now});
     killed_pending_.insert(id);
     ++stats_.interstitial_kills;
+    if (ISTC_TRACE_COUNTERS_ON(tracer_)) {
+      ++tracer_->counters().interstitial_killed;
+    }
     running_.erase(id);  // invalidates v; loop continues with others
     if (on_kill_) on_kill_(killed_records_.back());
   }
@@ -267,6 +345,8 @@ bool BatchScheduler::try_start_immediately(const workload::Job& job) {
   if (policy_.time_of_day && !policy_.time_of_day->allowed(job, now)) {
     return false;
   }
+  // Meta-backfilled jobs never enter the queue: submit and start coincide.
+  trace_job(trace::EventKind::kJobSubmit, job, job.estimate);
   start_job(job, now);
   return true;
 }
@@ -280,6 +360,7 @@ RunResult BatchScheduler::take_result(SimTime span) {
   result.sim_end = engine_.now();
   result.records = std::move(records_);
   result.killed = std::move(killed_records_);
+  if (tracer_ != nullptr) result.trace = tracer_->summary();
   records_.clear();
   killed_records_.clear();
   return result;

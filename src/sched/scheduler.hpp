@@ -13,6 +13,7 @@
 #include "sched/resource_profile.hpp"
 #include "sched/timeofday.hpp"
 #include "sim/engine.hpp"
+#include "trace/tracer.hpp"
 #include "workload/job.hpp"
 
 /// \file scheduler.hpp
@@ -115,6 +116,13 @@ class BatchScheduler {
   /// after every event timestamp).
   void wake_at(SimTime t);
 
+  /// Attach a tracer (nullptr detaches): job lifecycle, reservations, and
+  /// pass cost flow into it, and the downtime calendar is recorded once up
+  /// front.  Also forwarded to the engine so the whole stack shares one
+  /// event stream.  Tracing observes the schedule, never perturbs it.
+  void set_tracer(trace::Tracer* tracer);
+  trace::Tracer* tracer() const { return tracer_; }
+
   const cluster::Machine& machine() const { return machine_; }
   const PolicySpec& policy() const { return policy_; }
   const FairShareTracker& fairshare() const { return fairshare_; }
@@ -152,6 +160,10 @@ class BatchScheduler {
   /// Allocate CPUs and schedule the completion event.
   void start_job(const workload::Job& job, SimTime now);
 
+  /// Record a job-lifecycle trace event (no-op without a full tracer).
+  void trace_job(trace::EventKind kind, const workload::Job& job,
+                 std::int64_t value = 0, SimTime aux_time = 0);
+
   void complete_job(workload::JobId id, SimTime now);
 
   /// Earliest start >= from satisfying profile space, downtime drain, and
@@ -173,6 +185,9 @@ class BatchScheduler {
   std::function<void(const PassContext&)> post_pass_;
   std::function<void(const JobRecord&)> on_kill_;
   SchedulerStats stats_;
+  trace::Tracer* tracer_ = nullptr;
+  /// Reservation each waiting job last held, for honored/violated events.
+  std::unordered_map<workload::JobId, SimTime> reserved_start_;
   SimTime next_wake_ = -1;
   bool in_pass_ = false;
 };

@@ -23,11 +23,17 @@ void Engine::drain_current_time() {
   // hook/event ping-pong (a correct model converges in a few rounds).
   constexpr int kMaxRounds = 64;
   int rounds = 0;
+  if (ISTC_TRACE_COUNTERS_ON(tracer_)) {
+    ++tracer_->counters().engine_timesteps;
+  }
   for (;;) {
     bool fired = false;
     while (!queue_.empty() && queue_.next_time() == now_) {
       EventFn fn = queue_.pop();
       ++events_processed_;
+      if (ISTC_TRACE_COUNTERS_ON(tracer_)) {
+        ++tracer_->counters().engine_events_drained;
+      }
       fn();
       fired = true;
     }

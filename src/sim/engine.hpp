@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sim/event_queue.hpp"
+#include "trace/tracer.hpp"
 #include "util/time.hpp"
 
 /// \file engine.hpp
@@ -36,6 +37,12 @@ class Engine {
   std::uint64_t events_processed() const { return events_processed_; }
   bool finished() const { return queue_.empty(); }
 
+  /// Attach a tracer (nullptr detaches).  The engine only feeds counters
+  /// (events drained, quiescent timesteps); it never records events, so
+  /// attaching a tracer cannot perturb event order.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  trace::Tracer* tracer() const { return tracer_; }
+
   /// Run until the queue empties or the clock would pass `until`.
   /// Events at exactly `until` are processed.
   void run(SimTime until = kTimeInfinity);
@@ -51,6 +58,7 @@ class Engine {
   std::vector<std::function<void(SimTime)>> hooks_;
   SimTime now_ = 0;
   std::uint64_t events_processed_ = 0;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace istc::sim

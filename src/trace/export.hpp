@@ -1,0 +1,42 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/summary.hpp"
+#include "trace/tracer.hpp"
+
+/// \file export.hpp
+/// Trace serialization: JSONL (one event per line, machine-greppable),
+/// Chrome trace-event JSON (load in chrome://tracing or Perfetto: jobs as
+/// duration events on per-CPU-block tracks, gate decisions as instants),
+/// and a flat CSV counter dump via util/csv.
+///
+/// All exporters write events in (time, seq) order with fixed field order,
+/// so equal traces serialize to byte-identical output.
+
+namespace istc::trace {
+
+/// One JSON object per line; field order fixed per kind (see event.hpp).
+void write_jsonl(std::ostream& out, const Tracer& tracer);
+void write_jsonl_file(const std::string& path, const Tracer& tracer);
+
+struct ChromeTraceOptions {
+  std::string machine_name = "machine";
+  /// Total CPUs; used to lay jobs out on contiguous CPU-block tracks.
+  int total_cpus = 0;
+};
+
+/// Chrome trace-event format (the chrome://tracing JSON flavour).  Jobs
+/// become "X" complete events whose track (tid) is the first CPU of a
+/// contiguous block assigned first-fit at export time; gate decisions and
+/// scheduler housekeeping become instant events on a scheduler process.
+void write_chrome_trace(std::ostream& out, const Tracer& tracer,
+                        const ChromeTraceOptions& options);
+void write_chrome_trace_file(const std::string& path, const Tracer& tracer,
+                             const ChromeTraceOptions& options);
+
+/// Counter dump: one header row, one value row (util/csv formatting).
+void write_counters_csv(const std::string& path, const TraceSummary& summary);
+
+}  // namespace istc::trace

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file summary.hpp
+/// Aggregate counters and timers collected alongside (or instead of) the
+/// event stream.  Deliberately dependency-free: sched::RunResult embeds a
+/// TraceSummary so every experiment carries its scheduling-cost profile.
+///
+/// Wall-clock timers (`*_us`) are host measurements and therefore *not*
+/// deterministic across runs; they never feed the event stream, only this
+/// summary, so JSONL exports stay byte-identical while the summary still
+/// answers "what did the scheduler pass cost".
+
+namespace istc::trace {
+
+struct TraceSummary {
+  // -- event volume -------------------------------------------------------
+  std::uint64_t events_recorded = 0;   ///< events kept in the buffer
+  std::uint64_t events_dropped = 0;    ///< events past the buffer cap
+
+  // -- engine -------------------------------------------------------------
+  std::uint64_t engine_events_drained = 0;  ///< callbacks fired
+  std::uint64_t engine_timesteps = 0;       ///< distinct quiescent passes
+
+  // -- scheduler ----------------------------------------------------------
+  std::uint64_t sched_passes = 0;         ///< scheduling passes timed
+  std::uint64_t sched_pass_us_total = 0;  ///< wall µs across all passes
+  std::uint64_t sched_pass_us_max = 0;    ///< slowest single pass, wall µs
+  std::uint64_t backfill_scans = 0;       ///< earliest_start evaluations
+  std::uint64_t reservations_made = 0;
+  std::uint64_t reservations_honored = 0;
+  std::uint64_t reservations_violated = 0;
+
+  // -- interstitial stream (Fig. 1 driver) --------------------------------
+  std::uint64_t gate_decisions = 0;
+  std::uint64_t gate_open = 0;
+  std::uint64_t gate_closed = 0;
+  std::uint64_t interstitial_submitted = 0;
+  /// Jobs that had space but were withheld because the gate was closed.
+  std::uint64_t interstitial_rejected_by_gate = 0;
+  std::uint64_t interstitial_killed = 0;
+
+  /// Mean scheduler-pass cost in µs (0 when no pass was timed).
+  double mean_pass_us() const {
+    return sched_passes == 0 ? 0.0
+                             : static_cast<double>(sched_pass_us_total) /
+                                   static_cast<double>(sched_passes);
+  }
+};
+
+}  // namespace istc::trace

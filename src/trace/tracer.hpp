@@ -1,0 +1,131 @@
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/summary.hpp"
+
+/// \file tracer.hpp
+/// The tracing core: a chunked, preallocated event buffer plus the
+/// TraceSummary counters.  Hooks throughout sim/sched/core hold a
+/// `Tracer*` that is null by default, so an untraced run pays one branch
+/// per hook; `ISTC_TRACING_ENABLED=0` compiles even that out.
+///
+/// Determinism contract: `record()` stamps each event with a monotone
+/// sequence number, so the (time, seq) key mirrors the engine's event heap
+/// and equal-seed runs yield identical streams.  Nothing in the tracer
+/// feeds back into the simulation — tracing observes, never perturbs.
+
+// CMake's ISTC_TRACING option defines this to 0 to compile tracing out;
+// the hook macros below then evaluate to constant false / no-ops.
+#ifndef ISTC_TRACING_ENABLED
+#define ISTC_TRACING_ENABLED 1
+#endif
+
+#if ISTC_TRACING_ENABLED
+/// True when `p` (a Tracer*) wants full event records.
+#define ISTC_TRACE_EVENTS_ON(p) ((p) != nullptr && (p)->events_enabled())
+/// True when `p` wants counters (full or counters-only mode).
+#define ISTC_TRACE_COUNTERS_ON(p) ((p) != nullptr && (p)->counters_enabled())
+#else
+#define ISTC_TRACE_EVENTS_ON(p) false
+#define ISTC_TRACE_COUNTERS_ON(p) false
+#endif
+
+namespace istc::trace {
+
+enum class TraceMode : std::uint8_t {
+  kDisabled,      ///< attached but inert (overhead measurement baseline)
+  kCountersOnly,  ///< summary counters/timers only, no event records
+  kFull,          ///< counters plus the event stream
+};
+
+class Tracer {
+ public:
+  /// Events per allocation chunk; chunks are never moved once allocated,
+  /// so record() is pointer-bump cheap and iteration is stable.
+  static constexpr std::size_t kChunkEvents = 1u << 16;
+
+  /// Default cap: 1M events (~48 MB).  Past the cap events are counted in
+  /// `events_dropped` but not stored — a trace that silently truncates
+  /// must say so.
+  static constexpr std::size_t kDefaultMaxEvents = 1u << 20;
+
+  explicit Tracer(TraceMode mode = TraceMode::kFull,
+                  std::size_t max_events = kDefaultMaxEvents);
+
+  TraceMode mode() const { return mode_; }
+  bool events_enabled() const { return mode_ == TraceMode::kFull; }
+  bool counters_enabled() const { return mode_ != TraceMode::kDisabled; }
+
+  /// Append one event (fields other than `seq` filled by the caller).
+  /// No-op unless events are enabled.
+  void record(TraceEvent event);
+
+  /// Mutable counter block for hook sites; cheap direct increments.
+  TraceSummary& counters() { return counters_; }
+  const TraceSummary& counters() const { return counters_; }
+
+  /// Counter snapshot with the event-volume fields filled in.
+  TraceSummary summary() const;
+
+  std::size_t size() const { return size_; }
+  std::uint64_t dropped() const { return dropped_; }
+  const TraceEvent& operator[](std::size_t i) const {
+    return chunks_[i / kChunkEvents][i % kChunkEvents];
+  }
+
+  /// Events sorted by the (time, seq) key.  Hooks record in causal order,
+  /// but statically-known futures (the downtime calendar) are recorded up
+  /// front, so exporters sort before writing.
+  std::vector<TraceEvent> sorted_events() const;
+
+  /// Forget all recorded events and counters; keeps the first chunk.
+  void clear();
+
+ private:
+  TraceMode mode_;
+  std::size_t max_events_;
+  std::size_t size_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<std::unique_ptr<TraceEvent[]>> chunks_;
+  TraceSummary counters_;
+};
+
+/// RAII wall-clock timer for one scheduler pass: on destruction adds the
+/// elapsed µs to the summary's pass counters.  Constructed with a null
+/// tracer (or counters disabled) it does nothing, including skipping the
+/// clock reads.
+class ScopedPassTimer {
+ public:
+  explicit ScopedPassTimer(Tracer* tracer)
+      : tracer_(ISTC_TRACE_COUNTERS_ON(tracer) ? tracer : nullptr) {
+    if (tracer_ != nullptr) t0_ = std::chrono::steady_clock::now();
+  }
+
+  ScopedPassTimer(const ScopedPassTimer&) = delete;
+  ScopedPassTimer& operator=(const ScopedPassTimer&) = delete;
+
+  ~ScopedPassTimer() {
+    if (tracer_ == nullptr) return;
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0_)
+                        .count();
+    TraceSummary& c = tracer_->counters();
+    ++c.sched_passes;
+    c.sched_pass_us_total += static_cast<std::uint64_t>(us);
+    c.sched_pass_us_max =
+        std::max(c.sched_pass_us_max, static_cast<std::uint64_t>(us));
+  }
+
+ private:
+  Tracer* tracer_;
+  std::chrono::steady_clock::time_point t0_{};
+};
+
+}  // namespace istc::trace

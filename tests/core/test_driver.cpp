@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "sim/engine.hpp"
+#include "trace/tracer.hpp"
 
 namespace istc::core {
 namespace {
@@ -178,6 +181,72 @@ TEST(Driver, QueueProtectiveGatePreventsHeadPinnedLivelock) {
   EXPECT_LE(protective, 26 + 3 * 100);
   // Head-only: the junior starves until the stream stops at t=1500.
   EXPECT_GE(head_only, 1000);
+}
+
+TEST(Driver, TraceRecordsHeadPinnedLivelock) {
+  // Same miniature as above, but now read the story out of the trace: the
+  // head-only gate keeps deciding "open" against the *same* pinned wall
+  // time (the head's far-future earliest start never moves) while the
+  // junior starves; the queue-protective gate instead emits repeated
+  // rejected-by-gate decisions against the junior's imminent start.
+#if !ISTC_TRACING_ENABLED
+  GTEST_SKIP() << "tracing compiled out (ISTC_TRACING=OFF)";
+#endif
+  auto run_traced = [](GatePolicy gate, trace::Tracer* tracer) {
+    sim::Engine eng;
+    sched::PolicySpec policy;  // EASY
+    policy.fairshare.age_weight_per_hour = 0.0;
+    policy.fairshare.size_weight = 0.0;
+    sched::BatchScheduler s(eng, machine_of(20), policy);
+    s.set_tracer(tracer);
+    s.submit(native(0, 0, 10, 5000, 5000));
+    s.submit(native(1, 0, 4, 20, 20));
+    s.submit(native(2, 25, 16, 100, 100));  // head: earliest ~5000 (far)
+    s.submit(native(3, 26, 10, 50, 50));    // junior: needs a full drain
+    ProjectSpec spec = ProjectSpec::continual_stream(2, 100, 1500);
+    spec.gate = gate;
+    InterstitialDriver driver(s, spec, 1000);
+    eng.run();
+    s.take_result(10000);
+  };
+  auto gate_events = [](const trace::Tracer& t) {
+    std::vector<trace::TraceEvent> out;
+    for (const auto& e : t.sorted_events()) {
+      if (e.kind == trace::EventKind::kGateDecision) out.push_back(e);
+    }
+    return out;
+  };
+
+  trace::Tracer head_trace(trace::TraceMode::kFull);
+  run_traced(GatePolicy::kHeadOnly, &head_trace);
+  std::size_t head_open = 0;
+  std::size_t same_wall = 0;
+  for (const auto& e : gate_events(head_trace)) {
+    if (!e.open || e.time < 25 || e.time >= 1500) continue;
+    ++head_open;
+    // The pinned head: wall time is the long runner's completion at
+    // t=5000, identical pass after pass while the junior waits.
+    if (e.aux_time == 5000) ++same_wall;
+  }
+  EXPECT_GE(head_open, 5u);
+  EXPECT_EQ(same_wall, head_open);
+  EXPECT_EQ(head_trace.summary().interstitial_rejected_by_gate, 0u);
+
+  trace::Tracer prot_trace(trace::TraceMode::kFull);
+  run_traced(GatePolicy::kQueueProtective, &prot_trace);
+  std::size_t closed = 0;
+  std::int64_t withheld = 0;
+  for (const auto& e : gate_events(prot_trace)) {
+    if (e.open) continue;
+    ++closed;
+    withheld += e.value;
+    // A closed decision always carries the finite wall time it compared.
+    EXPECT_LT(e.aux_time, kTimeInfinity);
+  }
+  EXPECT_GE(closed, 2u);
+  EXPECT_EQ(prot_trace.summary().gate_closed, closed);
+  EXPECT_EQ(prot_trace.summary().interstitial_rejected_by_gate,
+            static_cast<std::uint64_t>(withheld));
 }
 
 TEST(Driver, AlwaysGateHarvestsMoreThanProtectiveGate) {

@@ -1,0 +1,115 @@
+#include "trace/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace istc::trace {
+namespace {
+
+TraceEvent at(SimTime t, EventKind kind = EventKind::kJobStart) {
+  TraceEvent e;
+  e.time = t;
+  e.kind = kind;
+  return e;
+}
+
+TEST(Tracer, AssignsMonotoneSequenceNumbers) {
+  Tracer tracer;
+  tracer.record(at(10));
+  tracer.record(at(10));
+  tracer.record(at(5));
+  ASSERT_EQ(tracer.size(), 3u);
+  EXPECT_EQ(tracer[0].seq, 0u);
+  EXPECT_EQ(tracer[1].seq, 1u);
+  EXPECT_EQ(tracer[2].seq, 2u);
+}
+
+TEST(Tracer, SortedEventsOrderByTimeThenSeq) {
+  Tracer tracer;
+  tracer.record(at(100, EventKind::kDowntimeBegin));  // future, recorded first
+  tracer.record(at(5));
+  tracer.record(at(5, EventKind::kJobFinish));
+  const auto events = tracer.sorted_events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].time, 5);
+  EXPECT_EQ(events[0].kind, EventKind::kJobStart);
+  EXPECT_EQ(events[1].time, 5);
+  EXPECT_EQ(events[1].kind, EventKind::kJobFinish);
+  EXPECT_EQ(events[2].time, 100);
+}
+
+TEST(Tracer, GrowsAcrossChunks) {
+  Tracer tracer;
+  const std::size_t n = Tracer::kChunkEvents + 100;
+  for (std::size_t i = 0; i < n; ++i) {
+    tracer.record(at(static_cast<SimTime>(i)));
+  }
+  ASSERT_EQ(tracer.size(), n);
+  EXPECT_EQ(tracer[Tracer::kChunkEvents].time,
+            static_cast<SimTime>(Tracer::kChunkEvents));
+  EXPECT_EQ(tracer[n - 1].seq, n - 1);
+}
+
+TEST(Tracer, DropsPastTheCapAndCounts) {
+  Tracer tracer(TraceMode::kFull, /*max_events=*/10);
+  for (int i = 0; i < 15; ++i) tracer.record(at(i));
+  EXPECT_EQ(tracer.size(), 10u);
+  EXPECT_EQ(tracer.dropped(), 5u);
+  EXPECT_EQ(tracer.summary().events_recorded, 10u);
+  EXPECT_EQ(tracer.summary().events_dropped, 5u);
+}
+
+TEST(Tracer, CountersOnlyStoresNoEvents) {
+  Tracer tracer(TraceMode::kCountersOnly);
+  EXPECT_TRUE(tracer.counters_enabled());
+  EXPECT_FALSE(tracer.events_enabled());
+  tracer.record(at(1));
+  EXPECT_EQ(tracer.size(), 0u);
+  ++tracer.counters().sched_passes;
+  EXPECT_EQ(tracer.summary().sched_passes, 1u);
+}
+
+TEST(Tracer, DisabledModeIsInert) {
+  Tracer tracer(TraceMode::kDisabled);
+  EXPECT_FALSE(tracer.counters_enabled());
+  EXPECT_FALSE(tracer.events_enabled());
+  EXPECT_FALSE(ISTC_TRACE_EVENTS_ON(&tracer));
+  EXPECT_FALSE(ISTC_TRACE_COUNTERS_ON(&tracer));
+  Tracer* null_tracer = nullptr;
+  EXPECT_FALSE(ISTC_TRACE_COUNTERS_ON(null_tracer));
+}
+
+TEST(Tracer, ScopedPassTimerCountsPasses) {
+#if !ISTC_TRACING_ENABLED
+  GTEST_SKIP() << "tracing compiled out (ISTC_TRACING=OFF)";
+#endif
+  Tracer tracer(TraceMode::kCountersOnly);
+  { ScopedPassTimer t1(&tracer); }
+  { ScopedPassTimer t2(&tracer); }
+  EXPECT_EQ(tracer.counters().sched_passes, 2u);
+
+  Tracer off(TraceMode::kDisabled);
+  { ScopedPassTimer t3(&off); }
+  { ScopedPassTimer t4(nullptr); }
+  EXPECT_EQ(off.counters().sched_passes, 0u);
+}
+
+TEST(Tracer, ClearResetsEverything) {
+  Tracer tracer(TraceMode::kFull, 5);
+  for (int i = 0; i < 8; ++i) tracer.record(at(i));
+  ++tracer.counters().backfill_scans;
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(tracer.summary().backfill_scans, 0u);
+  tracer.record(at(42));
+  EXPECT_EQ(tracer[0].seq, 0u);
+}
+
+TEST(Tracer, KindNamesAreStable) {
+  EXPECT_STREQ(kind_name(EventKind::kJobSubmit), "job_submit");
+  EXPECT_STREQ(kind_name(EventKind::kGateDecision), "gate_decision");
+  EXPECT_STREQ(kind_name(EventKind::kDowntimeEnd), "downtime_end");
+}
+
+}  // namespace
+}  // namespace istc::trace
