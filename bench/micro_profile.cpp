@@ -50,6 +50,49 @@ void BM_ProfileReserveRelease(benchmark::State& state) {
 }
 BENCHMARK(BM_ProfileReserveRelease);
 
+// The incremental path's per-pass cost: advancing the origin through a busy
+// profile in coarse steps (history chop + re-anchor), vs. BM_ProfileRebuild
+// below, the old path's per-pass cost.
+void BM_ProfileAdvanceOrigin(benchmark::State& state) {
+  Rng rng(7);
+  const auto base = busy_profile(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    ResourceProfile p = base;
+    for (SimTime t = 0; t <= 500000; t += 10000) p.advance_origin(t);
+    benchmark::DoNotOptimize(p.steps());
+  }
+}
+BENCHMARK(BM_ProfileAdvanceOrigin)->Arg(100)->Arg(1000);
+
+// The old per-pass construction: reconstruct the profile from `running`
+// jobs' estimated remainders, every pass.
+void BM_ProfileRebuild(benchmark::State& state) {
+  const int running = static_cast<int>(state.range(0));
+  const int cpus_each = 4096 / running;
+  Rng rng(8);
+  std::vector<SimTime> ends;
+  ends.reserve(static_cast<std::size_t>(running));
+  for (int i = 0; i < running; ++i) ends.push_back(rng.range(60, 500000));
+  for (auto _ : state) {
+    ResourceProfile p(0, 4096);
+    for (const SimTime end : ends) p.reserve(0, end, cpus_each);
+    benchmark::DoNotOptimize(p.steps());
+  }
+}
+BENCHMARK(BM_ProfileRebuild)->Arg(64)->Arg(512);
+
+// Full canonicalization sweep on an already-canonical profile: the
+// worst-case steady-state cost GateStage pays once per pass.
+void BM_ProfileCoalesce(benchmark::State& state) {
+  Rng rng(9);
+  auto p = busy_profile(1000, rng);
+  for (auto _ : state) {
+    p.coalesce();
+    benchmark::DoNotOptimize(p.steps());
+  }
+}
+BENCHMARK(BM_ProfileCoalesce);
+
 void BM_ProfileMinFree(benchmark::State& state) {
   Rng rng(5);
   const auto p = busy_profile(1000, rng);

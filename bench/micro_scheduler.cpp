@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/experiment.hpp"
+#include "trace/tracer.hpp"
 
 namespace {
 
@@ -41,6 +42,43 @@ void BM_ContinualCoSimulation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ContinualCoSimulation)->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+// A/B of the incremental pass-persistent ResourceProfile (Arg 1) against
+// the old from-scratch per-pass rebuild (Arg 0) on the heaviest pass
+// workload: the continual co-simulation, where every pass used to
+// reconstruct the profile from hundreds of running jobs.  Schedules are
+// identical either way (the determinism suite pins that); only pass cost
+// moves.  `pass_us` is the counter to compare — wall ms includes event-heap
+// and workload-generation time common to both.
+void BM_ContinualPassWorkload(benchmark::State& state) {
+  const bool incremental = state.range(0) != 0;
+  std::uint64_t seed = 300;
+  std::uint64_t pass_us = 0;
+  std::uint64_t passes = 0;
+  for (auto _ : state) {
+    istc::trace::Tracer tracer(istc::trace::TraceMode::kCountersOnly);
+    istc::core::Scenario sc;
+    sc.site = Site::kBlueMountain;
+    sc.log_seed = seed++;
+    sc.project = istc::core::ProjectSpec::continual_stream(
+        32, 120, istc::cluster::site_span(sc.site));
+    sc.incremental_profile = incremental;
+    sc.tracer = &tracer;
+    const auto run = istc::core::run_scenario(sc);
+    benchmark::DoNotOptimize(run.records.size());
+    pass_us += run.trace.sched_pass_us_total;
+    passes += run.trace.sched_passes;
+  }
+  state.counters["pass_us"] = benchmark::Counter(
+      static_cast<double>(pass_us) / static_cast<double>(state.iterations()));
+  state.counters["passes"] = benchmark::Counter(
+      static_cast<double>(passes) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_ContinualPassWorkload)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 
 void BM_OmniscientPack(benchmark::State& state) {

@@ -93,6 +93,32 @@ std::optional<trace::Tracer> make_tracer(const ArgParser& args) {
   return std::nullopt;
 }
 
+/// Per-stage pass cost (priority / dispatch / backfill / gate) from the
+/// trace summary; printed whenever tracing was requested so --trace runs
+/// always surface where scheduling time went.
+void print_stage_timings(const trace::TraceSummary& s) {
+  if (s.sched_passes == 0) return;
+  std::printf("scheduler pass cost: %llu passes, mean %.1f us, max %llu us\n",
+              static_cast<unsigned long long>(s.sched_passes),
+              s.mean_pass_us(),
+              static_cast<unsigned long long>(s.sched_pass_us_max));
+  static constexpr const char* kStageNames[trace::TraceSummary::kNumStages] = {
+      "priority", "dispatch", "backfill", "gate"};
+  for (int i = 0; i < trace::TraceSummary::kNumStages; ++i) {
+    std::printf("  %-8s %8llu us over %llu runs\n", kStageNames[i],
+                static_cast<unsigned long long>(s.stage_us[i]),
+                static_cast<unsigned long long>(s.stage_runs[i]));
+  }
+  const std::uint64_t sorts = s.priority_recomputes + s.priority_reuses;
+  if (sorts > 0) {
+    std::printf("  priority order reused in %llu/%llu passes; "
+                "%llu profile rebuilds\n",
+                static_cast<unsigned long long>(s.priority_reuses),
+                static_cast<unsigned long long>(sorts),
+                static_cast<unsigned long long>(s.profile_rebuilds));
+  }
+}
+
 void export_traces(const ArgParser& args, const trace::Tracer& tracer,
                    const cluster::MachineSpec& machine) {
   const auto write = [](const char* what, const std::string& path,
@@ -118,6 +144,7 @@ void export_traces(const ArgParser& args, const trace::Tracer& tracer,
         [&](const std::string& p) {
           trace::write_counters_csv(p, tracer.summary());
         });
+  print_stage_timings(tracer.summary());
   if (tracer.dropped() > 0) {
     std::fprintf(stderr,
                  "warning: %llu events past the buffer cap were dropped\n",

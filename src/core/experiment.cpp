@@ -1,12 +1,9 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <map>
-#include <mutex>
-#include <tuple>
 
 #include "core/driver.hpp"
+#include "core/run_cache.hpp"
 #include "metrics/makespan.hpp"
 #include "metrics/utilization.hpp"
 #include "sched/presets.hpp"
@@ -39,6 +36,7 @@ sched::RunResult run_scenario(const Scenario& scenario) {
   sim::Engine engine;
   sched::PolicySpec policy = sched::site_policy(site);
   policy.preempt_interstitial = scenario.preempt_interstitial;
+  policy.incremental_profile = scenario.incremental_profile;
   sched::BatchScheduler scheduler(engine, cluster::make_machine(site),
                                   std::move(policy));
   if (scenario.tracer != nullptr) scheduler.set_tracer(scenario.tracer);
@@ -56,61 +54,33 @@ sched::RunResult run_scenario(const Scenario& scenario) {
 
 namespace {
 
-std::mutex g_cache_mu;
-std::map<Site, sched::RunResult> g_native_cache;
-
-// Key: site, cpus/job, work seconds @1GHz, utilization cap (scaled x1000).
-using ContinualKey = std::tuple<Site, int, Seconds, long>;
-std::map<ContinualKey, sched::RunResult> g_continual_cache;
+// Free functions default to the process-wide cache; callers owning their
+// own RunCache pass it explicitly.
+RunCache& cache_or_default(RunCache* cache) {
+  return cache != nullptr ? *cache : default_run_cache();
+}
 
 }  // namespace
 
-const sched::RunResult& native_baseline(Site site) {
-  std::lock_guard lk(g_cache_mu);
-  auto it = g_native_cache.find(site);
-  if (it == g_native_cache.end()) {
-    // Counters-only tracing is cheap (no event records) and gives every
-    // cached run a scheduling-cost profile in RunResult::trace.
-    trace::Tracer tracer(trace::TraceMode::kCountersOnly);
-    Scenario scenario{site, {}, 0};
-    scenario.tracer = &tracer;
-    it = g_native_cache.emplace(site, run_scenario(scenario)).first;
-  }
-  return it->second;
+const sched::RunResult& native_baseline(Site site, RunCache* cache) {
+  return cache_or_default(cache).native_baseline(site);
 }
 
-double native_utilization(Site site) {
-  const auto& base = native_baseline(site);
+double native_utilization(Site site, RunCache* cache) {
+  const auto& base = native_baseline(site, cache);
   return metrics::average_utilization(base.records, base.machine.cpus, 0,
                                       base.span, metrics::JobFilter::kAll);
 }
 
 const sched::RunResult& continual_run(Site site, int cpus_per_job,
                                       Seconds sec_at_1ghz,
-                                      double utilization_cap) {
-  const ContinualKey key{site, cpus_per_job, sec_at_1ghz,
-                         std::lround(utilization_cap * 1000)};
-  {
-    std::lock_guard lk(g_cache_mu);
-    const auto it = g_continual_cache.find(key);
-    if (it != g_continual_cache.end()) return it->second;
-  }
-  ProjectSpec stream = ProjectSpec::continual_stream(
-      cpus_per_job, sec_at_1ghz, cluster::site_span(site));
-  stream.utilization_cap = utilization_cap;
-  trace::Tracer tracer(trace::TraceMode::kCountersOnly);
-  Scenario scenario{site, stream, 0};
-  scenario.tracer = &tracer;
-  sched::RunResult result = run_scenario(scenario);
-  std::lock_guard lk(g_cache_mu);
-  return g_continual_cache.emplace(key, std::move(result)).first->second;
+                                      double utilization_cap,
+                                      RunCache* cache) {
+  return cache_or_default(cache).continual_run(site, cpus_per_job,
+                                               sec_at_1ghz, utilization_cap);
 }
 
-void clear_experiment_caches() {
-  std::lock_guard lk(g_cache_mu);
-  g_native_cache.clear();
-  g_continual_cache.clear();
-}
+void clear_experiment_caches() { default_run_cache().clear(); }
 
 std::vector<sched::JobRecord> tile_records(
     std::span<const sched::JobRecord> records, SimTime span, int copies) {
@@ -146,11 +116,12 @@ cluster::DowntimeCalendar tile_calendar(const cluster::DowntimeCalendar& cal,
 }
 
 MakespanSample omniscient_makespans(Site site, const ProjectSpec& spec,
-                                    int reps, std::uint64_t seed) {
+                                    int reps, std::uint64_t seed,
+                                    RunCache* cache) {
   ISTC_EXPECTS(reps >= 1);
   ISTC_EXPECTS(!spec.continual());
 
-  const sched::RunResult& base = native_baseline(site);
+  const sched::RunResult& base = native_baseline(site, cache);
   const SimTime span = base.span;
 
   // Tile the native environment so projects started late in the log keep
@@ -183,12 +154,13 @@ MakespanSample omniscient_makespans(Site site, const ProjectSpec& spec,
 }
 
 MakespanSample fallible_makespans(Site site, const ProjectSpec& spec,
-                                  int nsamples, std::uint64_t seed) {
+                                  int nsamples, std::uint64_t seed,
+                                  RunCache* cache) {
   ISTC_EXPECTS(!spec.continual());
   const Seconds sec_at_1ghz = static_cast<Seconds>(
       spec.work_per_cpu / cluster::kGiga);
   const sched::RunResult& run =
-      continual_run(site, spec.cpus_per_job, sec_at_1ghz);
+      continual_run(site, spec.cpus_per_job, sec_at_1ghz, 1.0, cache);
   const auto completions = metrics::interstitial_completions(run.records);
   Rng rng(seed ^ (static_cast<std::uint64_t>(site) << 24) ^
           static_cast<std::uint64_t>(spec.total_jobs));

@@ -23,6 +23,8 @@
 
 namespace istc::core {
 
+class RunCache;  // run_cache.hpp
+
 /// One simulation setup.
 struct Scenario {
   cluster::Site site = cluster::Site::kBlueMountain;
@@ -40,6 +42,11 @@ struct Scenario {
   /// Extension: natives evict running interstitial jobs instead of waiting
   /// (sched::PolicySpec::preempt_interstitial).
   bool preempt_interstitial = false;
+  /// Maintain the scheduler's free-CPU profile incrementally across passes
+  /// (sched::PolicySpec::incremental_profile).  OFF selects the from-scratch
+  /// per-pass rebuild — the A/B baseline for bench/micro_scheduler;
+  /// schedules are identical either way.
+  bool incremental_profile = true;
   /// Observability: when set, the engine/scheduler/driver record into this
   /// tracer and the RunResult carries its TraceSummary.  Not owned; must
   /// outlive the call.  Tracing never perturbs the schedule.
@@ -49,14 +56,15 @@ struct Scenario {
 /// Run a scenario to completion and collect all records.
 sched::RunResult run_scenario(const Scenario& scenario);
 
-/// Native-only run of the canonical site log, cached (computed once per
-/// process; every comparison experiment shares it, exactly as the paper
-/// reuses one log per machine).
-const sched::RunResult& native_baseline(cluster::Site site);
+/// Native-only run of the canonical site log, cached in `cache` (default:
+/// the process-wide RunCache; every comparison experiment shares it,
+/// exactly as the paper reuses one log per machine).
+const sched::RunResult& native_baseline(cluster::Site site,
+                                        RunCache* cache = nullptr);
 
 /// Average native utilization of the baseline over [0, span), including
 /// outages — the measured analogue of Table 1's "Utilization".
-double native_utilization(cluster::Site site);
+double native_utilization(cluster::Site site, RunCache* cache = nullptr);
 
 /// Replicated makespans, mean/std in hours.
 struct MakespanSample {
@@ -69,20 +77,23 @@ struct MakespanSample {
 /// project starts within the (tiled) native log.
 MakespanSample omniscient_makespans(cluster::Site site,
                                     const ProjectSpec& spec, int reps,
-                                    std::uint64_t seed = 0x7AB1E2);
+                                    std::uint64_t seed = 0x7AB1E2,
+                                    RunCache* cache = nullptr);
 
 /// §4.3.1 continual-sampling: run one continual stream of the project's
 /// job shape, then sample `nsamples` random project start times.
 /// The continual run is cached per (site, cpus, work) so the eight Table 4
 /// rows on a machine share two underlying simulations.
 MakespanSample fallible_makespans(cluster::Site site, const ProjectSpec& spec,
-                                  int nsamples, std::uint64_t seed = 0xFA111B);
+                                  int nsamples, std::uint64_t seed = 0xFA111B,
+                                  RunCache* cache = nullptr);
 
 /// Cached continual co-simulation for a job shape (32 CPU x 458 s etc.):
 /// the Table 5-8 scenarios.  utilization_cap keys the cache too.
 const sched::RunResult& continual_run(cluster::Site site, int cpus_per_job,
                                       Seconds sec_at_1ghz,
-                                      double utilization_cap = 1.0);
+                                      double utilization_cap = 1.0,
+                                      RunCache* cache = nullptr);
 
 /// Tile a record set k times along the time axis (the native environment
 /// repeated, used to let large projects run past the end of one log pass —
@@ -94,7 +105,7 @@ std::vector<sched::JobRecord> tile_records(
 cluster::DowntimeCalendar tile_calendar(const cluster::DowntimeCalendar& cal,
                                         SimTime span, int copies);
 
-/// Drop the process-wide caches (tests use this to bound memory).
+/// Drop the process-wide default RunCache (tests use this to bound memory).
 void clear_experiment_caches();
 
 }  // namespace istc::core

@@ -38,6 +38,7 @@ void FairShareTracker::charge(workload::UserId user, workload::GroupId group,
   charge_account(total, cpu_seconds, now, ln2_over_half_life_);
   total_usage_ = total.usage;
   total_as_of_ = total.as_of;
+  ++epoch_;
 }
 
 double FairShareTracker::user_usage(workload::UserId user, SimTime now) const {
@@ -51,36 +52,41 @@ double FairShareTracker::group_usage(workload::GroupId group,
   return it == groups_.end() ? 0.0 : decayed(it->second, now);
 }
 
-double FairShareTracker::priority(const workload::Job& job,
-                                  SimTime now) const {
+double FairShareTracker::deficit(workload::UserId user,
+                                 workload::GroupId group, SimTime now) const {
   Account total{total_usage_, total_as_of_};
   const double grand = decayed(total, now);
   // Normalized usage fractions in [0,1]; with no history everyone is even.
-  const double u_frac =
-      grand > 0 ? user_usage(job.user, now) / grand : 0.0;
-  const double g_frac =
-      grand > 0 ? group_usage(job.group, now) / grand : 0.0;
+  const double u_frac = grand > 0 ? user_usage(user, now) / grand : 0.0;
+  const double g_frac = grand > 0 ? group_usage(group, now) / grand : 0.0;
 
-  double deficit = 0.0;
   switch (cfg_.mode) {
     case FairShareMode::kEqualUsers:
-      deficit = -u_frac;
-      break;
+      return -u_frac;
     case FairShareMode::kGroupHierarchy:
       // Group level dominates; user level breaks ties within a group.
-      deficit = -g_frac - 0.1 * u_frac;
-      break;
+      return -g_frac - 0.1 * u_frac;
     case FairShareMode::kUserAndGroup:
-      deficit = -(1.0 - cfg_.group_weight) * u_frac -
-                cfg_.group_weight * g_frac;
-      break;
+      return -(1.0 - cfg_.group_weight) * u_frac -
+             cfg_.group_weight * g_frac;
   }
+  ISTC_ASSERT(false);
+  return 0.0;
+}
 
+double FairShareTracker::priority_with_deficit(double deficit,
+                                               const workload::Job& job,
+                                               SimTime now) const {
   const double age_hours = to_hours(now - job.submit);
   const double size_bonus =
       cfg_.size_weight *
       (std::log2(static_cast<double>(job.cpus)) / 12.0);  // log2(4096)
   return deficit + cfg_.age_weight_per_hour * age_hours + size_bonus;
+}
+
+double FairShareTracker::priority(const workload::Job& job,
+                                  SimTime now) const {
+  return priority_with_deficit(deficit(job.user, job.group, now), job, now);
 }
 
 }  // namespace istc::sched

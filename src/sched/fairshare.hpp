@@ -50,9 +50,27 @@ class FairShareTracker {
   void charge(workload::UserId user, workload::GroupId group,
               double cpu_seconds, SimTime now);
 
+  /// Ledger version: bumped by every charge().  Between equal epochs the
+  /// share-deficit of every principal is mathematically constant (all
+  /// accounts decay at the same exponential rate, so normalized fractions
+  /// cancel the decay), which is what lets the scheduler reuse a cached
+  /// priority order instead of re-sorting every pass.
+  std::uint64_t epoch() const { return epoch_; }
+
   /// Priority of a job at time `now` (higher runs earlier).  `submit` feeds
   /// the aging term.
   double priority(const workload::Job& job, SimTime now) const;
+
+  /// The share-normalized deficit of a principal pair — the expensive,
+  /// per-(user, group) part of priority().  Exposed so a scheduling pass
+  /// can compute it once per principal and combine per job; composing
+  /// deficit() with priority_with_deficit() is bit-identical to priority().
+  double deficit(workload::UserId user, workload::GroupId group,
+                 SimTime now) const;
+
+  /// Combine a precomputed deficit with the per-job aging and size terms.
+  double priority_with_deficit(double deficit, const workload::Job& job,
+                               SimTime now) const;
 
   /// Decayed usage of a user/group at `now` (exposed for tests).
   double user_usage(workload::UserId user, SimTime now) const;
@@ -76,6 +94,7 @@ class FairShareTracker {
   std::unordered_map<workload::GroupId, Account> groups_;
   double total_usage_ = 0.0;  ///< decayed grand total
   SimTime total_as_of_ = 0;
+  std::uint64_t epoch_ = 0;   ///< ledger version (see epoch())
 };
 
 }  // namespace istc::sched

@@ -1,0 +1,193 @@
+#include "sched/pipeline.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "sched/scheduler.hpp"
+#include "util/assert.hpp"
+
+namespace istc::sched {
+
+const char* stage_name(StageKind kind) {
+  switch (kind) {
+    case StageKind::kPriority:
+      return "priority";
+    case StageKind::kDispatch:
+      return "dispatch";
+    case StageKind::kBackfill:
+      return "backfill";
+    case StageKind::kGate:
+      return "gate";
+  }
+  ISTC_ASSERT(false);
+  return "?";
+}
+
+void PriorityStage::run(BatchScheduler& s, PassState& st) {
+  const std::size_t n = s.pending_.size();
+  std::iota(st.order.begin(), st.order.end(), std::size_t{0});
+  if (n == 0) return;
+
+  // The cached order (pending_ left in priority order by the previous
+  // pass's GateStage) is exact while the fair-share ledger is unchanged and
+  // nothing new entered the queue: between charges every principal's
+  // normalized usage is constant (all accounts decay at the same rate) and
+  // queue aging shifts each pairwise priority gap by a constant, so the
+  // relative order cannot move.
+  const bool reuse = s.order_cached_ && !s.pending_dirty_ &&
+                     s.prio_epoch_ == s.fairshare_.epoch();
+  if (reuse) {
+    ++s.stats_.priority_reuses;
+    if (ISTC_TRACE_COUNTERS_ON(s.tracer_)) {
+      ++s.tracer_->counters().priority_reuses;
+    }
+  } else {
+    ++s.stats_.priority_recomputes;
+    if (ISTC_TRACE_COUNTERS_ON(s.tracer_)) {
+      ++s.tracer_->counters().priority_recomputes;
+    }
+    s.prio_.resize(n);
+    // One deficit evaluation per (user, group) principal instead of one per
+    // job; priority() is pure, so the memo is bit-identical to recomputing.
+    std::unordered_map<std::uint32_t, double> deficits;
+    deficits.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const workload::Job& job = s.pending_[i];
+      const std::uint32_t key =
+          (static_cast<std::uint32_t>(job.user) << 16) |
+          static_cast<std::uint32_t>(job.group);
+      auto [it, fresh] = deficits.try_emplace(key, 0.0);
+      if (fresh) it->second = s.fairshare_.deficit(job.user, job.group, st.now);
+      s.prio_[i] = s.fairshare_.priority_with_deficit(it->second, job, st.now);
+    }
+    std::stable_sort(st.order.begin(), st.order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       if (s.prio_[a] != s.prio_[b]) {
+                         return s.prio_[a] > s.prio_[b];
+                       }
+                       if (s.pending_[a].submit != s.pending_[b].submit) {
+                         return s.pending_[a].submit < s.pending_[b].submit;
+                       }
+                       return s.pending_[a].id < s.pending_[b].id;
+                     });
+    s.prio_epoch_ = s.fairshare_.epoch();
+    s.pending_dirty_ = false;
+  }
+
+  // Dynamic re-prioritization is observable every pass regardless of
+  // whether the order was reused — the event marks "priorities are current
+  // as of now", and exports depend on that cadence.
+  if (ISTC_TRACE_EVENTS_ON(s.tracer_)) {
+    trace::TraceEvent e;
+    e.time = st.now;
+    e.kind = trace::EventKind::kFairShareRecompute;
+    e.value = static_cast<std::int64_t>(n);
+    s.tracer_->record(e);
+  }
+}
+
+void DispatchStage::run(BatchScheduler& s, PassState& st) {
+  std::size_t pos = 0;
+  for (; pos < st.order.size(); ++pos) {
+    const std::size_t idx = st.order[pos];
+    const workload::Job& job = s.pending_[idx];
+    SimTime t = kTimeInfinity;
+    if (s.try_dispatch(job, st.now, /*may_start=*/true, preempt_, t)) {
+      st.started[idx] = 1;
+      continue;
+    }
+    // The highest-priority job that cannot start now: it always holds the
+    // pass's reservation (its shadow time), whatever the backfill mode.
+    st.saw_blocked = true;
+    st.head_earliest = t;
+    st.queue_earliest = std::min(st.queue_earliest, t);
+    s.make_reservation(job, t);
+    ++pos;
+    break;
+  }
+  st.resume_pos = pos;
+}
+
+void BackfillStage::run(BatchScheduler& s, PassState& st) {
+  if (!st.saw_blocked) return;  // dispatch drained the queue
+  // kNone (ablation baseline): strict priority order — nothing junior may
+  // start, but earliest times still feed the interstitial gate.
+  const bool may_start = mode_ != BackfillMode::kNone;
+  for (std::size_t pos = st.resume_pos; pos < st.order.size(); ++pos) {
+    const std::size_t idx = st.order[pos];
+    const workload::Job& job = s.pending_[idx];
+    SimTime t = kTimeInfinity;
+    if (s.try_dispatch(job, st.now, may_start, preempt_, t)) {
+      // Started while a higher-priority job stayed blocked: backfill.
+      ++s.stats_.backfilled_starts;
+      st.started[idx] = 1;
+      continue;
+    }
+    st.queue_earliest = std::min(st.queue_earliest, t);
+    // EASY: only the head reserves, so later jobs may start now as long as
+    // they cannot delay it.  Conservative: every blocked job reserves, so
+    // nothing may delay any higher-priority waiter (Ross's more
+    // restrictive backfill).
+    if (mode_ == BackfillMode::kConservative) s.make_reservation(job, t);
+  }
+}
+
+void GateStage::run(BatchScheduler& s, PassState& st) {
+  // Undo this pass's reservations: between passes the persistent profile
+  // must describe running jobs only.  The undo is exact — integer adds on
+  // the same intervals — and the coalesce keeps segmentation canonical so
+  // the breakpoint count stays bounded by live change points.
+  for (const auto& tr : s.temp_reservations_) {
+    s.profile_.release(tr.start, tr.end, tr.cpus);
+  }
+  s.temp_reservations_.clear();
+  s.profile_.coalesce();
+
+  // Drop started jobs, leaving pending_ in priority order.  The priority
+  // comparator is a strict total order (ids are unique), so the sorted
+  // sequence is unique regardless of storage order — and storing it sorted
+  // is what makes next pass's cached order the identity permutation.
+  if (!s.pending_.empty()) {
+    s.compact_buf_.clear();
+    s.compact_buf_.reserve(s.pending_.size());
+    for (const std::size_t idx : st.order) {
+      if (!st.started[idx]) s.compact_buf_.push_back(std::move(s.pending_[idx]));
+    }
+    s.pending_.swap(s.compact_buf_);
+  }
+  s.order_cached_ = true;
+
+  // If the head job cannot start now, guarantee a future pass at its
+  // earliest possible start even if no completion event lands earlier.
+  if (!s.pending_.empty() && st.head_earliest < kTimeInfinity) {
+    s.wake_at(st.head_earliest);
+  }
+
+  s.in_pass_ = false;
+
+  if (s.post_pass_) {
+    PassContext ctx;
+    ctx.now = st.now;
+    ctx.free_cpus = s.machine_.free_cpus();
+    ctx.queue_empty = s.pending_.empty();
+    ctx.head_earliest_start =
+        s.pending_.empty() ? kTimeInfinity : st.head_earliest;
+    ctx.queue_earliest_start =
+        s.pending_.empty() ? kTimeInfinity : st.queue_earliest;
+    s.post_pass_(ctx);
+  }
+}
+
+std::vector<std::unique_ptr<PassStage>> build_pipeline(
+    BackfillMode mode, bool preempt_interstitial) {
+  std::vector<std::unique_ptr<PassStage>> stages;
+  stages.reserve(kNumPassStages);
+  stages.push_back(std::make_unique<PriorityStage>());
+  stages.push_back(std::make_unique<DispatchStage>(mode, preempt_interstitial));
+  stages.push_back(std::make_unique<BackfillStage>(mode, preempt_interstitial));
+  stages.push_back(std::make_unique<GateStage>());
+  return stages;
+}
+
+}  // namespace istc::sched

@@ -83,6 +83,55 @@ void ResourceProfile::release(SimTime start, SimTime end, int cpus) {
   coalesce(start, end);
 }
 
+void ResourceProfile::advance_origin(SimTime t) {
+  ISTC_EXPECTS(t >= origin_);
+  if (t == origin_) return;
+  // Value in force at t comes from the last breakpoint <= t.
+  auto it = free_.upper_bound(t);
+  ISTC_ASSERT(it != free_.begin());
+  --it;
+  const int at_t = it->second;
+  free_.erase(free_.begin(), free_.upper_bound(t));
+  // Re-anchor the first segment exactly at t (erase may have removed it).
+  free_[t] = at_t;
+  origin_ = t;
+  // The new first segment may now equal its successor (the erased history
+  // carried the only difference); merge so the profile stays canonical.
+  coalesce(t, t);
+}
+
+void ResourceProfile::coalesce() {
+  coalesce(origin_, std::prev(free_.end())->first);
+}
+
+bool ResourceProfile::same_function(const ResourceProfile& other) const {
+  if (origin_ != other.origin_ || capacity_ != other.capacity_) return false;
+  // Sweep the union of breakpoints; the functions are equal iff they agree
+  // on every segment the union induces.
+  auto a = free_.begin();
+  auto b = other.free_.begin();
+  int va = a->second;
+  int vb = b->second;
+  ++a;
+  ++b;
+  while (a != free_.end() || b != other.free_.end()) {
+    if (va != vb) return false;
+    if (b == other.free_.end() || (a != free_.end() && a->first < b->first)) {
+      va = a->second;
+      ++a;
+    } else if (a == free_.end() || b->first < a->first) {
+      vb = b->second;
+      ++b;
+    } else {
+      va = a->second;
+      vb = b->second;
+      ++a;
+      ++b;
+    }
+  }
+  return va == vb;
+}
+
 SimTime ResourceProfile::earliest_fit(int cpus, Seconds duration,
                                       SimTime not_before) const {
   ISTC_EXPECTS(cpus > 0);

@@ -41,6 +41,26 @@ class ResourceProfile {
   /// provided cpus <= capacity.
   SimTime earliest_fit(int cpus, Seconds duration, SimTime not_before) const;
 
+  /// Advance the origin to t >= origin(), discarding breakpoints in the
+  /// past.  The step function over [t, inf) is unchanged.  This is what
+  /// keeps a pass-persistent profile from accumulating history: the
+  /// scheduler advances to `now` at the top of every pass.
+  void advance_origin(SimTime t);
+
+  /// Merge every run of adjacent equal-valued segments.  reserve/release
+  /// already coalesce around their own interval; this full sweep is the
+  /// backstop for callers composing many operations (and the guarantee the
+  /// segment-count tests pin: steps() is bounded by the number of distinct
+  /// future change points, never by the operation count).
+  void coalesce();
+
+  /// True when `other` is the same step function over [origin, inf):
+  /// same origin, same free CPUs at every instant (segmentation-agnostic,
+  /// though coalesced profiles are canonical).  ISTC_PARANOID uses this to
+  /// check the incrementally maintained profile against a from-scratch
+  /// rebuild.
+  bool same_function(const ResourceProfile& other) const;
+
   /// Number of internal breakpoints (diagnostics / complexity tests).
   std::size_t steps() const { return free_.size(); }
 

@@ -1,7 +1,7 @@
 #include "sched/scheduler.hpp"
 
 #include <algorithm>
-#include <numeric>
+#include <chrono>
 
 #include "util/assert.hpp"
 
@@ -12,7 +12,10 @@ BatchScheduler::BatchScheduler(sim::Engine& engine, cluster::Machine machine,
     : engine_(engine),
       machine_(std::move(machine)),
       policy_(std::move(policy)),
-      fairshare_(policy_.fairshare) {
+      fairshare_(policy_.fairshare),
+      pipeline_(
+          build_pipeline(policy_.backfill, policy_.preempt_interstitial)),
+      profile_(engine_.now(), machine_.total_cpus()) {
   engine_.on_quiescent([this](SimTime now) { pass(now); });
 }
 
@@ -27,6 +30,7 @@ void BatchScheduler::submit(const workload::Job& job) {
   engine_.schedule(job.submit, [this, job] {
     trace_job(trace::EventKind::kJobSubmit, job, job.estimate);
     pending_.push_back(job);
+    pending_dirty_ = true;  // cached priority order no longer covers it
   });
 }
 
@@ -78,8 +82,14 @@ void BatchScheduler::wake_at(SimTime t) {
   const SimTime now = engine_.now();
   if (t < now) return;
   if (t == now && in_pass_) return;  // this pass is already running
-  if (next_wake_ > now && next_wake_ <= t) return;  // earlier wake covers it
-  next_wake_ = t;
+  // Any wake already queued in (now, t] covers this one: the pass it
+  // triggers re-evaluates the queue and re-arms a later wake if still
+  // needed.  (The set, pruned as wakes fire, is what the old single
+  // next_wake_ register got wrong: after its wake fired the stale value
+  // kept "covering" nothing while duplicate events piled up.)
+  const auto it = queued_wakes_.upper_bound(now);
+  if (it != queued_wakes_.end() && *it <= t) return;
+  queued_wakes_.insert(t);
   ++stats_.wakeups;
   engine_.schedule(t, [] {});
 }
@@ -138,6 +148,13 @@ void BatchScheduler::start_job(const workload::Job& job, SimTime now) {
               job, honored ? 0 : now - reserved, reserved);
   }
   machine_.allocate(job.cpus);
+  // Persistent-profile delta: the job occupies cpus until its estimated
+  // end.  Outside a pass (the interstitial driver's immediate starts) the
+  // rebuild-mode profile is stale until the next pass reconstructs it, so
+  // only the incremental path applies the delta there.
+  if (in_pass_ || policy_.incremental_profile) {
+    profile_.reserve(now, now + job.estimate, job.cpus);
+  }
   running_.emplace(job.id, Running{job, now, now + job.estimate});
   const workload::JobId id = job.id;
   engine_.schedule(now + job.runtime,
@@ -156,6 +173,11 @@ void BatchScheduler::complete_job(workload::JobId id, SimTime now) {
   const Running& r = it->second;
   trace_job(trace::EventKind::kJobFinish, r.job, 0, r.start);
   machine_.release(r.job.cpus);
+  // Persistent-profile delta: return the estimated remainder.  When the
+  // estimate was exact (est_end == now) nothing of it lies in the future.
+  if (policy_.incremental_profile && r.est_end > now) {
+    profile_.release(now, r.est_end, r.job.cpus);
+  }
   // Interstitial jobs run outside the fair-share ledger: they are a
   // facility-level scavenger stream, not a competing allocation.
   if (!r.job.interstitial()) {
@@ -164,6 +186,78 @@ void BatchScheduler::complete_job(workload::JobId id, SimTime now) {
   records_.push_back(JobRecord{r.job, r.start, now});
   ISTC_ASSERT(now - r.start == r.job.runtime);
   running_.erase(it);
+}
+
+ResourceProfile BatchScheduler::rebuild_profile(SimTime now) const {
+  // Future free-CPU profile from running jobs' *estimated* completions —
+  // the only schedule knowledge a real resource manager has.
+  ResourceProfile profile(now, machine_.total_cpus());
+  for (const auto& [id, r] : running_) {
+    ISTC_ASSERT(r.est_end > now);
+    profile.reserve(now, r.est_end, r.job.cpus);
+  }
+  return profile;
+}
+
+void BatchScheduler::prepare_profile(SimTime now) {
+  if (policy_.incremental_profile) {
+    profile_.advance_origin(now);
+#ifdef ISTC_PARANOID
+    // Cross-check the incrementally maintained profile against a
+    // from-scratch reconstruction: they must be the same step function.
+    if (ISTC_TRACE_COUNTERS_ON(tracer_)) {
+      ++tracer_->counters().profile_rebuilds;
+    }
+    ISTC_ASSERT(profile_.same_function(rebuild_profile(now)));
+#endif
+  } else {
+    profile_ = rebuild_profile(now);
+    if (ISTC_TRACE_COUNTERS_ON(tracer_)) {
+      ++tracer_->counters().profile_rebuilds;
+    }
+  }
+}
+
+void BatchScheduler::reserve_temp(SimTime start, SimTime end, int cpus) {
+  profile_.reserve(start, end, cpus);
+  temp_reservations_.push_back(TempReservation{start, end, cpus});
+}
+
+void BatchScheduler::make_reservation(const workload::Job& job, SimTime t) {
+  reserve_temp(t, t + job.estimate, job.cpus);
+  ++stats_.reservations;
+  if (ISTC_TRACE_COUNTERS_ON(tracer_)) {
+    ++tracer_->counters().reservations_made;
+  }
+  if (ISTC_TRACE_EVENTS_ON(tracer_)) {
+    // Only the newest reservation per job is scored honored/violated;
+    // reservations drift every pass as estimates expire.
+    reserved_start_[job.id] = t;
+    trace_job(trace::EventKind::kReservationMade, job, 0, t);
+  }
+}
+
+bool BatchScheduler::try_dispatch(const workload::Job& job, SimTime now,
+                                  bool may_start, bool preempt,
+                                  SimTime& earliest_out) {
+  if (ISTC_TRACE_COUNTERS_ON(tracer_)) {
+    ++tracer_->counters().backfill_scans;
+  }
+  SimTime t = earliest_start(profile_, job, now);
+  // Preemption extension: a blocked native may evict running interstitial
+  // jobs instead of waiting on them.
+  if (preempt && t != now && may_start && !job.interstitial() &&
+      could_start_with_kills(job, now)) {
+    if (preempt_for(job, now, profile_)) {
+      t = earliest_start(profile_, job, now);
+    }
+  }
+  earliest_out = t;
+  if (t == now && may_start) {
+    start_job(job, now);  // applies the profile delta itself
+    return true;
+  }
+  return false;
 }
 
 void BatchScheduler::pass(SimTime now) {
@@ -175,122 +269,34 @@ void BatchScheduler::pass(SimTime now) {
   // wall-clock cost lands in the summary only, never the event stream.
   trace::ScopedPassTimer pass_timer(tracer_);
 
-  // Future free-CPU profile from running jobs' *estimated* completions —
-  // the only schedule knowledge a real resource manager has.
-  ResourceProfile profile(now, machine_.total_cpus());
-  for (const auto& [id, r] : running_) {
-    ISTC_ASSERT(r.est_end > now);
-    profile.reserve(now, r.est_end, r.job.cpus);
-  }
+  // Wakes scheduled at or before this instant have fired.
+  queued_wakes_.erase(queued_wakes_.begin(), queued_wakes_.upper_bound(now));
 
-  // Dynamic re-prioritization: recompute priorities every pass.
-  std::vector<std::size_t> order(pending_.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::vector<double> prio(pending_.size());
-  for (std::size_t i = 0; i < pending_.size(); ++i) {
-    prio[i] = fairshare_.priority(pending_[i], now);
-  }
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     if (prio[a] != prio[b]) return prio[a] > prio[b];
-                     if (pending_[a].submit != pending_[b].submit) {
-                       return pending_[a].submit < pending_[b].submit;
-                     }
-                     return pending_[a].id < pending_[b].id;
-                   });
-  if (!pending_.empty() && ISTC_TRACE_EVENTS_ON(tracer_)) {
-    trace::TraceEvent e;
-    e.time = now;
-    e.kind = trace::EventKind::kFairShareRecompute;
-    e.value = static_cast<std::int64_t>(pending_.size());
-    tracer_->record(e);
-  }
+  prepare_profile(now);
 
-  std::vector<bool> started(pending_.size(), false);
-  SimTime head_earliest = kTimeInfinity;
-  SimTime queue_earliest = kTimeInfinity;
-  bool saw_blocked = false;
-
-  for (const std::size_t idx : order) {
-    const workload::Job& job = pending_[idx];
-    if (ISTC_TRACE_COUNTERS_ON(tracer_)) {
-      ++tracer_->counters().backfill_scans;
-    }
-    SimTime t = earliest_start(profile, job, now);
-    // kNone (ablation baseline): strict priority order — once one job is
-    // blocked, nothing junior may start, but earliest times still feed the
-    // interstitial gate.
-    const bool may_start =
-        policy_.backfill != BackfillMode::kNone || !saw_blocked;
-    // Preemption extension: a blocked native may evict running
-    // interstitial jobs instead of waiting on them.
-    if (policy_.preempt_interstitial && t != now && may_start &&
-        !job.interstitial() && could_start_with_kills(job, now)) {
-      if (preempt_for(job, now, profile)) {
-        t = earliest_start(profile, job, now);
-      }
-    }
-    if (t == now && may_start) {
-      profile.reserve(now, now + job.estimate, job.cpus);
-      start_job(job, now);
-      if (saw_blocked) ++stats_.backfilled_starts;
-      started[idx] = true;
+  pass_state_.reset(now, pending_.size());
+  const bool timed = ISTC_TRACE_COUNTERS_ON(tracer_);
+  for (const auto& stage : pipeline_) {
+    ++stage->stats_.runs;
+    if (!timed) {
+      stage->run(*this, pass_state_);
       continue;
     }
-    // EASY: only the head (highest-priority) blocked job reserves, so
-    // later jobs may start now as long as they cannot delay it.
-    // Conservative: every blocked job reserves, so nothing may delay any
-    // higher-priority waiter (Ross's more restrictive backfill).
-    const bool is_head = !saw_blocked;
-    if (is_head) {
-      saw_blocked = true;
-      head_earliest = t;
-    }
-    queue_earliest = std::min(queue_earliest, t);
-    if (is_head || policy_.backfill == BackfillMode::kConservative) {
-      profile.reserve(t, t + job.estimate, job.cpus);
-      ++stats_.reservations;
-      if (ISTC_TRACE_COUNTERS_ON(tracer_)) {
-        ++tracer_->counters().reservations_made;
-      }
-      if (ISTC_TRACE_EVENTS_ON(tracer_)) {
-        // Only the newest reservation per job is scored honored/violated;
-        // reservations drift every pass as estimates expire.
-        reserved_start_[job.id] = t;
-        trace_job(trace::EventKind::kReservationMade, job, 0, t);
-      }
-    }
+    const auto t0 = std::chrono::steady_clock::now();
+    stage->run(*this, pass_state_);
+    const auto us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    stage->stats_.us_total += us;
+    stage->stats_.us_max = std::max(stage->stats_.us_max, us);
+    auto& c = tracer_->counters();
+    const auto slot = static_cast<int>(stage->kind());
+    c.stage_us[slot] += us;
+    ++c.stage_runs[slot];
   }
-
-  if (!pending_.empty()) {
-    std::size_t w = 0;
-    for (std::size_t i = 0; i < pending_.size(); ++i) {
-      if (!started[i]) {
-        if (w != i) pending_[w] = std::move(pending_[i]);
-        ++w;
-      }
-    }
-    pending_.resize(w);
-  }
-
-  // If the head job cannot start now, guarantee a future pass at its
-  // earliest possible start even if no completion event lands earlier.
-  if (!pending_.empty() && head_earliest < kTimeInfinity) {
-    wake_at(head_earliest);
-  }
-
-  in_pass_ = false;
-
-  if (post_pass_) {
-    PassContext ctx;
-    ctx.now = now;
-    ctx.free_cpus = machine_.free_cpus();
-    ctx.queue_empty = pending_.empty();
-    ctx.head_earliest_start = pending_.empty() ? kTimeInfinity : head_earliest;
-    ctx.queue_earliest_start =
-        pending_.empty() ? kTimeInfinity : queue_earliest;
-    post_pass_(ctx);
-  }
+  // GateStage cleared in_pass_ and ran the post-pass hook.
+  ISTC_ASSERT(!in_pass_);
 }
 
 bool BatchScheduler::could_start_with_kills(const workload::Job& job,
@@ -324,6 +330,8 @@ bool BatchScheduler::preempt_for(const workload::Job& job, SimTime now,
     const workload::JobId id = v->job.id;
     trace_job(trace::EventKind::kJobKill, v->job, 0, v->start);
     machine_.release(v->job.cpus);
+    // Permanent profile delta: the victim's remaining reservation goes away
+    // (its origin-side history was already chopped by advance_origin).
     profile.release(now, v->est_end, v->job.cpus);
     killed_records_.push_back(JobRecord{v->job, v->start, now});
     killed_pending_.insert(id);

@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -9,6 +11,7 @@
 
 #include "cluster/machine.hpp"
 #include "sched/fairshare.hpp"
+#include "sched/pipeline.hpp"
 #include "sched/record.hpp"
 #include "sched/resource_profile.hpp"
 #include "sched/timeofday.hpp"
@@ -21,11 +24,19 @@
 /// simulator's stand-in for PBS / LSF / DPCS.
 ///
 /// One scheduling pass runs per distinct event timestamp (engine quiescent
-/// hook): priorities are recomputed (dynamic re-prioritization), jobs start
-/// in priority order, and blocked jobs backfill under the selected policy.
-/// The scheduler only ever consults *estimated* runtimes — exactly the
-/// information a real resource manager has — which is what lets fallible
-/// interstitial submission disturb native jobs (paper §4.3).
+/// hook).  The pass is a pipeline of stages (see pipeline.hpp): priorities
+/// are re-established (dynamic re-prioritization), jobs start in priority
+/// order, blocked jobs backfill under the selected policy, and the
+/// post-pass gate hands control to the interstitial driver.  The scheduler
+/// only ever consults *estimated* runtimes — exactly the information a
+/// real resource manager has — which is what lets fallible interstitial
+/// submission disturb native jobs (paper §4.3).
+///
+/// The future free-CPU ResourceProfile is pass-persistent: job starts,
+/// finishes, and kills apply incremental deltas and each pass merely
+/// advances the origin, instead of rebuilding the profile from every
+/// running job.  Build with -DISTC_PARANOID=ON to cross-check the
+/// incremental profile against a from-scratch rebuild at every pass.
 
 namespace istc::sched {
 
@@ -52,6 +63,11 @@ struct PolicySpec {
   /// impact collapses to ~zero; the price is the killed jobs' wasted
   /// cycles, reported via RunResult::killed.
   bool preempt_interstitial = false;
+  /// Maintain the free-CPU profile incrementally across passes (the fast
+  /// path).  OFF rebuilds it from every running job at each pass — kept
+  /// as the A/B baseline for bench/micro_scheduler and as a debugging
+  /// fallback; schedules are identical either way.
+  bool incremental_profile = true;
 };
 
 /// Snapshot handed to the post-pass hook (the interstitial driver).
@@ -82,6 +98,9 @@ struct SchedulerStats {
   std::uint64_t reservations = 0;
   std::uint64_t wakeups = 0;
   std::uint64_t interstitial_kills = 0;
+  /// Passes that re-sorted the queue vs. reused the cached priority order.
+  std::uint64_t priority_recomputes = 0;
+  std::uint64_t priority_reuses = 0;
   std::size_t max_queue_length = 0;
 };
 
@@ -113,7 +132,9 @@ class BatchScheduler {
   bool try_start_immediately(const workload::Job& job);
 
   /// Wake the scheduler at time t (schedules a no-op event; passes run
-  /// after every event timestamp).
+  /// after every event timestamp).  Deduplicated: if a wake is already
+  /// queued in (now, t], that pass re-evaluates and re-arms as needed, so
+  /// no new event is scheduled.
   void wake_at(SimTime t);
 
   /// Attach a tracer (nullptr detaches): job lifecycle, reservations, and
@@ -133,19 +154,67 @@ class BatchScheduler {
   std::size_t completed_count() const { return records_.size(); }
   const SchedulerStats& stats() const { return stats_; }
 
+  /// The pass pipeline (PriorityStage → DispatchStage → BackfillStage →
+  /// GateStage) with each stage's run counters.
+  const std::vector<std::unique_ptr<PassStage>>& pipeline() const {
+    return pipeline_;
+  }
+
+  /// The pass-persistent future free-CPU profile.  Between passes it
+  /// describes running jobs only (reservations are pass-local).
+  const ResourceProfile& profile() const { return profile_; }
+
   /// Collect results; requires the simulation to have drained (no pending
   /// or running jobs).
   RunResult take_result(SimTime span);
 
  private:
+  friend class PriorityStage;
+  friend class DispatchStage;
+  friend class BackfillStage;
+  friend class GateStage;
+
   struct Running {
     workload::Job job;
     SimTime start = 0;
     SimTime est_end = 0;
   };
 
-  /// The scheduling pass (engine quiescent hook).
+  /// A reservation applied to the profile for this pass only; GateStage
+  /// releases it before the post-pass hook runs.
+  struct TempReservation {
+    SimTime start = 0;
+    SimTime end = 0;
+    int cpus = 0;
+  };
+
+  /// The scheduling pass (engine quiescent hook): advance/rebuild the
+  /// profile, then run the stage pipeline.
   void pass(SimTime now);
+
+  /// Advance the incremental profile's origin to now — or rebuild it from
+  /// running_ when incremental maintenance is off.  Under ISTC_PARANOID
+  /// the incremental profile is checked against a rebuild every pass.
+  void prepare_profile(SimTime now);
+
+  /// From-scratch profile: capacity minus every running job's estimated
+  /// remainder (the old per-pass construction; now the A/B baseline and
+  /// the paranoid cross-check).
+  ResourceProfile rebuild_profile(SimTime now) const;
+
+  /// Reserve on the profile for this pass only (blocked-job reservations).
+  void reserve_temp(SimTime start, SimTime end, int cpus);
+
+  /// Handle one queued job within the dispatch/backfill walk; shared by
+  /// DispatchStage and BackfillStage.  Returns true when the job started;
+  /// otherwise earliest_out holds its earliest (estimate-based) start.
+  bool try_dispatch(const workload::Job& job, SimTime now, bool may_start,
+                    bool preempt, SimTime& earliest_out);
+
+  /// Blocked-job reservation: temp-reserve [t, t+estimate), count it, and
+  /// record the reservation event (head job always; every blocked job under
+  /// conservative backfill).
+  void make_reservation(const workload::Job& job, SimTime t);
 
   /// Preemption (policy.preempt_interstitial): can `job` start now if we
   /// killed every running interstitial job?  (space, downtime, gating).
@@ -157,7 +226,7 @@ class BatchScheduler {
   bool preempt_for(const workload::Job& job, SimTime now,
                    ResourceProfile& profile);
 
-  /// Allocate CPUs and schedule the completion event.
+  /// Allocate CPUs, apply the profile delta, schedule completion.
   void start_job(const workload::Job& job, SimTime now);
 
   /// Record a job-lifecycle trace event (no-op without a full tracer).
@@ -176,6 +245,9 @@ class BatchScheduler {
   PolicySpec policy_;
   FairShareTracker fairshare_;
 
+  /// Waiting native jobs.  After every pass this is in priority order
+  /// (GateStage compacts along the sorted walk), which is what lets
+  /// PriorityStage reuse the order when nothing changed.
   std::vector<workload::Job> pending_;
   std::unordered_map<workload::JobId, Running> running_;
   /// Jobs killed before completion; their stale completion events no-op.
@@ -188,7 +260,26 @@ class BatchScheduler {
   trace::Tracer* tracer_ = nullptr;
   /// Reservation each waiting job last held, for honored/violated events.
   std::unordered_map<workload::JobId, SimTime> reserved_start_;
-  SimTime next_wake_ = -1;
+
+  // -- pass pipeline state -------------------------------------------------
+  std::vector<std::unique_ptr<PassStage>> pipeline_;
+  PassState pass_state_;
+  /// Pass-persistent future free-CPU profile (running jobs only between
+  /// passes; plus this pass's temporary reservations during one).
+  ResourceProfile profile_;
+  std::vector<TempReservation> temp_reservations_;
+  /// Priority cache: valid while the fair-share ledger epoch matches and
+  /// no job entered the queue since the last sort.
+  std::vector<double> prio_;
+  std::uint64_t prio_epoch_ = 0;
+  bool pending_dirty_ = true;
+  bool order_cached_ = false;
+  /// Scratch for GateStage's in-order queue compaction.
+  std::vector<workload::Job> compact_buf_;
+
+  /// Future wake timestamps with a queued engine event, pruned each pass;
+  /// wake_at dedups against the earliest of these.
+  std::set<SimTime> queued_wakes_;
   bool in_pass_ = false;
 };
 

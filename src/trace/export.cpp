@@ -274,7 +274,12 @@ void write_counters_csv(const std::string& path,
               "reservations_honored", "reservations_violated",
               "gate_decisions", "gate_open", "gate_closed",
               "interstitial_submitted", "interstitial_rejected_by_gate",
-              "interstitial_killed"});
+              "interstitial_killed",
+              // Pass-pipeline stage timings (one slot per sched::StageKind;
+              // new columns append so existing consumers keep their offsets).
+              "stage_priority_us", "stage_dispatch_us", "stage_backfill_us",
+              "stage_gate_us", "priority_recomputes", "priority_reuses",
+              "profile_rebuilds"});
   csv.row({std::to_string(summary.events_recorded),
            std::to_string(summary.events_dropped),
            std::to_string(summary.engine_events_drained),
@@ -291,7 +296,14 @@ void write_counters_csv(const std::string& path,
            std::to_string(summary.gate_closed),
            std::to_string(summary.interstitial_submitted),
            std::to_string(summary.interstitial_rejected_by_gate),
-           std::to_string(summary.interstitial_killed)});
+           std::to_string(summary.interstitial_killed),
+           std::to_string(summary.stage_us[0]),
+           std::to_string(summary.stage_us[1]),
+           std::to_string(summary.stage_us[2]),
+           std::to_string(summary.stage_us[3]),
+           std::to_string(summary.priority_recomputes),
+           std::to_string(summary.priority_reuses),
+           std::to_string(summary.profile_rebuilds)});
 }
 
 }  // namespace istc::trace

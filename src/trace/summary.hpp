@@ -32,6 +32,22 @@ struct TraceSummary {
   std::uint64_t reservations_honored = 0;
   std::uint64_t reservations_violated = 0;
 
+  // -- scheduler pipeline stages (one slot per sched::StageKind) ----------
+  // Wall µs spent inside each pass stage, and how often the stage ran.
+  // stage_us sums to slightly less than sched_pass_us_total (the remainder
+  // is pass setup: profile origin-advance and the paranoid cross-check).
+  static constexpr int kNumStages = 4;
+  std::uint64_t stage_us[kNumStages] = {0, 0, 0, 0};
+  std::uint64_t stage_runs[kNumStages] = {0, 0, 0, 0};
+
+  // -- incremental scheduling state --------------------------------------
+  /// Passes that re-sorted the queue because the fair-share ledger or the
+  /// pending set changed, vs. passes that reused the cached priority order.
+  std::uint64_t priority_recomputes = 0;
+  std::uint64_t priority_reuses = 0;
+  /// From-scratch ResourceProfile rebuilds (rebuild path or paranoia).
+  std::uint64_t profile_rebuilds = 0;
+
   // -- interstitial stream (Fig. 1 driver) --------------------------------
   std::uint64_t gate_decisions = 0;
   std::uint64_t gate_open = 0;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "metrics/utilization.hpp"
 #include "metrics/waits.hpp"
 
@@ -80,6 +83,66 @@ TEST(Experiment, TileCalendarShiftsWindows) {
   ASSERT_EQ(tiled.windows().size(), 3u);
   EXPECT_EQ(tiled.windows()[1].start, 1100);
   EXPECT_EQ(tiled.windows()[2].end, 2200);
+}
+
+TEST(Experiment, TileRecordsSingleCopyIsIdentity) {
+  const auto& base = native_baseline(Site::kRoss);
+  const auto tiled = tile_records(base.records, base.span, 1);
+  ASSERT_EQ(tiled.size(), base.records.size());
+  for (std::size_t i = 0; i < tiled.size(); i += 61) {
+    EXPECT_EQ(tiled[i].job.id, base.records[i].job.id);
+    EXPECT_EQ(tiled[i].job.submit, base.records[i].job.submit);
+    EXPECT_EQ(tiled[i].start, base.records[i].start);
+    EXPECT_EQ(tiled[i].end, base.records[i].end);
+  }
+}
+
+TEST(Experiment, TileRecordsDrainShiftPreventsOverlap) {
+  // A job submitted near the span end drains past it.  Tiling with the
+  // drain time (max end), as omniscient_makespans does, keeps copies on
+  // disjoint time ranges; tiling with the bare span would overlap them.
+  std::vector<sched::JobRecord> records(2);
+  records[0].job.id = 1;
+  records[0].job.submit = 0;
+  records[0].start = 0;
+  records[0].end = 500;
+  records[1].job.id = 2;
+  records[1].job.submit = 900;
+  records[1].start = 950;
+  records[1].end = 1400;  // past span = 1000
+  const SimTime span = 1000;
+  SimTime drain = span;
+  for (const auto& r : records) drain = std::max(drain, r.end);
+  const auto tiled = tile_records(records, drain, 3);
+  ASSERT_EQ(tiled.size(), 6u);
+  for (std::size_t c = 1; c < 3; ++c) {
+    SimTime prev_max_end = 0;
+    for (std::size_t i = 0; i < 2; ++i) {
+      prev_max_end = std::max(prev_max_end, tiled[(c - 1) * 2 + i].end);
+    }
+    for (std::size_t i = 0; i < 2; ++i) {
+      EXPECT_GE(tiled[c * 2 + i].start, prev_max_end);
+      EXPECT_GE(tiled[c * 2 + i].job.submit, prev_max_end);
+    }
+  }
+}
+
+TEST(Experiment, TileCalendarPreservesWindowShapes) {
+  // Every copy keeps each window's duration and its offset within the
+  // copy; only the tile shift moves.
+  cluster::DowntimeCalendar cal({{100, 250}, {600, 640}});
+  const SimTime span = 1000;
+  const auto tiled = tile_calendar(cal, span, 4);
+  ASSERT_EQ(tiled.windows().size(), 8u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    const SimTime shift = static_cast<SimTime>(c) * span;
+    for (std::size_t w = 0; w < 2; ++w) {
+      const auto& orig = cal.windows()[w];
+      const auto& copy = tiled.windows()[c * 2 + w];
+      EXPECT_EQ(copy.start, orig.start + shift);
+      EXPECT_EQ(copy.end - copy.start, orig.end - orig.start);
+    }
+  }
 }
 
 TEST(Experiment, OmniscientMakespansDeterministicAndPositive) {

@@ -184,6 +184,37 @@ TEST_P(ModeSweep, HeavyPrincipalSinks) {
   EXPECT_LT(t.priority(job_of(1, 1), 0), t.priority(job_of(2, 2), 0));
 }
 
+TEST(FairShare, EpochAdvancesOnlyOnCharges) {
+  FairShareTracker t(cfg(FairShareMode::kEqualUsers));
+  EXPECT_EQ(t.epoch(), 0u);
+  t.charge(1, 1, 100.0, 10);
+  EXPECT_EQ(t.epoch(), 1u);
+  // Queries never move the epoch — that is what lets the scheduler reuse
+  // its cached priority order between charges.
+  (void)t.priority(job_of(1, 1), 500);
+  (void)t.user_usage(1, 500);
+  EXPECT_EQ(t.epoch(), 1u);
+  t.charge(2, 1, 1.0, 20);
+  EXPECT_EQ(t.epoch(), 2u);
+}
+
+TEST(FairShare, PriorityComposesDeficitExactly) {
+  // priority() must equal the split form bit-for-bit: PriorityStage
+  // memoizes deficit() per principal and recombines, and the schedules
+  // must not depend on which path computed the number.
+  FairShareConfig c = cfg(FairShareMode::kUserAndGroup);
+  c.age_weight_per_hour = 0.7;
+  c.size_weight = 0.3;
+  FairShareTracker t(c);
+  t.charge(1, 1, 5000.0, 0);
+  t.charge(2, 2, 100.0, 50);
+  const auto j = job_of(1, 1, 25);
+  for (const SimTime now : {50, 500, 50000}) {
+    EXPECT_EQ(t.priority(j, now),
+              t.priority_with_deficit(t.deficit(j.user, j.group, now), j, now));
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Modes, ModeSweep,
                          ::testing::Values(FairShareMode::kEqualUsers,
                                            FairShareMode::kGroupHierarchy,

@@ -142,6 +142,99 @@ TEST(ResourceProfile, NonZeroOrigin) {
   EXPECT_EQ(p.earliest_fit(1, 10, 1000), 1100);
 }
 
+TEST(ResourceProfile, AdvanceOriginChopsHistoryKeepsFuture) {
+  ResourceProfile p(0, 100);
+  p.reserve(10, 20, 30);
+  p.reserve(40, 60, 50);
+  p.advance_origin(15);
+  EXPECT_EQ(p.origin(), 15);
+  EXPECT_EQ(p.free_at(15), 70);   // inside the first reservation
+  EXPECT_EQ(p.free_at(20), 100);  // unchanged future
+  EXPECT_EQ(p.free_at(45), 50);
+  EXPECT_EQ(p.min_free(15, 100), 50);
+}
+
+TEST(ResourceProfile, AdvanceOriginPastEverythingLeavesFlatCapacity) {
+  ResourceProfile p(0, 100);
+  p.reserve(10, 20, 30);
+  p.advance_origin(500);
+  EXPECT_EQ(p.origin(), 500);
+  EXPECT_EQ(p.free_at(500), 100);
+  EXPECT_EQ(p.steps(), 1u);  // one flat segment, history fully chopped
+}
+
+TEST(ResourceProfile, AdvanceOriginToCurrentOriginIsNoop) {
+  ResourceProfile p(7, 10);
+  p.reserve(8, 9, 3);
+  p.advance_origin(7);
+  EXPECT_EQ(p.origin(), 7);
+  EXPECT_EQ(p.free_at(8), 7);
+}
+
+TEST(ResourceProfile, CoalesceCanonicalizesAfterComposedOps) {
+  ResourceProfile p(0, 100);
+  p.reserve(10, 30, 20);
+  p.reserve(30, 50, 20);  // adjacent, equal value: one logical segment
+  p.coalesce();
+  // origin segment, the merged reservation, and the tail.
+  EXPECT_EQ(p.steps(), 3u);
+  EXPECT_EQ(p.min_free(10, 50), 80);
+  EXPECT_EQ(p.free_at(50), 100);
+}
+
+TEST(ResourceProfile, SegmentCountBoundedUnderChurn) {
+  // The pass-persistent profile's memory guarantee: breakpoints track live
+  // change points, never the cumulative operation count.
+  Rng rng(11);
+  ResourceProfile p(0, 256);
+  std::size_t live = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const SimTime start = rng.range(0, 5000);
+    const auto dur = rng.range(10, 500);
+    const int cpus = static_cast<int>(rng.range(1, 64));
+    if (p.min_free(start, start + dur) < cpus) continue;
+    p.reserve(start, start + dur, cpus);
+    ++live;
+    if (rng.below(2) == 0) {
+      p.release(start, start + dur, cpus);  // paired undo, like GateStage
+      --live;
+    }
+    // Live reservations induce at most 2 breakpoints each, plus the origin
+    // segment; undone ones must leave nothing behind — the bound depends on
+    // what is outstanding, never on the 2000-operation history.
+    EXPECT_LE(p.steps(), 2u * live + 1u);
+  }
+  const std::size_t before = p.steps();
+  p.coalesce();
+  EXPECT_EQ(p.steps(), before);  // reserve/release already canonicalize
+}
+
+TEST(ResourceProfile, SameFunctionComparesValuesNotSegmentation) {
+  ResourceProfile a(0, 100);
+  a.reserve(10, 50, 20);
+  ResourceProfile b(0, 100);
+  b.reserve(10, 30, 20);
+  b.reserve(30, 50, 20);  // different ops, same step function
+  EXPECT_TRUE(a.same_function(b));
+  EXPECT_TRUE(b.same_function(a));
+  b.reserve(60, 70, 1);
+  EXPECT_FALSE(a.same_function(b));
+  ResourceProfile c(5, 100);  // different origin
+  EXPECT_FALSE(a.same_function(c));
+}
+
+TEST(ResourceProfile, SameFunctionAfterAdvanceMatchesFreshRebuild) {
+  // The ISTC_PARANOID invariant in miniature: incrementally maintained ==
+  // rebuilt from scratch at the new origin.
+  ResourceProfile inc(0, 64);
+  inc.reserve(0, 100, 16);  // job A, estimated end 100
+  inc.reserve(0, 250, 8);   // job B, estimated end 250
+  inc.advance_origin(120);  // job A's estimate expired
+  ResourceProfile rebuilt(120, 64);
+  rebuilt.reserve(120, 250, 8);  // only job B still runs
+  EXPECT_TRUE(inc.same_function(rebuilt));
+}
+
 #ifdef GTEST_HAS_DEATH_TEST
 TEST(ResourceProfileDeath, OverReserveAborts) {
   ResourceProfile p(0, 10);

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <map>
 
+#include "util/rng.hpp"
+
 namespace istc::sched {
 namespace {
 
@@ -333,6 +335,98 @@ TEST(Scheduler, StatsCountInterstitialStartsSeparately) {
   EXPECT_EQ(s.stats().interstitial_starts, 1u);
   EXPECT_EQ(s.stats().native_starts, 0u);
   s.take_result(1000);
+}
+
+TEST(Scheduler, WakeAtDedupsCoveredWakes) {
+  sim::Engine eng;
+  BatchScheduler s(eng, machine_of(10), fcfs_policy());
+  s.wake_at(10);  // queued
+  s.wake_at(5);   // earlier: must queue its own event
+  s.wake_at(7);   // covered by the wake at 5
+  EXPECT_EQ(s.stats().wakeups, 2u);
+}
+
+TEST(Scheduler, WakeAtNotFooledByStaleEarlierWake) {
+  // Regression: the old single next_wake_ register was never cleared once
+  // its wake fired, so a later wake_at for a still-queued time scheduled a
+  // duplicate event (and counted a phantom wakeup).
+  sim::Engine eng;
+  BatchScheduler s(eng, machine_of(10), fcfs_policy());
+  s.wake_at(10);
+  s.wake_at(5);
+  ASSERT_EQ(s.stats().wakeups, 2u);
+  std::uint64_t wakeups_at_6 = 0;
+  s.set_post_pass_hook([&](const PassContext& c) {
+    if (c.now == 6) {
+      // The wake at 5 has fired; the one at 10 is still queued, so this
+      // must be recognized as covered.
+      s.wake_at(10);
+      wakeups_at_6 = s.stats().wakeups;
+    }
+  });
+  s.engine().schedule(6, [] {});
+  eng.run();
+  EXPECT_EQ(wakeups_at_6, 2u);
+  EXPECT_EQ(s.stats().wakeups, 2u);
+  s.take_result(20);
+}
+
+TEST(Scheduler, IncrementalProfileMatchesRebuildSchedules) {
+  // The pass-persistent profile (deltas + origin advance) and the old
+  // from-scratch per-pass rebuild must produce byte-identical schedules,
+  // under every backfill discipline, across a workload dense enough to
+  // exercise blocking, backfill, reservations and downtime drains.
+  for (const BackfillMode mode :
+       {BackfillMode::kEasy, BackfillMode::kConservative,
+        BackfillMode::kNone}) {
+    std::map<workload::JobId, JobRecord> recs[2];
+    for (int variant = 0; variant < 2; ++variant) {
+      sim::Engine eng;
+      PolicySpec policy = fcfs_policy(mode);
+      policy.incremental_profile = variant == 1;
+      BatchScheduler s(
+          eng, machine_of(32, cluster::DowntimeCalendar({{900, 1100}})),
+          policy);
+      Rng rng(99);
+      SimTime submit = 0;
+      for (workload::JobId id = 0; id < 120; ++id) {
+        submit += static_cast<SimTime>(rng.below(40));
+        const auto runtime = 20 + static_cast<Seconds>(rng.below(300));
+        Job j = mk(id, submit, 1 + static_cast<int>(rng.below(20)), runtime,
+                   runtime * (1 + static_cast<Seconds>(rng.below(3))));
+        s.submit(j);
+      }
+      eng.run();
+      recs[variant] = by_id(s.take_result(10000));
+    }
+    ASSERT_EQ(recs[0].size(), recs[1].size());
+    for (const auto& [id, rec] : recs[0]) {
+      EXPECT_EQ(rec.start, recs[1].at(id).start) << "job " << id;
+      EXPECT_EQ(rec.end, recs[1].at(id).end) << "job " << id;
+    }
+  }
+}
+
+TEST(Scheduler, ProfileDescribesRunningJobsBetweenPasses) {
+  // At every post-pass point the persistent profile's present-time value
+  // must agree with the machine: temps undone, all running jobs applied.
+  sim::Engine eng;
+  BatchScheduler s(eng, machine_of(16), fcfs_policy());
+  bool checked = false;
+  s.set_post_pass_hook([&](const PassContext& c) {
+    EXPECT_EQ(s.profile().free_at(c.now), s.machine().free_cpus());
+    checked = true;
+  });
+  Rng rng(7);
+  SimTime submit = 0;
+  for (workload::JobId id = 0; id < 40; ++id) {
+    submit += static_cast<SimTime>(rng.below(60));
+    s.submit(mk(id, submit, 1 + static_cast<int>(rng.below(12)),
+                10 + static_cast<Seconds>(rng.below(200))));
+  }
+  eng.run();
+  EXPECT_TRUE(checked);
+  s.take_result(10000);
 }
 
 #ifdef GTEST_HAS_DEATH_TEST

@@ -98,6 +98,57 @@ TEST(TraceDeterminism, SameSeedProducesByteIdenticalJsonl) {
   }
 }
 
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t hash_run(const sched::RunResult& run) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const auto& r : run.records) {
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(r.job.id));
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(r.start));
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(r.end));
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(r.job.cpus));
+  }
+  for (const auto& r : run.killed) {
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(r.job.id));
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(r.start));
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(r.end));
+  }
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(run.sim_end));
+  return h;
+}
+
+std::uint64_t hash_str(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Golden pins: FNV-1a hashes of the miniature's schedule and JSONL trace.
+// These freeze the simulator's observable behavior across refactors — a
+// change here is a behavior change, not noise, and needs the same scrutiny
+// as a changed experiment table.  Regenerate by printing hash_run /
+// hash_str on the values below after an intentional change.
+TEST(TraceDeterminism, MiniatureScheduleMatchesGolden) {
+  const auto run = run_miniature(42, nullptr);
+  EXPECT_EQ(hash_run(run), 0x4cb3857a75f8d6bfull);
+}
+
+TEST(TraceDeterminism, MiniatureJsonlMatchesGolden) {
+#if !ISTC_TRACING_ENABLED
+  GTEST_SKIP() << "tracing compiled out (ISTC_TRACING=OFF)";
+#endif
+  EXPECT_EQ(hash_str(jsonl_of(42)), 0x36432d51afb41bcaull);
+}
+
 TEST(TraceDeterminism, DifferentSeedsProduceDifferentTraces) {
 #if !ISTC_TRACING_ENABLED
   GTEST_SKIP() << "tracing compiled out (ISTC_TRACING=OFF)";
