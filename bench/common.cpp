@@ -1,6 +1,7 @@
 #include "common.hpp"
 
 #include <cstdlib>
+#include <filesystem>
 
 #include "metrics/waits.hpp"
 #include "trace/summary.hpp"
@@ -14,6 +15,14 @@ void print_preamble(const char* artifact, const char* description) {
   std::printf("Workload: synthetic logs calibrated to the paper's Table 1\n");
   std::printf("(shape reproduction; absolute values differ — EXPERIMENTS.md)\n");
   std::printf("==============================================================\n\n");
+}
+
+std::string artifact_path(const char* filename) {
+  const char* env = std::getenv("ISTC_OUT_DIR");
+  const std::filesystem::path dir = (env && env[0] != '\0') ? env : "build";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort; open reports
+  return (dir / filename).string();
 }
 
 std::string makespan_cell(const core::MakespanSample& sample) {
@@ -84,6 +93,19 @@ void print_trace_counters(const char* title, const sched::RunResult& run) {
              static_cast<long long>(t.interstitial_rejected_by_gate)));
   kv.add("interstitial killed",
          Table::integer(static_cast<long long>(t.interstitial_killed)));
+  kv.add("event queue peak depth",
+         Table::integer(static_cast<long long>(t.engine_peak_queue_depth)));
+  kv.add("largest timestep batch",
+         Table::integer(static_cast<long long>(t.engine_max_timestep_batch)));
+  kv.add("events submit/finish/wake",
+         Table::integer(static_cast<long long>(t.engine_events_job_submit)) +
+             " / " +
+             Table::integer(
+                 static_cast<long long>(t.engine_events_job_finish)) +
+             " / " +
+             Table::integer(static_cast<long long>(t.engine_events_wake)));
+  kv.add("event queue heap allocs",
+         Table::integer(static_cast<long long>(t.engine_heap_allocations)));
   kv.print();
 }
 

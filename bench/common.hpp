@@ -21,6 +21,11 @@ namespace istc::bench {
 /// Standard header for every experiment binary.
 void print_preamble(const char* artifact, const char* description);
 
+/// Where experiment drivers write plot data (CSV etc.): `ISTC_OUT_DIR` if
+/// set, else `build/`, created on demand.  Keeps run-from-repo-root
+/// invocations from littering the source tree with artifacts.
+std::string artifact_path(const char* filename);
+
 /// "12.3 ± 4.5" in hours, or the paper's "n/a*" for infeasible cells.
 std::string makespan_cell(const core::MakespanSample& sample);
 

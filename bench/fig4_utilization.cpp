@@ -39,9 +39,11 @@ std::vector<double> daily(const std::vector<double>& hourly) {
 
 int main() {
   using namespace istc;
+  const std::string csv_path = bench::artifact_path("fig4_util.csv");
   bench::print_preamble(
       "Figure 4 — Blue Mountain utilization, native vs continual",
-      "Hourly utilization; dips to zero are outages.  CSV: fig4_util.csv");
+      ("Hourly utilization; dips to zero are outages.  CSV: " + csv_path)
+          .c_str());
 
   const auto site = cluster::Site::kBlueMountain;
   const auto& base = core::native_baseline(site);
@@ -53,7 +55,7 @@ int main() {
       with_i.records, with_i.machine.cpus, with_i.span);
 
   try {
-    CsvWriter csv("fig4_util.csv");
+    CsvWriter csv(csv_path);
     csv.header({"hour", "native_only", "with_interstitial"});
     for (std::size_t h = 0; h < u0.size(); ++h) {
       csv.row({static_cast<double>(h), u0[h], u1[h]});

@@ -1,8 +1,16 @@
 // Microbenchmarks of the discrete-event engine.
+//
+// Every benchmark takes a trailing 0/1 arg selecting the event-queue
+// representation in the same binary: 0 = the legacy std::function heap,
+// 1 = the typed flat heap (Scenario::typed_events).  Schedules are
+// identical either way (the determinism suite pins that); only the
+// per-event representation cost moves.
 
 #include <benchmark/benchmark.h>
 
+#include "core/experiment.hpp"
 #include "sim/engine.hpp"
+#include "trace/tracer.hpp"
 
 namespace {
 
@@ -10,8 +18,10 @@ using istc::SimTime;
 
 void BM_EngineScheduleAndDrain(benchmark::State& state) {
   const auto n = static_cast<SimTime>(state.range(0));
+  const bool typed = state.range(1) != 0;
   for (auto _ : state) {
-    istc::sim::Engine eng;
+    istc::sim::Engine eng(typed);
+    if (typed) eng.reserve_events(static_cast<std::size_t>(n));
     long sink = 0;
     for (SimTime t = 0; t < n; ++t) {
       eng.schedule(t, [&sink] { ++sink; });
@@ -21,13 +31,46 @@ void BM_EngineScheduleAndDrain(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_EngineScheduleAndDrain)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_EngineScheduleAndDrain)
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({100000, 0})
+    ->Args({100000, 1});
+
+// The steady-state shape of a site replay: every event a typed job event
+// dispatched through the JobEventSink vtable, no callbacks at all.  Only
+// meaningful on the typed path (legacy wraps these in std::function, which
+// BM_EngineScheduleAndDrain already measures).
+void BM_EngineTypedJobStream(benchmark::State& state) {
+  struct CountingSink final : istc::sim::JobEventSink {
+    long submits = 0;
+    long finishes = 0;
+    void job_submit(std::uint32_t) override { ++submits; }
+    void job_finish(std::uint32_t) override { ++finishes; }
+  };
+  const auto n = static_cast<SimTime>(state.range(0));
+  for (auto _ : state) {
+    istc::sim::Engine eng;
+    CountingSink sink;
+    eng.set_job_sink(&sink);
+    eng.reserve_events(static_cast<std::size_t>(2 * n));
+    for (SimTime t = 0; t < n; ++t) {
+      eng.schedule_job_submit(t, static_cast<std::uint32_t>(t));
+      eng.schedule_job_finish(t + 50, static_cast<std::uint32_t>(t));
+    }
+    eng.run();
+    benchmark::DoNotOptimize(sink.finishes);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_EngineTypedJobStream)->Arg(100000);
 
 void BM_EngineSameTimestampBatch(benchmark::State& state) {
   // Many events at one timestamp: one quiescent pass per step.
   const auto n = static_cast<SimTime>(state.range(0));
+  const bool typed = state.range(1) != 0;
   for (auto _ : state) {
-    istc::sim::Engine eng;
+    istc::sim::Engine eng(typed);
     long hook_calls = 0;
     eng.on_quiescent([&hook_calls](SimTime) { ++hook_calls; });
     for (SimTime i = 0; i < n; ++i) eng.schedule(42, [] {});
@@ -36,12 +79,18 @@ void BM_EngineSameTimestampBatch(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_EngineSameTimestampBatch)->Arg(10000);
+BENCHMARK(BM_EngineSameTimestampBatch)->Args({10000, 0})->Args({10000, 1});
 
+// Deliberately the typed core's worst case: a recursive chain needs a
+// self-referential callable, and copying a std::function into the queue
+// boxes it (one extra allocation per link vs. the legacy queue, which
+// stores the std::function directly).  Steady-state simulation code never
+// takes this path — it exists to keep the fallback's cost visible.
 void BM_EngineSelfPerpetuatingChain(benchmark::State& state) {
   const long links = state.range(0);
+  const bool typed = state.range(1) != 0;
   for (auto _ : state) {
-    istc::sim::Engine eng;
+    istc::sim::Engine eng(typed);
     long count = 0;
     std::function<void()> link = [&] {
       if (++count < links) eng.schedule_in(1, link);
@@ -52,6 +101,37 @@ void BM_EngineSelfPerpetuatingChain(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * links);
 }
-BENCHMARK(BM_EngineSelfPerpetuatingChain)->Arg(100000);
+BENCHMARK(BM_EngineSelfPerpetuatingChain)->Args({100000, 0})->Args({100000, 1});
+
+// End-to-end: the continual-harvest co-simulation (the heaviest scenario
+// class) with the event core A/B'd via Scenario::typed_events.  Wall ms is
+// the number to compare — this is the event queue's share of a real
+// experiment, everything else held constant.
+void BM_ContinualHarvestEventCore(benchmark::State& state) {
+  const bool typed = state.range(0) != 0;
+  std::uint64_t seed = 400;
+  std::uint64_t heap_allocs = 0;
+  for (auto _ : state) {
+    istc::trace::Tracer tracer(istc::trace::TraceMode::kCountersOnly);
+    istc::core::Scenario sc;
+    sc.site = istc::cluster::Site::kBlueMountain;
+    sc.log_seed = seed++;  // avoid the process-wide cache
+    sc.project = istc::core::ProjectSpec::continual_stream(
+        32, 120, istc::cluster::site_span(sc.site));
+    sc.typed_events = typed;
+    sc.tracer = &tracer;
+    const auto run = istc::core::run_scenario(sc);
+    benchmark::DoNotOptimize(run.records.size());
+    heap_allocs += run.trace.engine_heap_allocations;
+  }
+  state.counters["queue_heap_allocs"] = benchmark::Counter(
+      static_cast<double>(heap_allocs) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_ContinualHarvestEventCore)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
 
 }  // namespace

@@ -117,6 +117,17 @@ void print_stage_timings(const trace::TraceSummary& s) {
                 static_cast<unsigned long long>(sorts),
                 static_cast<unsigned long long>(s.profile_rebuilds));
   }
+  std::printf("event core: peak queue depth %llu, largest timestep batch "
+              "%llu, %llu heap allocs\n",
+              static_cast<unsigned long long>(s.engine_peak_queue_depth),
+              static_cast<unsigned long long>(s.engine_max_timestep_batch),
+              static_cast<unsigned long long>(s.engine_heap_allocations));
+  std::printf("  events scheduled: %llu submit, %llu finish, %llu wake, "
+              "%llu callback\n",
+              static_cast<unsigned long long>(s.engine_events_job_submit),
+              static_cast<unsigned long long>(s.engine_events_job_finish),
+              static_cast<unsigned long long>(s.engine_events_wake),
+              static_cast<unsigned long long>(s.engine_events_callback));
 }
 
 void export_traces(const ArgParser& args, const trace::Tracer& tracer,

@@ -33,7 +33,7 @@ sched::RunResult run_scenario(const Scenario& scenario) {
                                      cluster::machine_spec(site).cpus);
   }
 
-  sim::Engine engine;
+  sim::Engine engine(scenario.typed_events);
   sched::PolicySpec policy = sched::site_policy(site);
   policy.preempt_interstitial = scenario.preempt_interstitial;
   policy.incremental_profile = scenario.incremental_profile;

@@ -47,6 +47,11 @@ struct Scenario {
   /// per-pass rebuild — the A/B baseline for bench/micro_scheduler;
   /// schedules are identical either way.
   bool incremental_profile = true;
+  /// Use the engine's typed, allocation-free event core (ON is the fast
+  /// path).  OFF selects the legacy std::function event queue — kept as
+  /// the A/B baseline for bench/micro_engine; schedules are bit-identical
+  /// either way (pinned by tests/trace/test_determinism.cpp).
+  bool typed_events = true;
   /// Observability: when set, the engine/scheduler/driver record into this
   /// tracer and the RunResult carries its TraceSummary.  Not owned; must
   /// outlive the call.  Tracing never perturbs the schedule.

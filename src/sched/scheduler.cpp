@@ -16,10 +16,15 @@ BatchScheduler::BatchScheduler(sim::Engine& engine, cluster::Machine machine,
       pipeline_(
           build_pipeline(policy_.backfill, policy_.preempt_interstitial)),
       profile_(engine_.now(), machine_.total_cpus()) {
+  engine_.set_job_sink(this);
   engine_.on_quiescent([this](SimTime now) { pass(now); });
 }
 
 void BatchScheduler::load(const workload::JobLog& log) {
+  // One reservation covers every arrival event; completion events reuse
+  // the slots arrivals vacate, so steady state stays allocation-free.
+  engine_.reserve_events(log.size());
+  submission_table_.reserve(submission_table_.size() + log.size());
   for (const auto& job : log.jobs()) submit(job);
 }
 
@@ -27,11 +32,20 @@ void BatchScheduler::submit(const workload::Job& job) {
   job.check();
   ISTC_EXPECTS(job.cpus <= machine_.total_cpus());
   ISTC_EXPECTS(job.submit >= engine_.now());
-  engine_.schedule(job.submit, [this, job] {
-    trace_job(trace::EventKind::kJobSubmit, job, job.estimate);
-    pending_.push_back(job);
-    pending_dirty_ = true;  // cached priority order no longer covers it
-  });
+  const auto index = static_cast<std::uint32_t>(submission_table_.size());
+  submission_table_.push_back(job);
+  engine_.schedule_job_submit(job.submit, index);
+}
+
+void BatchScheduler::job_submit(std::uint32_t index) {
+  const workload::Job& job = submission_table_[index];
+  trace_job(trace::EventKind::kJobSubmit, job, job.estimate);
+  pending_.push_back(job);
+  pending_dirty_ = true;  // cached priority order no longer covers it
+}
+
+void BatchScheduler::job_finish(std::uint32_t job_id) {
+  complete_job(job_id, engine_.now());
 }
 
 void BatchScheduler::set_tracer(trace::Tracer* tracer) {
@@ -91,7 +105,7 @@ void BatchScheduler::wake_at(SimTime t) {
   if (it != queued_wakes_.end() && *it <= t) return;
   queued_wakes_.insert(t);
   ++stats_.wakeups;
-  engine_.schedule(t, [] {});
+  engine_.schedule_wake(t);
 }
 
 SimTime BatchScheduler::earliest_start(const ResourceProfile& profile,
@@ -156,9 +170,7 @@ void BatchScheduler::start_job(const workload::Job& job, SimTime now) {
     profile_.reserve(now, now + job.estimate, job.cpus);
   }
   running_.emplace(job.id, Running{job, now, now + job.estimate});
-  const workload::JobId id = job.id;
-  engine_.schedule(now + job.runtime,
-                   [this, id] { complete_job(id, engine_.now()); });
+  engine_.schedule_job_finish(now + job.runtime, job.id);
 }
 
 void BatchScheduler::complete_job(workload::JobId id, SimTime now) {

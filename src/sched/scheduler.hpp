@@ -104,7 +104,7 @@ struct SchedulerStats {
   std::size_t max_queue_length = 0;
 };
 
-class BatchScheduler {
+class BatchScheduler : private sim::JobEventSink {
  public:
   BatchScheduler(sim::Engine& engine, cluster::Machine machine,
                  PolicySpec policy);
@@ -112,10 +112,14 @@ class BatchScheduler {
   BatchScheduler(const BatchScheduler&) = delete;
   BatchScheduler& operator=(const BatchScheduler&) = delete;
 
-  /// Schedule arrival events for every job in the log.
+  /// Schedule arrival events for every job in the log.  Pre-reserves the
+  /// engine's event queue for all submissions, so loading a multi-month
+  /// log performs one allocation instead of a growth cascade.
   void load(const workload::JobLog& log);
 
-  /// Submit one job at its submit time (must be >= engine.now()).
+  /// Submit one job at its submit time (must be >= engine.now()).  The
+  /// arrival is a typed event carrying an index into the submission table,
+  /// not a job-capturing closure.
   void submit(const workload::Job& job);
 
   /// Hook invoked after each native scheduling pass; the interstitial
@@ -173,6 +177,14 @@ class BatchScheduler {
   friend class DispatchStage;
   friend class BackfillStage;
   friend class GateStage;
+
+  // -- sim::JobEventSink (typed event dispatch) ---------------------------
+  /// A submission event fired: move submission_table_[index] into the
+  /// pending queue.
+  void job_submit(std::uint32_t index) override;
+  /// A job-finish event fired: the typed replacement for the old
+  /// completion lambda; carries the job id only.
+  void job_finish(std::uint32_t job_id) override;
 
   struct Running {
     workload::Job job;
@@ -244,6 +256,11 @@ class BatchScheduler {
   cluster::Machine machine_;
   PolicySpec policy_;
   FairShareTracker fairshare_;
+
+  /// Submitted-but-not-yet-arrived jobs, indexed by the 32-bit argument of
+  /// their kJobSubmit event.  Grows monotonically (the log is finite);
+  /// keeping entries after arrival keeps indices stable.
+  std::vector<workload::Job> submission_table_;
 
   /// Waiting native jobs.  After every pass this is in priority order
   /// (GateStage compacts along the sorted walk), which is what lets

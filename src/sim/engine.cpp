@@ -1,20 +1,58 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+
 namespace istc::sim {
-
-void Engine::schedule(SimTime t, EventFn fn) {
-  ISTC_EXPECTS(t >= now_);
-  queue_.push(t, std::move(fn));
-}
-
-void Engine::schedule_in(Seconds dt, EventFn fn) {
-  ISTC_EXPECTS(dt >= 0);
-  schedule(now_ + dt, std::move(fn));
-}
 
 void Engine::on_quiescent(std::function<void(SimTime)> hook) {
   ISTC_EXPECTS(hook != nullptr);
   hooks_.push_back(std::move(hook));
+}
+
+void Engine::dispatch(Event& e) {
+  switch (e.type) {
+    case EventType::kCallback: {
+      // Claim the payload first: the invoked callable may schedule more
+      // events and recycle this event's slab slot.
+      CallbackSlot cb = queue_.take_callback(e);
+      cb.invoke();
+      break;
+    }
+    case EventType::kJobSubmit:
+      sink_->job_submit(e.arg);
+      break;
+    case EventType::kJobFinish:
+      sink_->job_finish(e.arg);
+      break;
+    case EventType::kSchedulerWake:
+      break;  // its entire effect is the quiescent pass that follows
+  }
+}
+
+void Engine::sync_counters() {
+  // Gauges, not increments: the engine owns the running values in stats_
+  // and mirrors the maxima into the shared counter block (so a tracer
+  // attached to several engines reports the largest seen).
+  trace::TraceSummary& c = tracer_->counters();
+  c.engine_peak_queue_depth = std::max(
+      c.engine_peak_queue_depth,
+      static_cast<std::uint64_t>(stats_.peak_queue_depth));
+  c.engine_max_timestep_batch =
+      std::max(c.engine_max_timestep_batch, stats_.max_timestep_batch);
+  c.engine_heap_allocations =
+      std::max(c.engine_heap_allocations, stats_.heap_allocations);
+  c.engine_events_callback = std::max(
+      c.engine_events_callback, stats_.scheduled_by_type[static_cast<int>(
+                                    EventType::kCallback)]);
+  c.engine_events_job_submit = std::max(
+      c.engine_events_job_submit, stats_.scheduled_by_type[static_cast<int>(
+                                      EventType::kJobSubmit)]);
+  c.engine_events_job_finish = std::max(
+      c.engine_events_job_finish, stats_.scheduled_by_type[static_cast<int>(
+                                      EventType::kJobFinish)]);
+  c.engine_events_wake = std::max(
+      c.engine_events_wake, stats_.scheduled_by_type[static_cast<int>(
+                                EventType::kSchedulerWake)]);
 }
 
 void Engine::drain_current_time() {
@@ -23,38 +61,48 @@ void Engine::drain_current_time() {
   // hook/event ping-pong (a correct model converges in a few rounds).
   constexpr int kMaxRounds = 64;
   int rounds = 0;
+  std::uint64_t batch = 0;
   if (ISTC_TRACE_COUNTERS_ON(tracer_)) {
     ++tracer_->counters().engine_timesteps;
   }
   for (;;) {
     bool fired = false;
-    while (!queue_.empty() && queue_.next_time() == now_) {
-      EventFn fn = queue_.pop();
+    while (!queue_empty() && queue_next_time() == now_) {
       ++events_processed_;
+      ++batch;
       if (ISTC_TRACE_COUNTERS_ON(tracer_)) {
         ++tracer_->counters().engine_events_drained;
       }
-      fn();
+      if (typed_) {
+        Event e = queue_.pop();
+        dispatch(e);
+      } else {
+        EventFn fn = legacy_.pop();
+        fn();
+      }
       fired = true;
     }
     if (!fired && rounds > 0) break;  // hooks already ran, nothing new
     for (auto& hook : hooks_) hook(now_);
     ++rounds;
     ISTC_ASSERT(rounds < kMaxRounds);
-    if (queue_.empty() || queue_.next_time() != now_) break;
+    if (queue_empty() || queue_next_time() != now_) break;
   }
+  if (batch > stats_.max_timestep_batch) stats_.max_timestep_batch = batch;
+  stats_.heap_allocations = queue_.heap_allocations();
+  if (ISTC_TRACE_COUNTERS_ON(tracer_)) sync_counters();
 }
 
 bool Engine::step() {
-  if (queue_.empty()) return false;
-  now_ = queue_.next_time();
+  if (queue_empty()) return false;
+  now_ = queue_next_time();
   drain_current_time();
   return true;
 }
 
 void Engine::run(SimTime until) {
-  while (!queue_.empty() && queue_.next_time() <= until) {
-    now_ = queue_.next_time();
+  while (!queue_empty() && queue_next_time() <= until) {
+    now_ = queue_next_time();
     drain_current_time();
   }
   if (now_ < until && until != kTimeInfinity) now_ = until;

@@ -16,16 +16,105 @@
 /// scheduler performs its scheduling pass in a quiescent hook, so N jobs
 /// completing at the same second trigger one pass, exactly like a real
 /// resource manager waking up on a state change.
+///
+/// Two event representations share the engine (A/B selectable at
+/// construction, `Scenario::typed_events`):
+///   - typed (default): the flat POD heap of event_queue.hpp — typed
+///     schedule_* calls carry a 32-bit argument dispatched to the
+///     registered JobEventSink, generic callbacks use the small-buffer
+///     slot, and a reserve_events()'d steady state allocates nothing.
+///   - legacy: every event a type-erased std::function (the pre-rewrite
+///     behavior, kept as the in-binary benchmark baseline).
+/// Both honor the same (time, seq) contract, so schedules are
+/// bit-identical across modes (pinned by tests/trace/test_determinism).
 
 namespace istc::sim {
 
+/// Receiver of typed job events.  The batch scheduler implements this;
+/// dispatch is one virtual call instead of a type-erased closure, and the
+/// event entry carries a 32-bit id instead of captured state.
+class JobEventSink {
+ public:
+  /// A job submission arrives; `index` is the value passed to
+  /// schedule_job_submit (the scheduler's submission-table index).
+  virtual void job_submit(std::uint32_t index) = 0;
+  /// A running job's true runtime elapsed; `job_id` identifies it.
+  virtual void job_finish(std::uint32_t job_id) = 0;
+
+ protected:
+  ~JobEventSink() = default;
+};
+
+/// Engine-side event statistics, tracked unconditionally (all are cheap
+/// increments / compares) and mirrored into TraceSummary when a tracer
+/// with counters is attached.
+struct EngineStats {
+  /// Events scheduled, by EventType slot (callback, submit, finish, wake).
+  std::uint64_t scheduled_by_type[kNumEventTypes] = {0, 0, 0, 0};
+  /// High-water mark of simultaneously queued events.
+  std::size_t peak_queue_depth = 0;
+  /// Largest number of events drained at one timestamp (including events
+  /// scheduled for "now" from inside callbacks and hooks).
+  std::uint64_t max_timestep_batch = 0;
+  /// Typed-queue heap allocations: backing-vector growth plus boxed
+  /// callbacks.  In legacy mode this stays 0 — the legacy queue's
+  /// std::function allocations are not observable from here, which is
+  /// half the reason the typed core exists.
+  std::uint64_t heap_allocations = 0;
+};
+
 class Engine {
  public:
+  /// \param typed_events select the typed POD event core (default) or the
+  ///        legacy std::function queue (the A/B baseline).
+  explicit Engine(bool typed_events = true) : typed_(typed_events) {}
+
+  bool typed_events() const { return typed_; }
+
+  /// Register the receiver of typed job events (nullptr detaches).  Must
+  /// be set before schedule_job_submit / schedule_job_finish fire.
+  void set_job_sink(JobEventSink* sink) { sink_ = sink; }
+
+  /// Pre-reserve queue slots for `n` additional events, so a known burst
+  /// (e.g. a whole job log's submissions) never grows the heap mid-run.
+  void reserve_events(std::size_t n) {
+    if (typed_) queue_.reserve(queue_.size() + n);
+  }
+
   /// Schedule a callback at absolute time t (must not be in the past).
-  void schedule(SimTime t, EventFn fn);
+  /// Trivially copyable callables up to CallbackSlot::kInlineBytes are
+  /// stored inline; larger or non-trivial ones are boxed (counted in
+  /// EngineStats::heap_allocations).
+  template <class F>
+  void schedule(SimTime t, F&& fn) {
+    ISTC_EXPECTS(t >= now_);
+    if (typed_) {
+      queue_.push_callback(t, std::forward<F>(fn));
+    } else {
+      legacy_.push(t, EventFn(std::forward<F>(fn)));
+    }
+    note_scheduled(EventType::kCallback);
+  }
 
   /// Schedule a callback dt seconds from now.
-  void schedule_in(Seconds dt, EventFn fn);
+  template <class F>
+  void schedule_in(Seconds dt, F&& fn) {
+    ISTC_EXPECTS(dt >= 0);
+    schedule(now_ + dt, std::forward<F>(fn));
+  }
+
+  /// Typed paths: no captured state, a 32-bit argument dispatched to the
+  /// JobEventSink (submit/finish) or to nobody (wake — its only purpose is
+  /// triggering a quiescent pass at t).
+  void schedule_job_submit(SimTime t, std::uint32_t index) {
+    schedule_typed(t, EventType::kJobSubmit, index);
+  }
+  void schedule_job_finish(SimTime t, std::uint32_t job_id) {
+    schedule_typed(t, EventType::kJobFinish, job_id);
+  }
+  void schedule_wake(SimTime t) {
+    schedule_typed(t, EventType::kSchedulerWake, 0);
+  }
 
   /// Register a hook invoked once per distinct timestamp after its events
   /// drain.  Hooks run in registration order and may schedule new events;
@@ -35,11 +124,17 @@ class Engine {
 
   SimTime now() const { return now_; }
   std::uint64_t events_processed() const { return events_processed_; }
-  bool finished() const { return queue_.empty(); }
+  bool finished() const { return queue_empty(); }
+  std::size_t queued_events() const {
+    return typed_ ? queue_.size() : legacy_.size();
+  }
+
+  /// Event-core statistics (see EngineStats); valid in both modes.
+  const EngineStats& stats() const { return stats_; }
 
   /// Attach a tracer (nullptr detaches).  The engine only feeds counters
-  /// (events drained, quiescent timesteps); it never records events, so
-  /// attaching a tracer cannot perturb event order.
+  /// (events drained, quiescent timesteps, event-core gauges); it never
+  /// records events, so attaching a tracer cannot perturb event order.
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
   trace::Tracer* tracer() const { return tracer_; }
 
@@ -52,12 +147,52 @@ class Engine {
   bool step();
 
  private:
-  void drain_current_time();
+  void schedule_typed(SimTime t, EventType type, std::uint32_t arg) {
+    ISTC_EXPECTS(t >= now_);
+    if (typed_) {
+      queue_.push_typed(t, type, arg);
+    } else {
+      // Legacy baseline: the typed call sites still work, each event just
+      // pays the std::function representation the rewrite removed.
+      switch (type) {
+        case EventType::kJobSubmit:
+          legacy_.push(t, [this, arg] { sink_->job_submit(arg); });
+          break;
+        case EventType::kJobFinish:
+          legacy_.push(t, [this, arg] { sink_->job_finish(arg); });
+          break;
+        default:
+          legacy_.push(t, [] {});
+          break;
+      }
+    }
+    note_scheduled(type);
+  }
 
+  void note_scheduled(EventType type) {
+    ++stats_.scheduled_by_type[static_cast<int>(type)];
+    const std::size_t depth = typed_ ? queue_.size() : legacy_.size();
+    if (depth > stats_.peak_queue_depth) stats_.peak_queue_depth = depth;
+  }
+
+  bool queue_empty() const { return typed_ ? queue_.empty() : legacy_.empty(); }
+  SimTime queue_next_time() const {
+    return typed_ ? queue_.next_time() : legacy_.next_time();
+  }
+
+  void dispatch(Event& e);
+  void drain_current_time();
+  /// Mirror the event-core gauges into the attached tracer's counters.
+  void sync_counters();
+
+  const bool typed_;
   EventQueue queue_;
+  LegacyEventQueue legacy_;
+  JobEventSink* sink_ = nullptr;
   std::vector<std::function<void(SimTime)>> hooks_;
   SimTime now_ = 0;
   std::uint64_t events_processed_ = 0;
+  EngineStats stats_;
   trace::Tracer* tracer_ = nullptr;
 };
 

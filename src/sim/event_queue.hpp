@@ -1,8 +1,11 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <functional>
-#include <queue>
+#include <new>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -10,22 +13,274 @@
 #include "util/time.hpp"
 
 /// \file event_queue.hpp
-/// A monotone priority queue of timestamped events.  Ties are broken by
-/// insertion sequence so replays are deterministic regardless of heap
-/// internals.
+/// The typed event core: a monotone priority queue of timestamped events.
+///
+/// Ordering contract: events fire in strictly increasing (time, seq) order,
+/// where `seq` is the queue's push counter.  Ties on `time` therefore fire
+/// in insertion (FIFO) order, independent of heap internals, which is what
+/// makes replays deterministic and lets the tracer mirror the key.
+///
+/// The steady state of a multi-month replay pushes and pops millions of
+/// events, so the hot representation is a flat binary heap of trivially
+/// copyable 24-byte `Event` entries — sifting is plain word copies, and
+/// with a `reserve()`d backing vector a push/pop cycle performs zero heap
+/// allocations.  The simulation's actual event kinds (job submit, job
+/// finish, scheduler wake) carry a 32-bit argument instead of a captured
+/// closure; arbitrary callbacks remain available through a small-buffer
+/// slot slab kept off the heap (arg indexes into it, slots recycle through
+/// a free list) that stores trivially copyable callables inline and boxes
+/// the rest (counted, so tests can assert the steady state allocates
+/// nothing).
+///
+/// `LegacyEventQueue` below is the previous `std::function`-based
+/// implementation, kept in-binary as the A/B baseline for
+/// bench/micro_engine (`Scenario::typed_events = false` selects it).
 
 namespace istc::sim {
 
-/// Event payloads are type-erased callbacks.  The engine drains all events
-/// at a timestamp before advancing the clock, so callbacks scheduled "now"
-/// still run in this timestep.
+/// Event payloads for the generic-callback fallback path.
 using EventFn = std::function<void()>;
+
+/// The simulation's event kinds.  kCallback is the type-erased fallback
+/// that keeps the generic `schedule(t, fn)` API working; the typed kinds
+/// cover every event the scheduler stack schedules in steady state.
+enum class EventType : std::uint8_t {
+  kCallback,       ///< invoke the stored callable (tests, benches, glue)
+  kJobSubmit,      ///< arg = submission index (JobEventSink::job_submit)
+  kJobFinish,      ///< arg = job id (JobEventSink::job_finish)
+  kSchedulerWake,  ///< no payload; exists to trigger a quiescent pass
+};
+
+inline constexpr int kNumEventTypes = 4;
+
+/// Small-buffer storage for kCallback events.  Trivially copyable
+/// callables up to kInlineBytes live inline (the heap then relocates them
+/// with the entry, no allocation); anything larger or non-trivial is boxed
+/// on the heap and the box pointer stored instead.  The slot itself stays
+/// trivially copyable either way — ownership of a box transfers with the
+/// bytes, and exactly one of invoke()/dispose() must be called per stored
+/// callable (the queue guarantees this).
+class CallbackSlot {
+ public:
+  static constexpr std::size_t kInlineBytes = 24;
+  static constexpr std::size_t kAlign = 8;
+
+  /// Store `fn`; bumps `boxed_count` when the callable had to be boxed.
+  template <class F>
+  void emplace(F&& fn, std::uint64_t& boxed_count) {
+    using D = std::decay_t<F>;
+    if constexpr (std::is_trivially_copyable_v<D> &&
+                  std::is_trivially_destructible_v<D> &&
+                  sizeof(D) <= kInlineBytes && alignof(D) <= kAlign) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      op_ = &inline_op<D>;
+    } else {
+      D* boxed = new D(std::forward<F>(fn));
+      std::memcpy(buf_, &boxed, sizeof boxed);
+      op_ = &boxed_op<D>;
+      ++boxed_count;
+    }
+  }
+
+  /// Run the callable and release any box.  Call at most once.
+  void invoke() { op_(buf_, Op::kInvoke); }
+
+  /// Release any box without running.  Call at most once, instead of
+  /// invoke() (the queue destructor uses this for undrained events).
+  void dispose() { op_(buf_, Op::kDispose); }
+
+ private:
+  enum class Op : std::uint8_t { kInvoke, kDispose };
+  using OpFn = void (*)(void*, Op);
+
+  template <class D>
+  static void inline_op(void* buf, Op op) {
+    if (op == Op::kInvoke) (*std::launder(reinterpret_cast<D*>(buf)))();
+    // Trivially destructible by construction: dispose is a no-op.
+  }
+
+  template <class D>
+  static void boxed_op(void* buf, Op op) {
+    D* boxed;
+    std::memcpy(&boxed, buf, sizeof boxed);
+    if (op == Op::kInvoke) (*boxed)();
+    delete boxed;
+  }
+
+  OpFn op_ = nullptr;
+  alignas(kAlign) unsigned char buf_[kInlineBytes];
+};
+
+/// One queue entry.  Trivially copyable and small on purpose: heap sifts
+/// move these with plain assignment, never a type-erased move constructor,
+/// and pop cost scales with entry size.  Callback payloads live in the
+/// queue's slot slab (arg = slot index), not in the entry.
+struct Event {
+  SimTime time = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t arg = 0;  ///< job id / submit index / callback slot index
+  EventType type = EventType::kCallback;
+};
+
+static_assert(std::is_trivially_copyable_v<Event>,
+              "heap sifting relies on memcpy-equivalent entry moves");
+static_assert(sizeof(Event) <= 24,
+              "keep heap entries small: sift cost is copy cost");
 
 class EventQueue {
  public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  ~EventQueue() {
+    for (const Event& e : heap_) {
+      if (e.type == EventType::kCallback) slots_[e.arg].dispose();
+    }
+  }
+
+  /// Pre-size the backing storage (heap entries, callback slots, free
+  /// list); pushes within capacity never allocate.  (The reservation
+  /// itself is deliberately not counted as a queue allocation — it is the
+  /// amortization API.)
+  void reserve(std::size_t n) {
+    heap_.reserve(n);
+    slots_.reserve(n);
+    free_slots_.reserve(n);
+  }
+
+  void push_typed(SimTime t, EventType type, std::uint32_t arg) {
+    ISTC_EXPECTS(type != EventType::kCallback);
+    Event e;
+    e.time = t;
+    e.type = type;
+    e.arg = arg;
+    push_entry(e);
+  }
+
+  template <class F>
+  void push_callback(SimTime t, F&& fn) {
+    Event e;
+    e.time = t;
+    e.type = EventType::kCallback;
+    e.arg = acquire_slot();
+    slots_[e.arg].emplace(std::forward<F>(fn), boxed_callbacks_);
+    push_entry(e);
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  std::size_t capacity() const { return heap_.capacity(); }
+
+  SimTime next_time() const {
+    ISTC_EXPECTS(!heap_.empty());
+    return heap_.front().time;
+  }
+
+  /// Remove and return the earliest event per the (time, seq) contract.
+  /// A kCallback entry's payload stays in the slab until the caller claims
+  /// it with take_callback() — exactly once per popped callback event.
+  Event pop() {
+    ISTC_EXPECTS(!heap_.empty());
+    Event top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return top;
+  }
+
+  /// Claim the payload of a popped kCallback event and recycle its slot.
+  /// The slot is released *before* the caller invokes, so a callback that
+  /// schedules new events may reuse it — take the copy, then invoke() (or
+  /// dispose()) it exactly once.
+  CallbackSlot take_callback(const Event& e) {
+    ISTC_EXPECTS(e.type == EventType::kCallback);
+    const CallbackSlot slot = slots_[e.arg];
+    if (free_slots_.size() == free_slots_.capacity()) ++grows_;
+    free_slots_.push_back(e.arg);
+    return slot;
+  }
+
+  /// Heap allocations performed by the queue since construction: backing-
+  /// vector growth plus boxed (out-of-line) callbacks.  Zero in steady
+  /// state on the typed path — the acceptance criterion of the rewrite.
+  std::uint64_t heap_allocations() const { return grows_ + boxed_callbacks_; }
+  std::uint64_t boxed_callbacks() const { return boxed_callbacks_; }
+
+  /// High-water mark of simultaneously queued events.
+  std::size_t peak_size() const { return peak_size_; }
+
+ private:
+  static bool before(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void push_entry(Event& e) {
+    e.seq = seq_++;
+    if (heap_.size() == heap_.capacity()) ++grows_;
+    heap_.push_back(e);
+    if (heap_.size() > peak_size_) peak_size_ = heap_.size();
+    sift_up(heap_.size() - 1);
+  }
+
+  std::uint32_t acquire_slot() {
+    if (!free_slots_.empty()) {
+      const std::uint32_t idx = free_slots_.back();
+      free_slots_.pop_back();
+      return idx;
+    }
+    if (slots_.size() == slots_.capacity()) ++grows_;
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  void sift_up(std::size_t i) {
+    Event e = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    Event e = heap_[i];
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
+      if (!before(heap_[child], e)) break;
+      heap_[i] = heap_[child];
+      i = child;
+    }
+    heap_[i] = e;
+  }
+
+  std::vector<Event> heap_;
+  std::vector<CallbackSlot> slots_;        ///< kCallback payload slab
+  std::vector<std::uint32_t> free_slots_;  ///< recycled slab indices
+  std::uint64_t seq_ = 0;
+  std::uint64_t grows_ = 0;
+  std::uint64_t boxed_callbacks_ = 0;
+  std::size_t peak_size_ = 0;
+};
+
+/// The previous event queue: every event a heap-allocated, type-erased
+/// std::function entry in a std::push_heap/std::pop_heap vector.  Kept as
+/// the in-binary A/B baseline the typed core is measured against
+/// (bench/micro_engine, `Scenario::typed_events = false`); schedules are
+/// bit-identical either way because both queues implement the same
+/// (time, seq) ordering contract.
+class LegacyEventQueue {
+ public:
   void push(SimTime t, EventFn fn) {
     ISTC_EXPECTS(fn != nullptr);
-    heap_.push(Entry{t, seq_++, std::move(fn)});
+    heap_.push_back(Entry{t, seq_++, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), after);
   }
 
   bool empty() const { return heap_.empty(); }
@@ -33,16 +288,17 @@ class EventQueue {
 
   SimTime next_time() const {
     ISTC_EXPECTS(!heap_.empty());
-    return heap_.top().time;
+    return heap_.front().time;
   }
 
   /// Remove and return the earliest event (FIFO among equal times).
+  /// pop_heap rotates the minimum to the back, so it is moved out of a
+  /// mutable element — no const_cast around priority_queue::top() needed.
   EventFn pop() {
     ISTC_EXPECTS(!heap_.empty());
-    // std::priority_queue::top() is const&; the callback must be moved out,
-    // which is safe because pop() immediately discards the entry.
-    EventFn fn = std::move(const_cast<Entry&>(heap_.top()).fn);
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), after);
+    EventFn fn = std::move(heap_.back().fn);
+    heap_.pop_back();
     return fn;
   }
 
@@ -51,13 +307,16 @@ class EventQueue {
     SimTime time;
     std::uint64_t seq;
     EventFn fn;
-    bool operator>(const Entry& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
-    }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  /// Comparator for std::push_heap's max-heap view: "a fires after b"
+  /// yields a min-heap on the (time, seq) contract.
+  static bool after(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  std::vector<Entry> heap_;
   std::uint64_t seq_ = 0;
 };
 

@@ -279,7 +279,13 @@ void write_counters_csv(const std::string& path,
               // new columns append so existing consumers keep their offsets).
               "stage_priority_us", "stage_dispatch_us", "stage_backfill_us",
               "stage_gate_us", "priority_recomputes", "priority_reuses",
-              "profile_rebuilds"});
+              "profile_rebuilds",
+              // Engine event-core gauges (typed event queue; new columns
+              // append so existing consumers keep their offsets).
+              "engine_peak_queue_depth", "engine_max_timestep_batch",
+              "engine_events_callback", "engine_events_job_submit",
+              "engine_events_job_finish", "engine_events_wake",
+              "engine_heap_allocations"});
   csv.row({std::to_string(summary.events_recorded),
            std::to_string(summary.events_dropped),
            std::to_string(summary.engine_events_drained),
@@ -303,7 +309,14 @@ void write_counters_csv(const std::string& path,
            std::to_string(summary.stage_us[3]),
            std::to_string(summary.priority_recomputes),
            std::to_string(summary.priority_reuses),
-           std::to_string(summary.profile_rebuilds)});
+           std::to_string(summary.profile_rebuilds),
+           std::to_string(summary.engine_peak_queue_depth),
+           std::to_string(summary.engine_max_timestep_batch),
+           std::to_string(summary.engine_events_callback),
+           std::to_string(summary.engine_events_job_submit),
+           std::to_string(summary.engine_events_job_finish),
+           std::to_string(summary.engine_events_wake),
+           std::to_string(summary.engine_heap_allocations)});
 }
 
 }  // namespace istc::trace

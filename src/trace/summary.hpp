@@ -20,8 +20,22 @@ struct TraceSummary {
   std::uint64_t events_dropped = 0;    ///< events past the buffer cap
 
   // -- engine -------------------------------------------------------------
-  std::uint64_t engine_events_drained = 0;  ///< callbacks fired
+  std::uint64_t engine_events_drained = 0;  ///< events fired
   std::uint64_t engine_timesteps = 0;       ///< distinct quiescent passes
+
+  // -- engine event core ---------------------------------------------------
+  // Gauges mirrored from sim::EngineStats once per timestep (max-merged,
+  // so a tracer shared across engines reports the largest value seen).
+  // The by-kind counts tally *scheduled* events per sim::EventType.
+  std::uint64_t engine_peak_queue_depth = 0;   ///< event-heap high-water mark
+  std::uint64_t engine_max_timestep_batch = 0; ///< largest same-time batch
+  std::uint64_t engine_events_callback = 0;    ///< generic-callback events
+  std::uint64_t engine_events_job_submit = 0;  ///< typed job-submit events
+  std::uint64_t engine_events_job_finish = 0;  ///< typed job-finish events
+  std::uint64_t engine_events_wake = 0;        ///< scheduler-wake events
+  /// Typed-queue heap allocations (vector growth + boxed callbacks);
+  /// zero in steady state on the typed path, 0 (unknowable) in legacy mode.
+  std::uint64_t engine_heap_allocations = 0;
 
   // -- scheduler ----------------------------------------------------------
   std::uint64_t sched_passes = 0;         ///< scheduling passes timed

@@ -36,7 +36,7 @@ Job mk(workload::JobId id, SimTime submit, int cpus, Seconds run,
 void submit_random_burst(BatchScheduler& s, int jobs, std::uint64_t seed) {
   Rng rng(seed);
   SimTime submit = 0;
-  for (workload::JobId id = 0; id < jobs; ++id) {
+  for (workload::JobId id = 0; id < static_cast<workload::JobId>(jobs); ++id) {
     submit += static_cast<SimTime>(rng.below(50));
     const auto runtime = 15 + static_cast<Seconds>(rng.below(250));
     s.submit(mk(id, submit, 1 + static_cast<int>(rng.below(10)), runtime,

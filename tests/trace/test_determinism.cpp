@@ -50,8 +50,9 @@ std::vector<workload::Job> random_natives(std::uint64_t seed) {
   return jobs;
 }
 
-sched::RunResult run_miniature(std::uint64_t seed, Tracer* tracer) {
-  sim::Engine eng;
+sched::RunResult run_miniature(std::uint64_t seed, Tracer* tracer,
+                               bool typed_events = true) {
+  sim::Engine eng(typed_events);
   cluster::DowntimeCalendar cal({{2000, 2400}, {4500, 4800}});
   cluster::Machine machine(
       {.name = "determinism-mini", .site = "", .queue_system = "",
@@ -69,9 +70,9 @@ sched::RunResult run_miniature(std::uint64_t seed, Tracer* tracer) {
   return s.take_result(kSpan);
 }
 
-std::string jsonl_of(std::uint64_t seed) {
+std::string jsonl_of(std::uint64_t seed, bool typed_events = true) {
   Tracer tracer(TraceMode::kFull, 4u << 20);
-  run_miniature(seed, &tracer);
+  run_miniature(seed, &tracer, typed_events);
   EXPECT_EQ(tracer.dropped(), 0u);
   std::ostringstream out;
   write_jsonl(out, tracer);
@@ -147,6 +148,44 @@ TEST(TraceDeterminism, MiniatureJsonlMatchesGolden) {
   GTEST_SKIP() << "tracing compiled out (ISTC_TRACING=OFF)";
 #endif
   EXPECT_EQ(hash_str(jsonl_of(42)), 0x36432d51afb41bcaull);
+}
+
+// The typed event core and the legacy std::function queue implement the
+// same (time, seq) contract, so both must hit the same golden pins: the
+// A/B knob changes representation cost, never behavior.
+TEST(TraceDeterminism, LegacyQueueMatchesScheduleGolden) {
+  const auto run = run_miniature(42, nullptr, /*typed_events=*/false);
+  EXPECT_EQ(hash_run(run), 0x4cb3857a75f8d6bfull);
+}
+
+TEST(TraceDeterminism, LegacyQueueMatchesJsonlGolden) {
+#if !ISTC_TRACING_ENABLED
+  GTEST_SKIP() << "tracing compiled out (ISTC_TRACING=OFF)";
+#endif
+  EXPECT_EQ(hash_str(jsonl_of(42, /*typed_events=*/false)),
+            0x36432d51afb41bcaull);
+}
+
+TEST(TraceDeterminism, EngineEventCoreGaugesReachSummary) {
+#if !ISTC_TRACING_ENABLED
+  GTEST_SKIP() << "tracing compiled out (ISTC_TRACING=OFF)";
+#endif
+  // The engine mirrors its event-core gauges (queue high-water mark,
+  // largest same-timestamp batch, scheduled-by-kind tallies) into the
+  // counting tracer once per drained timestep.
+  Tracer tracer(TraceMode::kCountersOnly);
+  run_miniature(42, &tracer);
+  const auto& s = tracer.summary();
+  EXPECT_GT(s.engine_peak_queue_depth, 0u);
+  EXPECT_GT(s.engine_max_timestep_batch, 0u);
+  // The miniature schedules every typed kind: 150 native submits, a
+  // finish per started job, and a wake per scheduler arm.
+  EXPECT_EQ(s.engine_events_job_submit, 150u);
+  EXPECT_GT(s.engine_events_job_finish, 0u);
+  EXPECT_GT(s.engine_events_wake, 0u);
+  // The whole scheduler stack runs on typed events: nothing in the
+  // miniature needs the type-erased callback fallback.
+  EXPECT_EQ(s.engine_events_callback, 0u);
 }
 
 TEST(TraceDeterminism, DifferentSeedsProduceDifferentTraces) {

@@ -157,5 +157,29 @@ TEST(CountersCsv, HeaderAndRowRoundTrip) {
   EXPECT_NE(text.find("\n12,0,"), std::string::npos);
 }
 
+TEST(CountersCsv, EngineEventCoreColumnsRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/istc_engine_counters.csv";
+  TraceSummary s;
+  s.engine_peak_queue_depth = 321;
+  s.engine_max_timestep_batch = 17;
+  s.engine_events_callback = 4;
+  s.engine_events_job_submit = 150;
+  s.engine_events_job_finish = 140;
+  s.engine_events_wake = 88;
+  s.engine_heap_allocations = 2;
+  write_counters_csv(path, s);
+  const std::string text = read_all(path);
+  std::remove(path.c_str());
+  for (const char* col :
+       {"engine_peak_queue_depth", "engine_max_timestep_batch",
+        "engine_events_callback", "engine_events_job_submit",
+        "engine_events_job_finish", "engine_events_wake",
+        "engine_heap_allocations"}) {
+    EXPECT_NE(text.find(col), std::string::npos) << col;
+  }
+  // The gauge values land in the row in header order.
+  EXPECT_NE(text.find("321,17,4,150,140,88,2"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace istc::trace
