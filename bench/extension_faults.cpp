@@ -1,0 +1,188 @@
+// Extension beyond the paper: unplanned failures.
+//
+// The paper's outage model is entirely *planned* — the scheduler drains
+// ahead of calendar windows and no running job ever overlaps one.  Real
+// machines also crash unannounced, and the cheapest place to absorb those
+// kills is the interstitial stream: its jobs are small, restartable, and
+// nobody waits on them.  This driver sweeps failure rate (machine-crash
+// MTBF, plus node failures at twice that rate) x checkpoint interval on
+// the Blue Mountain continual scenario and reports the headline result:
+// the harvested utilization lift degrades gracefully as failures get more
+// frequent, while native utilization stays pinned to what a native-only
+// machine achieves under the *same* fault timeline (natives are
+// resubmitted and re-run; the crash, not the harvest, is what costs
+// capacity).
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "common.hpp"
+#include "trace/tracer.hpp"
+
+namespace {
+
+using namespace istc;
+
+struct CaseResult {
+  const char* name = "";
+  Seconds mtbf = 0;           // 0 = fault-free
+  Seconds checkpoint = 0;
+  sched::RunResult run;
+  /// Native utilization of the fault-matched native-only run (same crash
+  /// timeline, no interstitial stream): the fair "pinned" reference —
+  /// faults cost everyone capacity; the question is what the interstitial
+  /// machinery *adds* on top.
+  double native_only_util = 0;
+};
+
+void set_faults(core::Scenario& sc, Seconds crash_mtbf) {
+  if (crash_mtbf <= 0) return;
+  sc.faults.crash_mtbf = crash_mtbf;
+  sc.faults.crash_repair = 4 * kSecondsPerHour;
+  // Node-sized failures arrive twice as often as full crashes.
+  sc.faults.node_mtbf = crash_mtbf / 2;
+  sc.faults.node_repair = 2 * kSecondsPerHour;
+  sc.faults.node_cpus = 256;
+}
+
+CaseResult run_case(const char* name, Seconds crash_mtbf,
+                    Seconds checkpoint_interval) {
+  core::Scenario sc;
+  sc.site = cluster::Site::kBlueMountain;
+  // The long continual stream (Table 6's 4500 s @ 1 GHz, ~4.8 h on Blue
+  // Mountain): long enough that a 30-minute checkpoint cadence genuinely
+  // divides a job, which is what makes the checkpoint axis meaningful.
+  auto stream = core::ProjectSpec::continual_stream(
+      32, 4500, cluster::site_span(sc.site));
+  stream.fault_retry.max_retries = 5;
+  stream.fault_retry.backoff = 10 * kSecondsPerMinute;
+  stream.fault_retry.checkpoint_interval = checkpoint_interval;
+  sc.project = stream;
+  set_faults(sc, crash_mtbf);
+  // Counters-only tracing so RunResult::trace carries the fault ledger
+  // (kills by class, cpu-time lost/recovered, retries) without an event
+  // buffer; tracing never perturbs the schedule.
+  trace::Tracer tracer(trace::TraceMode::kCountersOnly);
+  sc.tracer = &tracer;
+  CaseResult r;
+  r.name = name;
+  r.mtbf = crash_mtbf;
+  r.checkpoint = checkpoint_interval;
+  r.run = core::run_scenario(sc);
+
+  core::Scenario native_only;
+  native_only.site = sc.site;
+  set_faults(native_only, crash_mtbf);
+  r.native_only_util = bench::native_util_of(core::run_scenario(native_only));
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_preamble(
+      "Extension — unplanned failures (Blue Mountain, 32CPU x ~4.8h)",
+      "Harvest lift vs crash MTBF x checkpoint interval; natives stay "
+      "pinned.");
+
+  const double base_native_util =
+      core::native_utilization(cluster::Site::kBlueMountain);
+
+  std::vector<CaseResult> cases;
+  cases.push_back(run_case("fault-free", 0, 0));
+  const bool quick = std::getenv("ISTC_QUICK") != nullptr;
+  struct Setting {
+    const char* name;
+    Seconds mtbf;
+  };
+  const std::vector<Setting> mtbfs =
+      quick ? std::vector<Setting>{{"mtbf 1 week", kSecondsPerWeek}}
+            : std::vector<Setting>{{"mtbf 4 weeks", 4 * kSecondsPerWeek},
+                                   {"mtbf 1 week", kSecondsPerWeek},
+                                   {"mtbf 2 days", 2 * kSecondsPerDay}};
+  for (const Setting& s : mtbfs) {
+    cases.push_back(run_case(s.name, s.mtbf, 0));
+    cases.push_back(run_case(s.name, s.mtbf, 30 * kSecondsPerMinute));
+  }
+
+  Table t;
+  t.headers({"scenario", "ckpt", "faults", "killed n/i", "lost cpu-h",
+             "recovered", "overall util", "native util", "d-native"});
+  bool native_pinned = true;
+  for (const CaseResult& c : cases) {
+    const auto& s = c.run.trace;
+    const double nat = bench::native_util_of(c.run);
+    // "Pinned" is judged against the fault-matched native-only run: the
+    // same crash timeline with the interstitial stream removed.  Faults
+    // cost everyone capacity; this isolates what harvesting *adds*.  The
+    // check is one-sided — natives may only come out *ahead* (interstitial
+    // jobs, being the youngest running work, absorb partial-capacity kills
+    // that would otherwise land on natives), and that is a win, not drift.
+    const double reference =
+        c.mtbf > 0 ? c.native_only_util : base_native_util;
+    const double dnat = nat - reference;
+    native_pinned = native_pinned && dnat >= -0.005;
+    t.row({c.name, c.checkpoint > 0 ? "30m" : "-",
+           Table::integer(static_cast<long long>(s.faults_injected)),
+           Table::integer(static_cast<long long>(s.fault_killed_native)) +
+               "/" +
+               Table::integer(
+                   static_cast<long long>(s.fault_killed_interstitial)),
+           Table::num(static_cast<double>(s.fault_cpu_sec_lost) / 3600.0, 0),
+           Table::num(static_cast<double>(s.fault_cpu_sec_recovered) / 3600.0,
+                      0),
+           Table::num(bench::overall_util(c.run), 3), Table::num(nat, 3),
+           Table::num(dnat, 4)});
+  }
+  t.print();
+
+  std::printf(
+      "\nReading: d-native compares each row against a native-only run with\n"
+      "the *same* fault timeline (fault-free rows against the fault-free\n"
+      "baseline %.3f).  Faults cost the machine capacity no matter what,\n"
+      "so the fair question is whether harvesting adds native damage on\n"
+      "top — it does not: no row drops more than 0.5 points below its\n"
+      "reference, and rows can come out ahead because interstitials (the\n"
+      "youngest running work) absorb partial-capacity kills that would\n"
+      "otherwise land on natives.  The harvest lift shrinks with the MTBF\n"
+      "(killed interstitial work plus repair downtime), and checkpointing\n"
+      "claws back much of the loss: only work since the last 30-minute\n"
+      "checkpoint is redone.\n"
+      "native pinned within 0.5 points at every setting: %s\n",
+      base_native_util, native_pinned ? "yes" : "NO");
+
+  // BENCH-style JSON artifact (same shape the micro benches emit) so CI
+  // can track the degradation curve across commits.
+  const std::string path = bench::artifact_path("BENCH_faults.json");
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f, "{\"benchmarks\":[\n");
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      const CaseResult& c = cases[i];
+      const auto& s = c.run.trace;
+      std::fprintf(
+          f,
+          "{\"name\":\"faults/%s/ckpt_%lld\",\"mtbf_s\":%lld,"
+          "\"checkpoint_s\":%lld,\"faults_injected\":%llu,"
+          "\"overall_util\":%.6f,\"native_util\":%.6f,"
+          "\"native_util_reference\":%.6f,\"cpu_h_lost\":%.2f,"
+          "\"cpu_h_recovered\":%.2f,\"retries\":%llu,"
+          "\"retries_exhausted\":%llu}%s\n",
+          c.name, static_cast<long long>(c.checkpoint),
+          static_cast<long long>(c.mtbf),
+          static_cast<long long>(c.checkpoint),
+          static_cast<unsigned long long>(s.faults_injected),
+          bench::overall_util(c.run), bench::native_util_of(c.run),
+          c.mtbf > 0 ? c.native_only_util : base_native_util,
+          static_cast<double>(s.fault_cpu_sec_lost) / 3600.0,
+          static_cast<double>(s.fault_cpu_sec_recovered) / 3600.0,
+          static_cast<unsigned long long>(s.fault_retries),
+          static_cast<unsigned long long>(s.fault_retries_exhausted),
+          i + 1 < cases.size() ? "," : "");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return native_pinned ? 0 : 1;
+}

@@ -37,6 +37,11 @@ int usage() {
       "  istc report  --site <ross|bluemtn|bluepac>\n"
       "  istc harvest --site <...> [--cpus 32] [--sec1ghz 120]\n"
       "               [--cap 0.95] [--gate queue|head|always]\n"
+      "               [--fault-mtbf-h 0] [--fault-repair-h 4]\n"
+      "               [--fault-node-mtbf-h 0] [--fault-node-repair-h 2]\n"
+      "               [--fault-node-cpus 128] [--fault-seed N]\n"
+      "               [--retry-max 3] [--retry-backoff-s 300]\n"
+      "               [--checkpoint-s 0]\n"
       "  istc plan    --site <...> --petacycles 7.7 [--max-delay-s 900]\n"
       "               [--max-breakage 1.10]\n"
       "  istc replay  --swf trace.swf [--cpus 1024] [--clock 1.0]\n"
@@ -128,6 +133,23 @@ void print_stage_timings(const trace::TraceSummary& s) {
               static_cast<unsigned long long>(s.engine_events_job_finish),
               static_cast<unsigned long long>(s.engine_events_wake),
               static_cast<unsigned long long>(s.engine_events_callback));
+  if (s.faults_injected > 0) {
+    std::printf("faults: %llu injected (%llu crashes, %llu node failures)\n",
+                static_cast<unsigned long long>(s.faults_injected),
+                static_cast<unsigned long long>(s.fault_crashes),
+                static_cast<unsigned long long>(s.fault_node_failures));
+    std::printf("  killed %llu native / %llu interstitial; "
+                "%llu native resubmits\n",
+                static_cast<unsigned long long>(s.fault_killed_native),
+                static_cast<unsigned long long>(s.fault_killed_interstitial),
+                static_cast<unsigned long long>(s.fault_native_resubmits));
+    std::printf("  cpu-hours lost %.1f, recovered by checkpoints %.1f\n",
+                static_cast<double>(s.fault_cpu_sec_lost) / 3600.0,
+                static_cast<double>(s.fault_cpu_sec_recovered) / 3600.0);
+    std::printf("  %llu retries submitted, %llu lineages exhausted\n",
+                static_cast<unsigned long long>(s.fault_retries),
+                static_cast<unsigned long long>(s.fault_retries_exhausted));
+  }
 }
 
 void export_traces(const ArgParser& args, const trace::Tracer& tracer,
@@ -188,7 +210,26 @@ int cmd_harvest(const ArgParser& args) {
       core::ProjectSpec::continual_stream(cpus, sec, cluster::site_span(*site));
   stream.utilization_cap = cap;
   stream.gate = gate;
+  stream.fault_retry.max_retries =
+      static_cast<int>(args.get_int_or("retry-max", 3));
+  stream.fault_retry.backoff =
+      static_cast<Seconds>(args.get_int_or("retry-backoff-s", 300));
+  stream.fault_retry.checkpoint_interval =
+      static_cast<Seconds>(args.get_int_or("checkpoint-s", 0));
   sc.project = stream;
+  // Unplanned failures (istc fault subsystem); both MTBFs default to 0,
+  // i.e. off, which keeps the run bit-identical to fault-free builds.
+  sc.faults.crash_mtbf =
+      static_cast<Seconds>(args.get_int_or("fault-mtbf-h", 0)) * 3600;
+  sc.faults.crash_repair =
+      static_cast<Seconds>(args.get_int_or("fault-repair-h", 4)) * 3600;
+  sc.faults.node_mtbf =
+      static_cast<Seconds>(args.get_int_or("fault-node-mtbf-h", 0)) * 3600;
+  sc.faults.node_repair =
+      static_cast<Seconds>(args.get_int_or("fault-node-repair-h", 2)) * 3600;
+  sc.faults.node_cpus = static_cast<int>(args.get_int_or("fault-node-cpus", 128));
+  sc.faults.seed = static_cast<std::uint64_t>(
+      args.get_int_or("fault-seed", 0xFA1117));
   std::optional<trace::Tracer> tracer = make_tracer(args);
   if (tracer) sc.tracer = &*tracer;
   const auto run = core::run_scenario(sc);

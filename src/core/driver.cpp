@@ -18,18 +18,26 @@ InterstitialDriver::InterstitialDriver(sched::BatchScheduler& scheduler,
   spec_.check();
   scheduler_.set_post_pass_hook(
       [this](const sched::PassContext& ctx) { on_pass(ctx); });
-  if (spec_.recovery != PreemptionRecovery::kNone) {
-    scheduler_.set_kill_hook(
-        [this](const sched::JobRecord& victim) { on_kill(victim); });
-  }
+  // Always registered (fault kills can happen regardless of the preemption
+  // recovery mode); the hook only observes, so registration is
+  // schedule-neutral.
+  scheduler_.set_kill_hook(
+      [this](const sched::JobRecord& victim, sched::KillReason reason) {
+        on_kill(victim, reason);
+      });
   // Guarantee a pass at the project start even if no native event lands
   // there (an idle machine would otherwise never wake the driver).
   scheduler_.wake_at(std::max(spec_.start_time, scheduler.engine().now()));
 }
 
-void InterstitialDriver::on_kill(const sched::JobRecord& victim) {
+void InterstitialDriver::on_kill(const sched::JobRecord& victim,
+                                 sched::KillReason reason) {
   if (!victim.interstitial()) return;
   ++kills_observed_;
+  if (reason != sched::KillReason::kPreempted) {
+    on_fault_kill(victim);
+    return;
+  }
   switch (spec_.recovery) {
     case PreemptionRecovery::kNone:
       break;
@@ -50,12 +58,54 @@ void InterstitialDriver::on_kill(const sched::JobRecord& victim) {
   }
 }
 
+void InterstitialDriver::on_fault_kill(const sched::JobRecord& victim) {
+  const FaultRetryPolicy& policy = spec_.fault_retry;
+  const Seconds elapsed = victim.end - victim.start;
+  // Work up to the last checkpoint survives the kill; the rest is redone.
+  const Seconds saved = policy.checkpoint_interval > 0
+                            ? (elapsed / policy.checkpoint_interval) *
+                                  policy.checkpoint_interval
+                            : 0;
+  const Seconds remaining = victim.job.runtime - saved;
+  const Seconds lost = elapsed - saved;
+  int attempts = 0;
+  if (const auto it = retry_attempts_.find(victim.job.id);
+      it != retry_attempts_.end()) {
+    attempts = it->second;
+    retry_attempts_.erase(it);
+  }
+  trace::Tracer* tracer = scheduler_.tracer();
+  if (ISTC_TRACE_COUNTERS_ON(tracer)) {
+    trace::TraceSummary& c = tracer->counters();
+    const auto cpus = static_cast<std::uint64_t>(victim.job.cpus);
+    c.fault_cpu_sec_lost += cpus * static_cast<std::uint64_t>(lost);
+    c.fault_cpu_sec_recovered += cpus * static_cast<std::uint64_t>(saved);
+  }
+  if (attempts >= policy.max_retries) {
+    ++retries_exhausted_;
+    if (ISTC_TRACE_COUNTERS_ON(tracer)) {
+      ++tracer->counters().fault_retries_exhausted;
+    }
+    return;  // lineage abandoned (a continual stream refills naturally)
+  }
+  if (remaining < 1) return;  // killed at the completion instant: done
+  const SimTime eligible = victim.end + policy.backoff;
+  retry_queue_.push_back(FaultRetry{remaining, attempts + 1, eligible});
+  // The backoff expiring is a submission opportunity no other event may
+  // land on; on_pass re-arms this every pass while retries wait.
+  if (eligible < spec_.stop_time) scheduler_.wake_at(eligible);
+}
+
 std::size_t InterstitialDriver::submittable(
     const sched::PassContext& ctx) const {
   const auto& machine = scheduler_.machine();
   std::size_t k = static_cast<std::size_t>(
       ctx.free_cpus / spec_.cpus_per_job);
   std::size_t backlog = resume_.size();
+  for (const FaultRetry& r : retry_queue_) {
+    if (r.eligible_at > ctx.now) break;  // ordered by eligible_at
+    ++backlog;
+  }
   if (!spec_.continual()) {
     ISTC_ASSERT(submitted_ <= spec_.total_jobs);
     backlog += spec_.total_jobs - submitted_;
@@ -75,7 +125,7 @@ std::size_t InterstitialDriver::submittable(
 
 void InterstitialDriver::on_pass(const sched::PassContext& ctx) {
   if (ctx.now < spec_.start_time || ctx.now >= spec_.stop_time) return;
-  if (exhausted() && resume_.empty()) return;
+  if (exhausted() && resume_.empty() && retry_queue_.empty()) return;
 
   // Figure 1 gating: only when the queue is empty, or when no protected
   // waiting job could start (per estimates) before our jobs would finish.
@@ -109,17 +159,31 @@ void InterstitialDriver::on_pass(const sched::PassContext& ctx) {
     const std::size_t k = submittable(ctx);
     for (std::size_t i = 0; i < k; ++i) {
       workload::Job job = spec_.make_job(next_id_, ctx.now, machine.spec());
-      // Checkpointed fragments (remaining runtimes of preempted jobs) go
-      // out first; they are shorter than a full job, never longer.
+      // Redo work goes out before fresh submissions: checkpointed
+      // preemption fragments first, then fault retries whose backoff has
+      // expired.  Both run a remainder, never longer than a full job.
       const bool is_fragment = !resume_.empty();
+      const bool is_retry =
+          !is_fragment && !retry_queue_.empty() &&
+          retry_queue_.front().eligible_at <= ctx.now;
       if (is_fragment) {
         job.runtime = resume_.back();
+        job.estimate = job.runtime;
+      } else if (is_retry) {
+        job.runtime = retry_queue_.front().remaining;
         job.estimate = job.runtime;
       }
       if (!scheduler_.try_start_immediately(job)) break;  // downtime ahead
       ++started;
       if (is_fragment) {
         resume_.pop_back();
+      } else if (is_retry) {
+        retry_attempts_.emplace(job.id, retry_queue_.front().attempts);
+        retry_queue_.pop_front();
+        if (trace::Tracer* t = scheduler_.tracer();
+            ISTC_TRACE_COUNTERS_ON(t)) {
+          ++t->counters().fault_retries;
+        }
       } else {
         ++submitted_;
       }
@@ -153,7 +217,7 @@ void InterstitialDriver::on_pass(const sched::PassContext& ctx) {
   // wake after the blocking downtime window (the only reason an empty
   // machine refuses an interstitial job).
   if (machine.in_use() == 0 && ctx.queue_empty &&
-      (!exhausted() || !resume_.empty())) {
+      (!exhausted() || !resume_.empty() || !retry_queue_.empty())) {
     const auto& cal = machine.downtime();
     SimTime wake = kTimeInfinity;
     if (cal.is_down(ctx.now)) {
@@ -162,6 +226,14 @@ void InterstitialDriver::on_pass(const sched::PassContext& ctx) {
       wake = cal.up_again_at(cal.next_down_start(ctx.now));
     }
     if (wake < spec_.stop_time) scheduler_.wake_at(wake);
+  }
+
+  // Retries still serving their backoff: re-arm the wake every pass so
+  // wake_at's "an earlier wake covers this one" dedup stays sound (each
+  // covering pass lands here and re-arms until the backoff expires).
+  if (!retry_queue_.empty() && retry_queue_.front().eligible_at > ctx.now &&
+      retry_queue_.front().eligible_at < spec_.stop_time) {
+    scheduler_.wake_at(retry_queue_.front().eligible_at);
   }
 }
 

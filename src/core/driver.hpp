@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstddef>
+#include <deque>
+#include <unordered_map>
 #include <vector>
 
 #include "core/project.hpp"
@@ -46,13 +48,31 @@ class InterstitialDriver {
   const ProjectSpec& spec() const { return spec_; }
   Seconds job_runtime() const { return job_runtime_; }
 
-  /// Preemption-recovery accounting (see PreemptionRecovery).
+  /// Kill accounting: every interstitial kill the scheduler reported
+  /// (preemption and faults alike; see PreemptionRecovery / FaultRetryPolicy).
   std::size_t kills_observed() const { return kills_observed_; }
   std::size_t resume_fragments_pending() const { return resume_.size(); }
 
+  /// Fault-retry accounting (see ProjectSpec::fault_retry).
+  std::size_t fault_retries_pending() const { return retry_queue_.size(); }
+  std::size_t retries_exhausted() const { return retries_exhausted_; }
+
  private:
+  /// A fault-killed job waiting to be resubmitted: the runtime still owed
+  /// (post-checkpoint remainder), the retries its lineage has consumed,
+  /// and the earliest submission time (kill time + backoff).
+  struct FaultRetry {
+    Seconds remaining = 0;
+    int attempts = 0;
+    SimTime eligible_at = 0;
+  };
+
   void on_pass(const sched::PassContext& ctx);
-  void on_kill(const sched::JobRecord& victim);
+  void on_kill(const sched::JobRecord& victim, sched::KillReason reason);
+
+  /// Handle a fault kill per spec_.fault_retry: charge lost/recovered
+  /// work, then requeue the remainder or abandon the lineage.
+  void on_fault_kill(const sched::JobRecord& victim);
 
   /// floor(free/size) clamped by the utilization cap and remaining jobs.
   std::size_t submittable(const sched::PassContext& ctx) const;
@@ -63,8 +83,15 @@ class InterstitialDriver {
   workload::JobId next_id_;
   std::size_t submitted_ = 0;
   std::size_t kills_observed_ = 0;
+  std::size_t retries_exhausted_ = 0;
   /// Remaining runtimes of checkpointed victims awaiting resubmission.
   std::vector<Seconds> resume_;
+  /// Fault-killed jobs awaiting retry, ordered by eligible_at (kills
+  /// arrive in simulation-time order and the backoff is constant).
+  std::deque<FaultRetry> retry_queue_;
+  /// Retries consumed by each currently *running* retry job, keyed by the
+  /// id it ran under; consulted (and erased) if that job is killed again.
+  std::unordered_map<workload::JobId, int> retry_attempts_;
 };
 
 }  // namespace istc::core

@@ -48,6 +48,15 @@ sched::RunResult run_scenario(const Scenario& scenario) {
                    static_cast<workload::JobId>(log.size()));
   }
 
+  // Constructed after the driver so the fault timeline's event sequence
+  // numbers follow the driver's initial wake — times are unaffected.
+  std::optional<fault::FaultInjector> injector;
+  if (scenario.faults.enabled()) {
+    fault::FaultSpec faults = scenario.faults;
+    faults.stop = std::min(faults.stop, cluster::site_span(site));
+    injector.emplace(scheduler, faults);
+  }
+
   engine.run();
   return scheduler.take_result(cluster::site_span(site));
 }

@@ -7,6 +7,7 @@
 #include "cluster/presets.hpp"
 #include "core/omniscient.hpp"
 #include "core/project.hpp"
+#include "fault/fault.hpp"
 #include "sched/record.hpp"
 #include "trace/tracer.hpp"
 #include "util/stats.hpp"
@@ -52,6 +53,11 @@ struct Scenario {
   /// the A/B baseline for bench/micro_engine; schedules are bit-identical
   /// either way (pinned by tests/trace/test_determinism.cpp).
   bool typed_events = true;
+  /// Unplanned failures (crashes + node outages); the default is inert and
+  /// fault-free runs are bit-identical to pre-fault builds.  An enabled
+  /// spec has its stop clamped to the site span, and the run stays
+  /// deterministic per (scenario, faults.seed).
+  fault::FaultSpec faults;
   /// Observability: when set, the engine/scheduler/driver record into this
   /// tracer and the RunResult carries its TraceSummary.  Not owned; must
   /// outlive the call.  Tracing never perturbs the schedule.

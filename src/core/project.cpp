@@ -52,12 +52,19 @@ workload::Job ProjectSpec::make_job(workload::JobId id, SimTime submit,
   return j;
 }
 
+void FaultRetryPolicy::check() const {
+  ISTC_ASSERT(max_retries >= 0);
+  ISTC_ASSERT(backoff >= 0);
+  ISTC_ASSERT(checkpoint_interval >= 0);
+}
+
 void ProjectSpec::check() const {
   ISTC_ASSERT(work_per_cpu > 0);
   ISTC_ASSERT(cpus_per_job > 0);
   ISTC_ASSERT(start_time >= 0);
   ISTC_ASSERT(stop_time > start_time);
   ISTC_ASSERT(utilization_cap > 0 && utilization_cap <= 1.0);
+  fault_retry.check();
 }
 
 }  // namespace istc::core

@@ -52,6 +52,26 @@ enum class GatePolicy : std::uint8_t {
   kAlways,
 };
 
+/// What happens to an interstitial job killed by an *unplanned* failure
+/// (fault::FaultInjector).  Orthogonal to PreemptionRecovery, which covers
+/// deliberate scheduler preemption: a fault-killed job re-enters through a
+/// bounded retry loop with a submission backoff, optionally resuming from
+/// its last checkpoint.
+struct FaultRetryPolicy {
+  /// Resubmissions per job lineage before its work is abandoned
+  /// (counted towards TraceSummary::fault_retries_exhausted).
+  int max_retries = 3;
+  /// Delay after the kill before the retry becomes submittable (a real
+  /// system waits out the failure storm instead of resubmitting into it).
+  Seconds backoff = 5 * kSecondsPerMinute;
+  /// Checkpoint cadence: a kill loses only work since the last multiple of
+  /// this interval, and the retry runs just the remainder.  0 disables
+  /// checkpointing (the retry redoes the whole job).
+  Seconds checkpoint_interval = 0;
+
+  void check() const;
+};
+
 struct ProjectSpec {
   /// Work per CPU in cycles ("120 s @ 1 GHz" = 120e9).
   cluster::Cycles work_per_cpu = 120.0 * cluster::kGiga;
@@ -71,6 +91,9 @@ struct ProjectSpec {
   /// Recovery mode for preempted jobs (only meaningful when the scheduler
   /// runs with preempt_interstitial).
   PreemptionRecovery recovery = PreemptionRecovery::kNone;
+  /// Retry policy for jobs killed by unplanned failures (only meaningful
+  /// when a fault::FaultInjector is attached to the run).
+  FaultRetryPolicy fault_retry;
 
   bool continual() const { return total_jobs == 0; }
 

@@ -15,6 +15,28 @@
 
 namespace istc::sched {
 
+/// Why a running job was killed before completion.  Preemption is a
+/// scheduling decision aimed only at interstitial jobs; the fault reasons
+/// are unplanned failures (fault::FaultInjector) that spare nobody.
+enum class KillReason : std::uint8_t {
+  kPreempted = 0,     ///< evicted so a blocked native could start
+  kMachineCrash = 1,  ///< whole-machine crash (everything running dies)
+  kNodeFailure = 2,   ///< partial-capacity node failure
+};
+
+/// Stable lower-case name ("preempted", "machine_crash", "node_failure").
+constexpr const char* kill_reason_name(KillReason reason) {
+  switch (reason) {
+    case KillReason::kPreempted:
+      return "preempted";
+    case KillReason::kMachineCrash:
+      return "machine_crash";
+    case KillReason::kNodeFailure:
+      return "node_failure";
+  }
+  return "unknown";
+}
+
 struct JobRecord {
   workload::Job job;
   SimTime start = -1;

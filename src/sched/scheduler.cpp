@@ -88,7 +88,7 @@ void BatchScheduler::set_post_pass_hook(
 }
 
 void BatchScheduler::set_kill_hook(
-    std::function<void(const JobRecord&)> hook) {
+    std::function<void(const JobRecord&, KillReason)> hook) {
   on_kill_ = std::move(hook);
 }
 
@@ -208,6 +208,14 @@ ResourceProfile BatchScheduler::rebuild_profile(SimTime now) const {
     ISTC_ASSERT(r.est_end > now);
     profile.reserve(now, r.est_end, r.job.cpus);
   }
+  // Failed capacity is allocated on the machine but backed by no running
+  // job; re-reserve it or the rebuilt profile would offer downed CPUs.
+  // (Repair events fire before the pass at their timestamp, so every
+  // surviving outage strictly outlives now.)
+  for (const auto& outage : outages_) {
+    ISTC_ASSERT(outage.until > now);
+    profile.reserve(now, outage.until, outage.cpus);
+  }
   return profile;
 }
 
@@ -260,7 +268,7 @@ bool BatchScheduler::try_dispatch(const workload::Job& job, SimTime now,
   // jobs instead of waiting on them.
   if (preempt && t != now && may_start && !job.interstitial() &&
       could_start_with_kills(job, now)) {
-    if (preempt_for(job, now, profile_)) {
+    if (preempt_for(job, now)) {
       t = earliest_start(profile_, job, now);
     }
   }
@@ -325,8 +333,38 @@ bool BatchScheduler::could_start_with_kills(const workload::Job& job,
   return true;
 }
 
-bool BatchScheduler::preempt_for(const workload::Job& job, SimTime now,
-                                 ResourceProfile& profile) {
+void BatchScheduler::kill_running_job(workload::JobId id, KillReason reason) {
+  const auto it = running_.find(id);
+  ISTC_ASSERT(it != running_.end());
+  const Running& r = it->second;
+  const SimTime now = engine_.now();
+  trace_job(trace::EventKind::kJobKill, r.job,
+            static_cast<std::int64_t>(reason), r.start);
+  machine_.release(r.job.cpus);
+  // Permanent profile delta: the victim's remaining reservation goes away
+  // (its origin-side history was already chopped by advance_origin).  A
+  // fault kill can race a same-instant completion estimate: when est_end
+  // == now nothing of the reservation lies in the future.
+  if ((in_pass_ || policy_.incremental_profile) && r.est_end > now) {
+    profile_.release(now, r.est_end, r.job.cpus);
+  }
+  killed_records_.push_back(JobRecord{r.job, r.start, now});
+  killed_pending_.insert(id);
+  if (r.job.interstitial()) ++stats_.interstitial_kills;
+  if (ISTC_TRACE_COUNTERS_ON(tracer_)) {
+    auto& c = tracer_->counters();
+    if (reason == KillReason::kPreempted) {
+      ++c.interstitial_killed;
+    } else {
+      ++(r.job.interstitial() ? c.fault_killed_interstitial
+                              : c.fault_killed_native);
+    }
+  }
+  running_.erase(it);
+  if (on_kill_) on_kill_(killed_records_.back(), reason);
+}
+
+bool BatchScheduler::preempt_for(const workload::Job& job, SimTime now) {
   // Youngest interstitial first: the least work is thrown away.
   std::vector<const Running*> victims;
   for (const auto& [id, r] : running_) {
@@ -338,23 +376,76 @@ bool BatchScheduler::preempt_for(const workload::Job& job, SimTime now,
               return a->job.id > b->job.id;
             });
   for (const Running* v : victims) {
-    if (profile.min_free(now, now + job.estimate) >= job.cpus) break;
-    const workload::JobId id = v->job.id;
-    trace_job(trace::EventKind::kJobKill, v->job, 0, v->start);
-    machine_.release(v->job.cpus);
-    // Permanent profile delta: the victim's remaining reservation goes away
-    // (its origin-side history was already chopped by advance_origin).
-    profile.release(now, v->est_end, v->job.cpus);
-    killed_records_.push_back(JobRecord{v->job, v->start, now});
-    killed_pending_.insert(id);
-    ++stats_.interstitial_kills;
-    if (ISTC_TRACE_COUNTERS_ON(tracer_)) {
-      ++tracer_->counters().interstitial_killed;
-    }
-    running_.erase(id);  // invalidates v; loop continues with others
-    if (on_kill_) on_kill_(killed_records_.back());
+    if (profile_.min_free(now, now + job.estimate) >= job.cpus) break;
+    kill_running_job(v->job.id, KillReason::kPreempted);  // invalidates v
   }
-  return profile.min_free(now, now + job.estimate) >= job.cpus;
+  return profile_.min_free(now, now + job.estimate) >= job.cpus;
+}
+
+std::vector<JobRecord> BatchScheduler::fail_capacity(int cpus, SimTime until,
+                                                     KillReason reason) {
+  const SimTime now = engine_.now();
+  ISTC_EXPECTS(until > now);
+  ISTC_EXPECTS(reason != KillReason::kPreempted);
+  // Overlapping failures compose: a second fault can only take down what
+  // is still up.
+  cpus = std::min(cpus, machine_.total_cpus() - failed_cpus_);
+  if (cpus <= 0) return {};
+  const std::size_t first_killed = killed_records_.size();
+  if (machine_.free_cpus() < cpus) {
+    // Youngest running job first (least work lost), natives and
+    // interstitials alike: an unplanned failure spares nobody.  Sorted
+    // (not map order) so fault schedules are deterministic.
+    std::vector<std::pair<SimTime, workload::JobId>> victims;
+    victims.reserve(running_.size());
+    for (const auto& [id, r] : running_) victims.emplace_back(r.start, id);
+    std::sort(victims.begin(), victims.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second > b.second;
+              });
+    for (const auto& [start, id] : victims) {
+      if (machine_.free_cpus() >= cpus) break;
+      kill_running_job(id, reason);
+    }
+  }
+  ISTC_ASSERT(machine_.free_cpus() >= cpus);
+  machine_.allocate(cpus);
+  failed_cpus_ += cpus;
+  // The downed capacity is a reservation ending at the repair time, so
+  // backfill plans around the outage exactly like around running jobs.
+  if (in_pass_ || policy_.incremental_profile) {
+    profile_.reserve(now, until, cpus);
+  }
+  outages_.push_back(CapacityOutage{cpus, until});
+  const int restore = cpus;
+  engine_.schedule(until,
+                   [this, restore, until] { restore_capacity(restore, until); });
+  return {killed_records_.begin() +
+              static_cast<std::ptrdiff_t>(first_killed),
+          killed_records_.end()};
+}
+
+void BatchScheduler::restore_capacity(int cpus, SimTime until) {
+  machine_.release(cpus);
+  failed_cpus_ -= cpus;
+  ISTC_ASSERT(failed_cpus_ >= 0);
+  for (auto it = outages_.begin(); it != outages_.end(); ++it) {
+    if (it->cpus == cpus && it->until == until) {
+      outages_.erase(it);
+      break;
+    }
+  }
+  // The matching profile reservation ran [failure, until) and expires at
+  // this very instant — no release needed; the quiescent pass that follows
+  // this event re-dispatches onto the restored CPUs.
+  if (ISTC_TRACE_EVENTS_ON(tracer_)) {
+    trace::TraceEvent e;
+    e.time = engine_.now();
+    e.kind = trace::EventKind::kFaultRepair;
+    e.cpus = cpus;
+    tracer_->record(e);
+  }
 }
 
 bool BatchScheduler::try_start_immediately(const workload::Job& job) {

@@ -126,14 +126,31 @@ class BatchScheduler : private sim::JobEventSink {
   /// driver lives here.  At most one hook.
   void set_post_pass_hook(std::function<void(const PassContext&)> hook);
 
-  /// Hook invoked whenever preemption kills an interstitial job (record's
-  /// end is the kill time).  The driver uses it for checkpoint/restart
-  /// accounting.  At most one hook.
-  void set_kill_hook(std::function<void(const JobRecord&)> hook);
+  /// Hook invoked whenever a running job is killed before completion —
+  /// preemption or an unplanned failure; the record's end is the kill time
+  /// and the reason says which path killed it.  The driver uses it for
+  /// retry / checkpoint-restart accounting.  At most one hook; it fires
+  /// exactly once per entry appended to RunResult::killed.
+  void set_kill_hook(std::function<void(const JobRecord&, KillReason)> hook);
 
   /// Start a job right now, bypassing the queue (interstitial path).
   /// Returns false if it does not fit (space, downtime, or time-of-day).
   bool try_start_immediately(const workload::Job& job);
+
+  /// Unplanned failure (fault::FaultInjector): take `cpus` CPUs offline
+  /// until `until`, killing running jobs youngest-first — natives and
+  /// interstitials alike, a crash spares nobody — when the free pool is
+  /// short.  Kill records (end = kill time) land in RunResult::killed, the
+  /// kill hook fires per victim with `reason`, and the returned copies let
+  /// the injector requeue natives.  The free-CPU profile sees the capacity
+  /// loss immediately; repair is self-scheduled and restores the CPUs at
+  /// `until`.  The requested width is clamped to the capacity still up, so
+  /// overlapping failures compose.
+  std::vector<JobRecord> fail_capacity(int cpus, SimTime until,
+                                       KillReason reason);
+
+  /// CPUs currently held offline by unplanned failures.
+  int failed_cpus() const { return failed_cpus_; }
 
   /// Wake the scheduler at time t (schedules a no-op event; passes run
   /// after every event timestamp).  Deduplicated: if a wake is already
@@ -200,6 +217,14 @@ class BatchScheduler : private sim::JobEventSink {
     int cpus = 0;
   };
 
+  /// Capacity held offline by an unplanned failure until its repair time;
+  /// rebuild-mode profiles must re-reserve these (they are not running
+  /// jobs), and restore_capacity erases the entry when the repair fires.
+  struct CapacityOutage {
+    int cpus = 0;
+    SimTime until = 0;
+  };
+
   /// The scheduling pass (engine quiescent hook): advance/rebuild the
   /// profile, then run the stage pipeline.
   void pass(SimTime now);
@@ -232,11 +257,19 @@ class BatchScheduler : private sim::JobEventSink {
   /// killed every running interstitial job?  (space, downtime, gating).
   bool could_start_with_kills(const workload::Job& job, SimTime now) const;
 
-  /// Kill youngest-first interstitial jobs, releasing them from `profile`,
-  /// until `job` fits at `now` per the profile; returns false (killing
-  /// nothing further helps) if the fit never materializes.
-  bool preempt_for(const workload::Job& job, SimTime now,
-                   ResourceProfile& profile);
+  /// Kill youngest-first interstitial jobs, releasing them from the
+  /// profile, until `job` fits at `now` per the profile; returns false
+  /// (killing nothing further helps) if the fit never materializes.
+  bool preempt_for(const workload::Job& job, SimTime now);
+
+  /// Kill one running job: release its CPUs and profile remainder, append
+  /// the kill record, mark its stale completion event, and fire the kill
+  /// hook.  Shared by preemption and fail_capacity.
+  void kill_running_job(workload::JobId id, KillReason reason);
+
+  /// Repair event for one fail_capacity outage: give the CPUs back (the
+  /// matching profile reservation expires at the same instant).
+  void restore_capacity(int cpus, SimTime until);
 
   /// Allocate CPUs, apply the profile delta, schedule completion.
   void start_job(const workload::Job& job, SimTime now);
@@ -272,7 +305,7 @@ class BatchScheduler : private sim::JobEventSink {
   std::vector<JobRecord> records_;
   std::vector<JobRecord> killed_records_;
   std::function<void(const PassContext&)> post_pass_;
-  std::function<void(const JobRecord&)> on_kill_;
+  std::function<void(const JobRecord&, KillReason)> on_kill_;
   SchedulerStats stats_;
   trace::Tracer* tracer_ = nullptr;
   /// Reservation each waiting job last held, for honored/violated events.
@@ -298,6 +331,10 @@ class BatchScheduler : private sim::JobEventSink {
   /// wake_at dedups against the earliest of these.
   std::set<SimTime> queued_wakes_;
   bool in_pass_ = false;
+
+  /// Unrepaired fail_capacity outages (usually zero or one entry).
+  std::vector<CapacityOutage> outages_;
+  int failed_cpus_ = 0;
 };
 
 }  // namespace istc::sched

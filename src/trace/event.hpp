@@ -20,7 +20,7 @@ enum class EventKind : std::uint8_t {
   kJobSubmit,             ///< job entered the system (native or interstitial)
   kJobStart,              ///< job allocated CPUs and began running
   kJobFinish,             ///< job completed normally
-  kJobKill,               ///< interstitial job preempted by a native
+  kJobKill,               ///< running job killed (preemption or fault)
   kReservationMade,       ///< backfill reservation placed for a blocked job
   kReservationHonored,    ///< reserved job started at/before its reservation
   kReservationViolated,   ///< reserved job started after its reservation
@@ -28,6 +28,9 @@ enum class EventKind : std::uint8_t {
   kFairShareRecompute,    ///< per-pass dynamic re-prioritization
   kDowntimeBegin,         ///< scheduled outage window opens
   kDowntimeEnd,           ///< scheduled outage window closes
+  kMachineCrash,          ///< unplanned whole-machine crash (fault injection)
+  kNodeFailure,           ///< unplanned partial-capacity failure
+  kFaultRepair,           ///< failed capacity restored
 };
 
 /// Stable lower-case name used by every exporter ("job_start", ...).
@@ -41,7 +44,7 @@ const char* kind_name(EventKind kind);
 ///   kJobSubmit            (unused)                      estimate (s)
 ///   kJobStart             estimated end time            runtime (s)
 ///   kJobFinish            start time                    (unused)
-///   kJobKill              start time                    (unused)
+///   kJobKill              start time                    sched::KillReason
 ///   kReservationMade      reserved start time           (unused)
 ///   kReservationHonored   reserved start time           (unused)
 ///   kReservationViolated  reserved start time           start - reserved (s)
@@ -50,6 +53,12 @@ const char* kind_name(EventKind kind);
 ///   kFairShareRecompute   (unused)                      queue length
 ///   kDowntimeBegin        window end                    (unused)
 ///   kDowntimeEnd          window start                  (unused)
+///   kMachineCrash         repair (up-again) time        jobs killed
+///   kNodeFailure          repair (up-again) time        jobs killed
+///   kFaultRepair          failure time                  (unused)
+///
+/// For the fault kinds `cpus` carries the capacity taken down / restored,
+/// and kJobKill's value is the sched::KillReason of the kill.
 struct TraceEvent {
   SimTime time = 0;         ///< simulation time of the event
   std::uint64_t seq = 0;    ///< record order; (time, seq) is the total key

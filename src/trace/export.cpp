@@ -82,6 +82,14 @@ void jsonl_line(std::ostream& out, const TraceEvent& e) {
     case EventKind::kDowntimeEnd:
       out << ",\"since\":" << e.aux_time;
       break;
+    case EventKind::kMachineCrash:
+    case EventKind::kNodeFailure:
+      out << ",\"cpus\":" << e.cpus << ",\"repair\":" << e.aux_time
+          << ",\"killed\":" << e.value;
+      break;
+    case EventKind::kFaultRepair:
+      out << ",\"cpus\":" << e.cpus << ",\"failed_at\":" << e.aux_time;
+      break;
   }
   out << "}\n";
 }
@@ -232,6 +240,17 @@ void write_chrome_trace(std::ostream& out, const Tracer& tracer,
         lines.push_back(line.str());
         break;
       }
+      case EventKind::kMachineCrash:
+      case EventKind::kNodeFailure: {
+        std::ostringstream line;
+        line << "{\"name\":\"" << kind_name(e.kind)
+             << "\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"g\",\"pid\":"
+             << kSchedulerPid << ",\"tid\":2,\"ts\":" << e.time * kUsPerSecond
+             << ",\"args\":{\"cpus\":" << e.cpus << ",\"repair\":" << e.aux_time
+             << ",\"killed\":" << e.value << "}}";
+        lines.push_back(line.str());
+        break;
+      }
       default:
         break;  // submits, reservations, downtime ends: JSONL-only detail
     }
@@ -285,7 +304,14 @@ void write_counters_csv(const std::string& path,
               "engine_peak_queue_depth", "engine_max_timestep_batch",
               "engine_events_callback", "engine_events_job_submit",
               "engine_events_job_finish", "engine_events_wake",
-              "engine_heap_allocations"});
+              "engine_heap_allocations",
+              // Fault-injection counters (new columns append so existing
+              // consumers keep their offsets).
+              "faults_injected", "fault_crashes", "fault_node_failures",
+              "fault_killed_native", "fault_killed_interstitial",
+              "fault_cpu_sec_lost", "fault_cpu_sec_recovered",
+              "fault_native_resubmits", "fault_retries",
+              "fault_retries_exhausted"});
   csv.row({std::to_string(summary.events_recorded),
            std::to_string(summary.events_dropped),
            std::to_string(summary.engine_events_drained),
@@ -316,7 +342,17 @@ void write_counters_csv(const std::string& path,
            std::to_string(summary.engine_events_job_submit),
            std::to_string(summary.engine_events_job_finish),
            std::to_string(summary.engine_events_wake),
-           std::to_string(summary.engine_heap_allocations)});
+           std::to_string(summary.engine_heap_allocations),
+           std::to_string(summary.faults_injected),
+           std::to_string(summary.fault_crashes),
+           std::to_string(summary.fault_node_failures),
+           std::to_string(summary.fault_killed_native),
+           std::to_string(summary.fault_killed_interstitial),
+           std::to_string(summary.fault_cpu_sec_lost),
+           std::to_string(summary.fault_cpu_sec_recovered),
+           std::to_string(summary.fault_native_resubmits),
+           std::to_string(summary.fault_retries),
+           std::to_string(summary.fault_retries_exhausted)});
 }
 
 }  // namespace istc::trace

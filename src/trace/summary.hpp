@@ -71,6 +71,21 @@ struct TraceSummary {
   std::uint64_t interstitial_rejected_by_gate = 0;
   std::uint64_t interstitial_killed = 0;
 
+  // -- unplanned failures (fault::FaultInjector) --------------------------
+  std::uint64_t faults_injected = 0;       ///< crash + node-failure events
+  std::uint64_t fault_crashes = 0;         ///< whole-machine crashes
+  std::uint64_t fault_node_failures = 0;   ///< partial-capacity failures
+  std::uint64_t fault_killed_native = 0;   ///< native jobs killed by faults
+  std::uint64_t fault_killed_interstitial = 0;
+  /// CPU-seconds of executed work thrown away by fault kills (work since
+  /// the last checkpoint for checkpointing streams; everything otherwise).
+  std::uint64_t fault_cpu_sec_lost = 0;
+  /// CPU-seconds of executed work preserved by checkpoints across kills.
+  std::uint64_t fault_cpu_sec_recovered = 0;
+  std::uint64_t fault_native_resubmits = 0;  ///< killed natives re-queued
+  std::uint64_t fault_retries = 0;           ///< interstitial retry submissions
+  std::uint64_t fault_retries_exhausted = 0; ///< jobs abandoned after retries
+
   /// Mean scheduler-pass cost in µs (0 when no pass was timed).
   double mean_pass_us() const {
     return sched_passes == 0 ? 0.0

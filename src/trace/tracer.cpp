@@ -17,6 +17,9 @@ const char* kind_name(EventKind kind) {
     case EventKind::kFairShareRecompute: return "fairshare_recompute";
     case EventKind::kDowntimeBegin: return "downtime_begin";
     case EventKind::kDowntimeEnd: return "downtime_end";
+    case EventKind::kMachineCrash: return "machine_crash";
+    case EventKind::kNodeFailure: return "node_failure";
+    case EventKind::kFaultRepair: return "fault_repair";
   }
   return "unknown";
 }

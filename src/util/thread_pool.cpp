@@ -1,6 +1,8 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <exception>
 
 #include "util/assert.hpp"
 
@@ -50,7 +52,20 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    // Explicit std::terminate path.  An exception escaping here would
+    // terminate anyway (it leaves a thread entry function), but only after
+    // skipping the active_ decrement below — so a caller already blocked in
+    // wait_idle() could deadlock on the never-idle pool instead of dying.
+    // Fail fast and loudly; parallel_for's contract says task exceptions
+    // are programming errors, not recoverable events.
+    try {
+      task();
+    } catch (...) {
+      std::fputs(
+          "istc::ThreadPool: parallel_for task threw; terminating\n",
+          stderr);
+      std::terminate();
+    }
     {
       std::lock_guard lk(mu_);
       --active_;

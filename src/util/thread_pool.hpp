@@ -50,8 +50,11 @@ class ThreadPool {
 };
 
 /// Run fn(i) for i in [0, n) across the pool; blocks until done.
-/// Exceptions in tasks terminate (the experiment harness treats a failed
-/// replication as a programming error, not a recoverable event).
+/// Exceptions in tasks terminate via an explicit std::terminate in the
+/// worker loop — never silently, and never by deadlocking wait_idle (the
+/// experiment harness treats a failed replication as a programming error,
+/// not a recoverable event).  tests/util/test_thread_pool.cpp pins the
+/// death path.
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn);
 

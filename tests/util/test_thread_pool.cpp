@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -100,6 +101,25 @@ TEST(ThreadPool, ReusableAcrossBatches) {
   parallel_for(pool, 20, [&](std::size_t) { a.fetch_add(1); });
   EXPECT_EQ(a.load(), 30);
 }
+
+#ifdef GTEST_HAS_DEATH_TEST
+// A task that throws must terminate the process — loudly, via the explicit
+// std::terminate in worker_loop — rather than skip the active_ decrement
+// and leave wait_idle() blocked on a pool that never drains.  This suite is
+// named *DeathTest so the TSan CI filter (which cannot run fork-based death
+// tests) excludes it by name.
+TEST(ParallelForDeathTest, TaskExceptionTerminates) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        parallel_for(pool, 8, [](std::size_t i) {
+          if (i == 3) throw std::runtime_error("boom");
+        });
+      },
+      "parallel_for task threw");
+}
+#endif
 
 }  // namespace
 }  // namespace istc
