@@ -15,6 +15,7 @@
 #include "core/advisor.hpp"
 #include "core/driver.hpp"
 #include "core/experiment.hpp"
+#include "metrics/report.hpp"
 #include "metrics/utilization.hpp"
 #include "metrics/waits.hpp"
 #include "sched/scheduler.hpp"
@@ -42,6 +43,8 @@ int usage() {
       "               [--fault-node-cpus 128] [--fault-seed N]\n"
       "               [--retry-max 3] [--retry-backoff-s 300]\n"
       "               [--checkpoint-s 0]\n"
+      "               [--sample-interval-s 0] [--report run.json]\n"
+      "               [--series-csv series.csv]\n"
       "  istc plan    --site <...> --petacycles 7.7 [--max-delay-s 900]\n"
       "               [--max-breakage 1.10]\n"
       "  istc replay  --swf trace.swf [--cpus 1024] [--clock 1.0]\n"
@@ -107,6 +110,9 @@ void print_stage_timings(const trace::TraceSummary& s) {
               static_cast<unsigned long long>(s.sched_passes),
               s.mean_pass_us(),
               static_cast<unsigned long long>(s.sched_pass_us_max));
+  std::printf("  %-8s %8llu us over %llu runs\n", "setup",
+              static_cast<unsigned long long>(s.stage_setup_us),
+              static_cast<unsigned long long>(s.sched_passes));
   static constexpr const char* kStageNames[trace::TraceSummary::kNumStages] = {
       "priority", "dispatch", "backfill", "gate"};
   for (int i = 0; i < trace::TraceSummary::kNumStages; ++i) {
@@ -231,9 +237,43 @@ int cmd_harvest(const ArgParser& args) {
   sc.faults.seed = static_cast<std::uint64_t>(
       args.get_int_or("fault-seed", 0xFA1117));
   std::optional<trace::Tracer> tracer = make_tracer(args);
+  // Telemetry flags (see README, Telemetry): a report bridges the
+  // TraceSummary counters, so requesting one without any trace export
+  // still attaches a counters-only tracer (cheap: no event records).
+  const auto sample_s =
+      static_cast<Seconds>(args.get_int_or("sample-interval-s", 0));
+  const std::string report_path = args.get_or("report", "");
+  const std::string series_path = args.get_or("series-csv", "");
+  if (!tracer && !report_path.empty()) {
+    tracer.emplace(trace::TraceMode::kCountersOnly);
+  }
   if (tracer) sc.tracer = &*tracer;
+  metrics::SamplerConfig sampler_cfg;
+  sampler_cfg.interval = sample_s;
+  metrics::RunMetrics run_metrics(sampler_cfg);
+  if (!report_path.empty() || !series_path.empty() || sample_s > 0) {
+    sc.metrics = &run_metrics;
+  }
   const auto run = core::run_scenario(sc);
   if (tracer) export_traces(args, *tracer, run.machine);
+  if (sc.metrics != nullptr) {
+    const auto write = [](const char* what, const std::string& path,
+                          auto&& writer) {
+      if (path.empty()) return;
+      try {
+        writer(path);
+        std::printf("wrote %s to %s\n", what, path.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s export failed: %s\n", what, e.what());
+      }
+    };
+    write("run report", report_path, [&](const std::string& p) {
+      metrics::write_run_report_file(p, run, run_metrics);
+    });
+    write("series CSV", series_path, [&](const std::string& p) {
+      metrics::write_series_csv(p, run_metrics);
+    });
+  }
   print_run_summary("continual interstitial harvest", run);
   std::printf("\nbaseline for comparison:\n\n");
   print_run_summary("native-only baseline", core::native_baseline(*site));

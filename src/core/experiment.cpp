@@ -5,6 +5,7 @@
 #include "core/driver.hpp"
 #include "core/run_cache.hpp"
 #include "metrics/makespan.hpp"
+#include "metrics/report.hpp"
 #include "metrics/utilization.hpp"
 #include "sched/presets.hpp"
 #include "sched/scheduler.hpp"
@@ -57,8 +58,16 @@ sched::RunResult run_scenario(const Scenario& scenario) {
     injector.emplace(scheduler, faults);
   }
 
+  // Attached last so the sampler's first tick follows every constructor's
+  // initial events in sequence order; attach only observes the run.
+  if (scenario.metrics != nullptr) {
+    scenario.metrics->attach(engine, scheduler, cluster::site_span(site));
+  }
+
   engine.run();
-  return scheduler.take_result(cluster::site_span(site));
+  auto result = scheduler.take_result(cluster::site_span(site));
+  if (scenario.metrics != nullptr) scenario.metrics->ingest(result);
+  return result;
 }
 
 namespace {

@@ -22,6 +22,10 @@
 /// its own RNG stream keyed by the replication index, so results are
 /// independent of thread count.
 
+namespace istc::metrics {
+class RunMetrics;  // metrics/report.hpp
+}
+
 namespace istc::core {
 
 class RunCache;  // run_cache.hpp
@@ -62,6 +66,13 @@ struct Scenario {
   /// tracer and the RunResult carries its TraceSummary.  Not owned; must
   /// outlive the call.  Tracing never perturbs the schedule.
   trace::Tracer* tracer = nullptr;
+  /// Telemetry: when set, run_scenario attaches the RunMetrics (start hook
+  /// + optional sim-time sampler) before the run and ingests the result
+  /// after.  Not owned; must outlive the call.  With sampling disabled the
+  /// run is bit-identical to an unmetered one; with it enabled, sample
+  /// events are hook-transparent, so the schedule still is (pinned by
+  /// tests/metrics/test_sampler.cpp).
+  metrics::RunMetrics* metrics = nullptr;
 };
 
 /// Run a scenario to completion and collect all records.

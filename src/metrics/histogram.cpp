@@ -1,0 +1,14 @@
+#include "metrics/histogram.hpp"
+
+#include "util/assert.hpp"
+
+namespace istc::metrics {
+
+std::string bucket_label(int k) {
+  ISTC_EXPECTS(k >= 0 && k < Log2Histogram::kBuckets);
+  if (k == 0) return "0";
+  return "[" + std::to_string(Log2Histogram::bucket_lo(k)) + "," +
+         std::to_string(Log2Histogram::bucket_hi(k)) + ")";
+}
+
+}  // namespace istc::metrics

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+/// \file histogram.hpp
+/// Log-bucketed histogram with power-of-two buckets: allocation-free,
+/// integer-only, deterministic.  Bucket 0 holds the value 0; bucket k >= 1
+/// holds [2^(k-1), 2^k), so any uint64 lands somewhere and the index is a
+/// single std::bit_width.  This replaces the bespoke per-bench binning in
+/// the wait-histogram figures with one shared, tested implementation.
+
+namespace istc::metrics {
+
+class Log2Histogram {
+ public:
+  /// Bucket 0 plus one bucket per possible bit width (1..64).
+  static constexpr int kBuckets = 65;
+
+  /// Which bucket a value lands in: 0 -> 0, v -> bit_width(v) otherwise.
+  static constexpr int bucket_index(std::uint64_t v) {
+    return v == 0 ? 0 : static_cast<int>(std::bit_width(v));
+  }
+
+  /// Inclusive lower edge of bucket k (0 for buckets 0 and 1's edge is 1).
+  static constexpr std::uint64_t bucket_lo(int k) {
+    return k == 0 ? 0 : std::uint64_t{1} << (k - 1);
+  }
+
+  /// Exclusive upper edge of bucket k.  Bucket 64's true edge (2^64) does
+  /// not fit in a uint64; it is clamped to UINT64_MAX, whose value the
+  /// bucket does contain.
+  static constexpr std::uint64_t bucket_hi(int k) {
+    if (k == 0) return 1;
+    if (k >= 64) return ~std::uint64_t{0};
+    return std::uint64_t{1} << k;
+  }
+
+  void add(std::uint64_t v) {
+    ++counts_[bucket_index(v)];
+    ++total_;
+    sum_ += v;
+  }
+
+  std::uint64_t count(int k) const { return counts_[k]; }
+  std::uint64_t total() const { return total_; }
+  /// Sum of observed values (wraps past 2^64 like any uint64 — callers
+  /// observe bounded sim-time quantities for which that never triggers).
+  std::uint64_t sum() const { return sum_; }
+
+  /// First / last bucket with a nonzero count; -1 when empty.  Exporters
+  /// emit only this range so a 65-bucket histogram stays compact.
+  int first_nonzero() const {
+    for (int k = 0; k < kBuckets; ++k) {
+      if (counts_[k] != 0) return k;
+    }
+    return -1;
+  }
+  int last_nonzero() const {
+    for (int k = kBuckets - 1; k >= 0; --k) {
+      if (counts_[k] != 0) return k;
+    }
+    return -1;
+  }
+
+ private:
+  std::uint64_t counts_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+/// Human-readable bucket range, e.g. "0", "[1,2)", "[2,4)"; for tables.
+std::string bucket_label(int k);
+
+}  // namespace istc::metrics

@@ -1,0 +1,65 @@
+#include "metrics/registry.hpp"
+
+#include "util/assert.hpp"
+
+namespace istc::metrics {
+
+namespace {
+
+// Registration-time linear scan: instrument counts are tens, registration
+// happens once per run, and the flat vector keeps iteration ordered and
+// the hot path a raw index.
+template <class Vec>
+std::int64_t find_index(const Vec& v, std::string_view name) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i].name == name) return static_cast<std::int64_t>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+CounterId Registry::counter(std::string_view name, Determinism det) {
+  if (const auto i = find_index(counters_, name); i >= 0) {
+    ISTC_EXPECTS(counters_[static_cast<std::size_t>(i)].det == det);
+    return CounterId{static_cast<std::uint32_t>(i)};
+  }
+  counters_.push_back(Counter{std::string(name), det, 0});
+  return CounterId{static_cast<std::uint32_t>(counters_.size() - 1)};
+}
+
+GaugeId Registry::gauge(std::string_view name, Determinism det) {
+  if (const auto i = find_index(gauges_, name); i >= 0) {
+    ISTC_EXPECTS(gauges_[static_cast<std::size_t>(i)].det == det);
+    return GaugeId{static_cast<std::uint32_t>(i)};
+  }
+  gauges_.push_back(Gauge{std::string(name), det, 0});
+  return GaugeId{static_cast<std::uint32_t>(gauges_.size() - 1)};
+}
+
+HistogramId Registry::histogram(std::string_view name, Determinism det) {
+  if (const auto i = find_index(histograms_, name); i >= 0) {
+    ISTC_EXPECTS(histograms_[static_cast<std::size_t>(i)].det == det);
+    return HistogramId{static_cast<std::uint32_t>(i)};
+  }
+  histograms_.push_back(NamedHistogram{std::string(name), det, {}});
+  return HistogramId{static_cast<std::uint32_t>(histograms_.size() - 1)};
+}
+
+const Registry::Counter* Registry::find_counter(std::string_view name) const {
+  const auto i = find_index(counters_, name);
+  return i >= 0 ? &counters_[static_cast<std::size_t>(i)] : nullptr;
+}
+
+const Registry::Gauge* Registry::find_gauge(std::string_view name) const {
+  const auto i = find_index(gauges_, name);
+  return i >= 0 ? &gauges_[static_cast<std::size_t>(i)] : nullptr;
+}
+
+const Registry::NamedHistogram* Registry::find_histogram(
+    std::string_view name) const {
+  const auto i = find_index(histograms_, name);
+  return i >= 0 ? &histograms_[static_cast<std::size_t>(i)] : nullptr;
+}
+
+}  // namespace istc::metrics

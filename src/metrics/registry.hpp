@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "metrics/histogram.hpp"
+
+/// \file registry.hpp
+/// A registry of named counters, gauges, and log-bucketed histograms.
+///
+/// Registration (by name, idempotent) happens during setup and may
+/// allocate; the hot path — add / set / observe through an opaque id — is
+/// an array index, allocation-free.  Iteration is in registration order,
+/// so two equal-seed runs that register the same instruments serialize to
+/// byte-identical snapshots.
+///
+/// Determinism is a per-instrument property: sim-time derived values are
+/// kDeterministic and participate in golden comparisons; host-time
+/// measurements (`*_us` timers) are kWallClock and are excluded from the
+/// deterministic sections of a RunReport.
+
+namespace istc::metrics {
+
+enum class Determinism : std::uint8_t {
+  kDeterministic,  ///< sim-time derived; byte-stable for a given seed
+  kWallClock,      ///< host measurement; varies run to run
+};
+
+struct CounterId {
+  std::uint32_t index = 0;
+};
+struct GaugeId {
+  std::uint32_t index = 0;
+};
+struct HistogramId {
+  std::uint32_t index = 0;
+};
+
+class Registry {
+ public:
+  struct Counter {
+    std::string name;
+    Determinism det = Determinism::kDeterministic;
+    std::uint64_t value = 0;
+  };
+  struct Gauge {
+    std::string name;
+    Determinism det = Determinism::kDeterministic;
+    std::int64_t value = 0;
+  };
+  struct NamedHistogram {
+    std::string name;
+    Determinism det = Determinism::kDeterministic;
+    Log2Histogram hist;
+  };
+
+  /// Register (or look up) an instrument by name.  Re-registering an
+  /// existing name returns the same id; the determinism flag must match
+  /// (checked) — one name, one meaning.
+  CounterId counter(std::string_view name,
+                    Determinism det = Determinism::kDeterministic);
+  GaugeId gauge(std::string_view name,
+                Determinism det = Determinism::kDeterministic);
+  HistogramId histogram(std::string_view name,
+                        Determinism det = Determinism::kDeterministic);
+
+  // Hot path: plain array indexing, no lookup, no allocation.
+  void add(CounterId id, std::uint64_t delta = 1) {
+    counters_[id.index].value += delta;
+  }
+  void set_counter(CounterId id, std::uint64_t value) {
+    counters_[id.index].value = value;
+  }
+  void set(GaugeId id, std::int64_t value) { gauges_[id.index].value = value; }
+  void observe(HistogramId id, std::uint64_t value) {
+    histograms_[id.index].hist.add(value);
+  }
+
+  std::uint64_t counter_value(CounterId id) const {
+    return counters_[id.index].value;
+  }
+  std::int64_t gauge_value(GaugeId id) const { return gauges_[id.index].value; }
+  const Log2Histogram& histogram_ref(HistogramId id) const {
+    return histograms_[id.index].hist;
+  }
+
+  /// Snapshots in registration order (serialization / iteration).
+  const std::vector<Counter>& counters() const { return counters_; }
+  const std::vector<Gauge>& gauges() const { return gauges_; }
+  const std::vector<NamedHistogram>& histograms() const { return histograms_; }
+
+  /// Lookup by name (tests / ad-hoc consumers); nullptr when absent.
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const NamedHistogram* find_histogram(std::string_view name) const;
+
+ private:
+  std::vector<Counter> counters_;
+  std::vector<Gauge> gauges_;
+  std::vector<NamedHistogram> histograms_;
+};
+
+}  // namespace istc::metrics

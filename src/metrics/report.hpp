@@ -1,0 +1,103 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "metrics/registry.hpp"
+#include "metrics/sampler.hpp"
+#include "sched/record.hpp"
+
+/// \file report.hpp
+/// RunMetrics — the per-run telemetry bundle — and the unified RunReport.
+///
+/// A RunMetrics owns a Registry (completion histograms + job counters),
+/// optionally a SimSampler (when the config's interval > 0), and a bridge
+/// that copies every TraceSummary counter into the registry after the run.
+/// write_run_report() merges all of it into one JSON document; the
+/// deterministic sections are byte-identical across equal-seed runs, and
+/// wall-clock timers live in an explicitly separate section that
+/// ReportOptions can drop entirely.
+
+namespace istc::sim {
+class Engine;
+}
+namespace istc::sched {
+class BatchScheduler;
+}
+
+namespace istc::metrics {
+
+/// Integer bounded slowdown in milli-units:
+/// max(1000, 1000 * (wait + runtime) / max(runtime, tau)).  Pure int64
+/// arithmetic, so histograms of it are exactly reproducible.
+std::uint64_t bounded_slowdown_milli(Seconds wait, Seconds runtime,
+                                     Seconds tau = 10);
+
+class RunMetrics {
+ public:
+  /// Instruments are registered up front so two runs configured alike
+  /// serialize identically even if one saw no interstitial jobs.
+  explicit RunMetrics(SamplerConfig cfg = {});
+
+  Registry& registry() { return registry_; }
+  const Registry& registry() const { return registry_; }
+
+  /// The sampler, or nullptr when sampling is disabled / not attached.
+  const SimSampler* sampler() const {
+    return sampler_ ? &*sampler_ : nullptr;
+  }
+  Seconds sample_interval() const { return cfg_.interval; }
+
+  /// Wire into a live run: installs the scheduler start hook (interstice
+  /// width at interstitial dispatch) and, when the interval is set, the
+  /// sim-time sampler (stop defaults to `span`).  Both observe only —
+  /// attaching metrics never perturbs the schedule (pinned by tests).
+  void attach(sim::Engine& engine, sched::BatchScheduler& sched, SimTime span);
+
+  /// Fill completion histograms and job counters from a finished run, and
+  /// bridge its TraceSummary counters into the registry.
+  void ingest(const sched::RunResult& result);
+
+  /// Histogram-only ingestion of a record subset (e.g. the largest-5%
+  /// native jobs for the Fig. 6 analysis).
+  void ingest_records(std::span<const sched::JobRecord> records);
+
+ private:
+  SamplerConfig cfg_;
+  Registry registry_;
+  HistogramId native_wait_s_;
+  HistogramId interstitial_wait_s_;
+  HistogramId native_slowdown_milli_;
+  HistogramId interstice_cpus_at_dispatch_;
+  CounterId jobs_native_completed_;
+  CounterId jobs_interstitial_completed_;
+  CounterId jobs_killed_;
+  std::optional<SimSampler> sampler_;
+};
+
+struct ReportOptions {
+  /// Emit the "wall_clock" section (host-time counters).  OFF yields a
+  /// fully deterministic document — the form the determinism tests compare
+  /// byte for byte.
+  bool include_wall_clock = true;
+};
+
+/// The unified RunReport: one JSON document ("istc.run_report.v1") merging
+/// run identity, job totals, deterministic registry counters/gauges,
+/// histogram buckets, the sampled time series, and (optionally) the
+/// wall-clock counters.
+void write_run_report(std::ostream& out, const sched::RunResult& result,
+                      const RunMetrics& metrics,
+                      const ReportOptions& options = {});
+void write_run_report_file(const std::string& path,
+                           const sched::RunResult& result,
+                           const RunMetrics& metrics,
+                           const ReportOptions& options = {});
+
+/// The sampled series alone, as CSV (header = SimSampler::columns()).
+/// No-op with a warning row when the metrics carry no sampler.
+void write_series_csv(const std::string& path, const RunMetrics& metrics);
+
+}  // namespace istc::metrics

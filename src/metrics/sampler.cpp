@@ -1,0 +1,86 @@
+#include "metrics/sampler.hpp"
+
+#include <algorithm>
+
+#include "sched/scheduler.hpp"
+#include "sim/engine.hpp"
+#include "util/assert.hpp"
+
+namespace istc::metrics {
+
+const std::array<const char*, SimSampler::kNumSeries>& SimSampler::columns() {
+  static const std::array<const char*, kNumSeries> kColumns = {
+      "time_s",
+      "busy_native_cpus",
+      "busy_interstitial_cpus",
+      "free_cpus",
+      "offline_cpus",
+      "queue_native",
+      "running_native",
+      "running_interstitial",
+      "head_backfill_wall_s",
+      "interstice_cpus",
+      "interstice_hold_s",
+      "profile_steps",
+      "native_cpu_sec",
+      "interstitial_cpu_sec",
+      "dropped_before",
+  };
+  return kColumns;
+}
+
+SimSampler::SimSampler(sim::Engine& engine,
+                       const sched::BatchScheduler& sched, SamplerConfig cfg)
+    : engine_(engine), sched_(sched), cfg_(cfg) {
+  ISTC_EXPECTS(cfg_.interval > 0);
+  ISTC_EXPECTS(cfg_.max_samples > 0);
+  // An unbounded sampler would re-arm forever and the engine would never
+  // drain; callers must bound it (RunMetrics::attach uses the site span).
+  ISTC_EXPECTS(cfg_.stop != kTimeInfinity);
+  ISTC_EXPECTS(cfg_.stop > cfg_.start);
+  rows_.reserve(std::min<std::size_t>(
+      cfg_.max_samples,
+      static_cast<std::size_t>((cfg_.stop - cfg_.start) / cfg_.interval) + 2));
+  engine_.set_sample_hook([this](SimTime now) { tick(now); });
+  const SimTime first = cfg_.start + cfg_.interval;
+  engine_.schedule_sample(std::min(first, cfg_.stop));
+}
+
+void SimSampler::tick(SimTime now) {
+  const sched::SchedulerProbe p = sched_.probe();
+  ISTC_ASSERT(p.now == now);
+  if (rows_.size() < cfg_.max_samples) {
+    Row row;
+    row[0] = now;
+    row[1] = p.busy_native_cpus;
+    row[2] = p.busy_interstitial_cpus;
+    row[3] = p.free_cpus;
+    row[4] = p.offline_cpus;
+    row[5] = static_cast<std::int64_t>(p.queue_native);
+    row[6] = static_cast<std::int64_t>(p.running_native);
+    row[7] = static_cast<std::int64_t>(p.running_interstitial);
+    row[8] = p.head_backfill_wall;
+    row[9] = p.interstice_cpus;
+    row[10] = p.interstice_hold;
+    row[11] = static_cast<std::int64_t>(p.profile_steps);
+    row[12] = static_cast<std::int64_t>(p.native_cpu_sec -
+                                        last_native_cpu_sec_);
+    row[13] = static_cast<std::int64_t>(p.interstitial_cpu_sec -
+                                        last_interstitial_cpu_sec_);
+    row[14] = static_cast<std::int64_t>(dropped_);
+    rows_.push_back(row);
+  } else {
+    ++dropped_;
+  }
+  last_native_cpu_sec_ = p.native_cpu_sec;
+  last_interstitial_cpu_sec_ = p.interstitial_cpu_sec;
+  // Re-arm: next grid tick, or one final partial tick exactly at stop.
+  const SimTime next = now + cfg_.interval;
+  if (next <= cfg_.stop) {
+    engine_.schedule_sample(next);
+  } else if (now < cfg_.stop) {
+    engine_.schedule_sample(cfg_.stop);
+  }
+}
+
+}  // namespace istc::metrics

@@ -166,17 +166,20 @@ void GateStage::run(BatchScheduler& s, PassState& st) {
 
   s.in_pass_ = false;
 
-  if (s.post_pass_) {
-    PassContext ctx;
-    ctx.now = st.now;
-    ctx.free_cpus = s.machine_.free_cpus();
-    ctx.queue_empty = s.pending_.empty();
-    ctx.head_earliest_start =
-        s.pending_.empty() ? kTimeInfinity : st.head_earliest;
-    ctx.queue_earliest_start =
-        s.pending_.empty() ? kTimeInfinity : st.queue_earliest;
-    s.post_pass_(ctx);
-  }
+  // Snapshot the pass outcome unconditionally: the metrics probe reads the
+  // cached context (head backfill wall time) even when no post-pass hook
+  // is installed.
+  PassContext ctx;
+  ctx.now = st.now;
+  ctx.free_cpus = s.machine_.free_cpus();
+  ctx.queue_empty = s.pending_.empty();
+  ctx.head_earliest_start =
+      s.pending_.empty() ? kTimeInfinity : st.head_earliest;
+  ctx.queue_earliest_start =
+      s.pending_.empty() ? kTimeInfinity : st.queue_earliest;
+  s.last_pass_ = ctx;
+
+  if (s.post_pass_) s.post_pass_(ctx);
 }
 
 std::vector<std::unique_ptr<PassStage>> build_pipeline(

@@ -83,6 +83,28 @@ void ResourceProfile::release(SimTime start, SimTime end, int cpus) {
   coalesce(start, end);
 }
 
+SimTime ResourceProfile::next_change(SimTime t) const {
+  return step_at(t).until;
+}
+
+ResourceProfile::Step ResourceProfile::step_at(SimTime t) const {
+  ISTC_EXPECTS(t >= origin_);
+  // Fast path: t inside the first segment.  The sampler probes settled
+  // state, where every breakpoint at or before the probe time has already
+  // been consumed by a scheduler pass (advance_origin), so this is the
+  // common case — two node reads instead of a tree descent.
+  auto it = free_.begin();
+  if (auto second = std::next(it);
+      second != free_.end() && second->first <= t) {
+    it = std::prev(free_.upper_bound(t));
+  }
+  const int at_t = it->second;
+  for (++it; it != free_.end(); ++it) {
+    if (it->second != at_t) return {at_t, it->first};
+  }
+  return {at_t, kTimeInfinity};
+}
+
 void ResourceProfile::advance_origin(SimTime t) {
   ISTC_EXPECTS(t >= origin_);
   if (t == origin_) return;

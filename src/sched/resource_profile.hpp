@@ -41,6 +41,23 @@ class ResourceProfile {
   /// provided cpus <= capacity.
   SimTime earliest_fit(int cpus, Seconds duration, SimTime not_before) const;
 
+  /// First instant strictly after t at which the free-CPU value changes,
+  /// or kTimeInfinity when the function is constant from t onward.  The
+  /// metrics sampler reads this as "how long does the current interstice
+  /// hold"; equal-valued adjacent segments are skipped, so the answer is
+  /// segmentation-agnostic.
+  SimTime next_change(SimTime t) const;
+
+  /// The step in force at t: free CPUs plus the instant that value next
+  /// changes (kTimeInfinity when constant onward).  Equivalent to
+  /// {free_at(t), next_change(t)} in a single map descent — the sampler
+  /// probes this every tick, so the paired query is on the hot path.
+  struct Step {
+    int free;
+    SimTime until;
+  };
+  Step step_at(SimTime t) const;
+
   /// Advance the origin to t >= origin(), discarding breakpoints in the
   /// past.  The step function over [t, inf) is unchanged.  This is what
   /// keeps a pass-persistent profile from accumulating history: the

@@ -16,6 +16,7 @@ BatchScheduler::BatchScheduler(sim::Engine& engine, cluster::Machine machine,
       pipeline_(
           build_pipeline(policy_.backfill, policy_.preempt_interstitial)),
       profile_(engine_.now(), machine_.total_cpus()) {
+  busy_integral_at_ = engine_.now();
   engine_.set_job_sink(this);
   engine_.on_quiescent([this](SimTime now) { pass(now); });
 }
@@ -141,12 +142,32 @@ SimTime BatchScheduler::earliest_start(const ResourceProfile& profile,
   return kTimeInfinity;
 }
 
+void BatchScheduler::advance_busy_integrals(SimTime now) {
+  ISTC_ASSERT(now >= busy_integral_at_);
+  const SimTime dt = now - busy_integral_at_;
+  if (dt > 0) {
+    native_cpu_sec_ +=
+        static_cast<std::uint64_t>(busy_native_cpus_) * static_cast<std::uint64_t>(dt);
+    interstitial_cpu_sec_ += static_cast<std::uint64_t>(busy_interstitial_cpus_) *
+                             static_cast<std::uint64_t>(dt);
+    busy_integral_at_ = now;
+  }
+}
+
 void BatchScheduler::start_job(const workload::Job& job, SimTime now) {
+  advance_busy_integrals(now);
   if (job.interstitial()) {
     ++stats_.interstitial_starts;
+    busy_interstitial_cpus_ += job.cpus;
+    ++running_interstitial_;
   } else {
     ++stats_.native_starts;
+    busy_native_cpus_ += job.cpus;
+    ++running_native_;
   }
+  // Observational start hook: fires before the allocation so the reported
+  // free-CPU count is the interstice width this dispatch landed in.
+  if (on_start_) on_start_(job, machine_.free_cpus());
   trace_job(trace::EventKind::kJobStart, job, job.runtime, now + job.estimate);
   if (const auto it = reserved_start_.find(job.id);
       it != reserved_start_.end()) {
@@ -183,6 +204,14 @@ void BatchScheduler::complete_job(workload::JobId id, SimTime now) {
     return;
   }
   const Running& r = it->second;
+  advance_busy_integrals(now);
+  if (r.job.interstitial()) {
+    busy_interstitial_cpus_ -= r.job.cpus;
+    --running_interstitial_;
+  } else {
+    busy_native_cpus_ -= r.job.cpus;
+    --running_native_;
+  }
   trace_job(trace::EventKind::kJobFinish, r.job, 0, r.start);
   machine_.release(r.job.cpus);
   // Persistent-profile delta: return the estimated remainder.  When the
@@ -280,14 +309,60 @@ bool BatchScheduler::try_dispatch(const workload::Job& job, SimTime now,
   return false;
 }
 
+SchedulerProbe BatchScheduler::probe() const {
+  SchedulerProbe p;
+  const SimTime now = engine_.now();
+  p.now = now;
+  p.busy_native_cpus = busy_native_cpus_;
+  p.busy_interstitial_cpus = busy_interstitial_cpus_;
+  p.free_cpus = machine_.free_cpus();
+  p.offline_cpus = failed_cpus_;
+  p.queue_native = pending_.size();
+  p.running_native = running_native_;
+  p.running_interstitial = running_interstitial_;
+  if (!last_pass_.queue_empty &&
+      last_pass_.head_earliest_start != kTimeInfinity) {
+    // The head's earliest start was computed at the last pass; clamp in
+    // case the probe fires after that estimate has already arrived.
+    p.head_backfill_wall = std::max<SimTime>(0, last_pass_.head_earliest_start - now);
+  }
+  if (now >= profile_.origin()) {
+    const auto step = profile_.step_at(now);
+    p.interstice_cpus = step.free;
+    if (step.until != kTimeInfinity) p.interstice_hold = step.until - now;
+    p.profile_steps = profile_.steps();
+  }
+  // Project the lazily advanced integrals to now without mutating state.
+  const std::uint64_t dt = static_cast<std::uint64_t>(now - busy_integral_at_);
+  p.native_cpu_sec =
+      native_cpu_sec_ + static_cast<std::uint64_t>(busy_native_cpus_) * dt;
+  p.interstitial_cpu_sec =
+      interstitial_cpu_sec_ +
+      static_cast<std::uint64_t>(busy_interstitial_cpus_) * dt;
+  return p;
+}
+
 void BatchScheduler::pass(SimTime now) {
   ISTC_ASSERT(!in_pass_);
   in_pass_ = true;
   ++stats_.passes;
   stats_.max_queue_length = std::max(stats_.max_queue_length, pending_.size());
-  // Times the whole pass including the post-pass (interstitial) hook; the
-  // wall-clock cost lands in the summary only, never the event stream.
-  trace::ScopedPassTimer pass_timer(tracer_);
+  // Pass timing is one chained sequence of clock reads at segment
+  // boundaries, so stage_setup_us + sum(stage_us) == sched_pass_us_total
+  // holds exactly by construction (pinned by tests).  Wall-clock cost
+  // lands in the summary only, never the event stream.
+  const bool timed = ISTC_TRACE_COUNTERS_ON(tracer_);
+  std::uint64_t pass_us = 0;
+  std::chrono::steady_clock::time_point mark{};
+  if (timed) mark = std::chrono::steady_clock::now();
+  const auto lap = [&mark]() -> std::uint64_t {
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - mark)
+            .count());
+    mark = t1;
+    return us;
+  };
 
   // Wakes scheduled at or before this instant have fired.
   queued_wakes_.erase(queued_wakes_.begin(), queued_wakes_.upper_bound(now));
@@ -295,25 +370,32 @@ void BatchScheduler::pass(SimTime now) {
   prepare_profile(now);
 
   pass_state_.reset(now, pending_.size());
-  const bool timed = ISTC_TRACE_COUNTERS_ON(tracer_);
+  if (timed) {
+    const std::uint64_t us = lap();
+    tracer_->counters().stage_setup_us += us;
+    pass_us += us;
+  }
   for (const auto& stage : pipeline_) {
     ++stage->stats_.runs;
     if (!timed) {
       stage->run(*this, pass_state_);
       continue;
     }
-    const auto t0 = std::chrono::steady_clock::now();
     stage->run(*this, pass_state_);
-    const auto us = static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - t0)
-            .count());
+    const std::uint64_t us = lap();
     stage->stats_.us_total += us;
     stage->stats_.us_max = std::max(stage->stats_.us_max, us);
     auto& c = tracer_->counters();
     const auto slot = static_cast<int>(stage->kind());
     c.stage_us[slot] += us;
     ++c.stage_runs[slot];
+    pass_us += us;
+  }
+  if (timed) {
+    auto& c = tracer_->counters();
+    ++c.sched_passes;
+    c.sched_pass_us_total += pass_us;
+    c.sched_pass_us_max = std::max(c.sched_pass_us_max, pass_us);
   }
   // GateStage cleared in_pass_ and ran the post-pass hook.
   ISTC_ASSERT(!in_pass_);
@@ -338,6 +420,14 @@ void BatchScheduler::kill_running_job(workload::JobId id, KillReason reason) {
   ISTC_ASSERT(it != running_.end());
   const Running& r = it->second;
   const SimTime now = engine_.now();
+  advance_busy_integrals(now);
+  if (r.job.interstitial()) {
+    busy_interstitial_cpus_ -= r.job.cpus;
+    --running_interstitial_;
+  } else {
+    busy_native_cpus_ -= r.job.cpus;
+    --running_native_;
+  }
   trace_job(trace::EventKind::kJobKill, r.job,
             static_cast<std::int64_t>(reason), r.start);
   machine_.release(r.job.cpus);

@@ -104,6 +104,40 @@ struct SchedulerStats {
   std::size_t max_queue_length = 0;
 };
 
+/// Instantaneous scheduler state as seen by the metrics sampler.  Every
+/// field is sim-time derived, so equal-seed runs probe identical values.
+/// CPU accounting satisfies busy_native_cpus + busy_interstitial_cpus +
+/// free_cpus + offline_cpus == machine capacity at every instant (pinned
+/// by tests/metrics/test_sampler.cpp under a fault timeline).
+struct SchedulerProbe {
+  SimTime now = 0;
+  int busy_native_cpus = 0;         ///< CPUs held by running native jobs
+  int busy_interstitial_cpus = 0;   ///< CPUs held by running interstitials
+  int free_cpus = 0;                ///< idle, allocatable CPUs
+  int offline_cpus = 0;             ///< CPUs down from unplanned failures
+  std::size_t queue_native = 0;     ///< waiting native jobs
+  std::size_t running_native = 0;
+  std::size_t running_interstitial = 0;
+  /// Seconds until the head waiting job's earliest (estimate-based) start —
+  /// the paper's backfill wall time, from the most recent pass; -1 when no
+  /// job is blocked.
+  Seconds head_backfill_wall = -1;
+  /// Free CPUs per the free-CPU profile at `now` — the current interstice
+  /// width in the estimated schedule (equals free_cpus between passes when
+  /// incremental maintenance is on).
+  int interstice_cpus = 0;
+  /// Seconds until the free-CPU profile next changes value (how long the
+  /// current interstice holds, per estimates); -1 when constant forever.
+  Seconds interstice_hold = -1;
+  /// Breakpoints in the free-CPU profile (scheduling-state complexity).
+  std::size_t profile_steps = 0;
+  /// Cumulative busy CPU-seconds by class, projected to `now`.  Exact
+  /// integers; per-interval deltas reproduce metrics::utilization_series
+  /// numerators for kill-free runs.
+  std::uint64_t native_cpu_sec = 0;
+  std::uint64_t interstitial_cpu_sec = 0;
+};
+
 class BatchScheduler : private sim::JobEventSink {
  public:
   BatchScheduler(sim::Engine& engine, cluster::Machine machine,
@@ -125,6 +159,14 @@ class BatchScheduler : private sim::JobEventSink {
   /// Hook invoked after each native scheduling pass; the interstitial
   /// driver lives here.  At most one hook.
   void set_post_pass_hook(std::function<void(const PassContext&)> hook);
+
+  /// Hook invoked just before a job's CPUs are allocated, with the free-CPU
+  /// count at that instant (the interstice width an interstitial dispatch
+  /// landed in).  Purely observational — it must not touch the scheduler.
+  /// At most one hook; metrics::RunMetrics installs it.
+  void set_start_hook(std::function<void(const workload::Job&, int)> hook) {
+    on_start_ = std::move(hook);
+  }
 
   /// Hook invoked whenever a running job is killed before completion —
   /// preemption or an unplanned failure; the record's end is the kill time
@@ -184,6 +226,17 @@ class BatchScheduler : private sim::JobEventSink {
   /// The pass-persistent future free-CPU profile.  Between passes it
   /// describes running jobs only (reservations are pass-local).
   const ResourceProfile& profile() const { return profile_; }
+
+  /// Snapshot from the most recent completed scheduling pass (zero-valued
+  /// before the first pass).  Cached by GateStage whether or not a
+  /// post-pass hook is installed.
+  const PassContext& last_pass() const { return last_pass_; }
+
+  /// Instantaneous state probe for the metrics sampler; see SchedulerProbe.
+  /// Profile-derived fields (interstice_hold, profile_steps) reflect the
+  /// last pass when incremental maintenance is off (rebuild mode leaves the
+  /// profile stale between passes).
+  SchedulerProbe probe() const;
 
   /// Collect results; requires the simulation to have drained (no pending
   /// or running jobs).
@@ -274,6 +327,10 @@ class BatchScheduler : private sim::JobEventSink {
   /// Allocate CPUs, apply the profile delta, schedule completion.
   void start_job(const workload::Job& job, SimTime now);
 
+  /// Accumulate busy-CPU integrals up to `now` (lazy: called at every
+  /// start/complete/kill, i.e. whenever a busy count is about to change).
+  void advance_busy_integrals(SimTime now);
+
   /// Record a job-lifecycle trace event (no-op without a full tracer).
   void trace_job(trace::EventKind kind, const workload::Job& job,
                  std::int64_t value = 0, SimTime aux_time = 0);
@@ -306,7 +363,22 @@ class BatchScheduler : private sim::JobEventSink {
   std::vector<JobRecord> killed_records_;
   std::function<void(const PassContext&)> post_pass_;
   std::function<void(const JobRecord&, KillReason)> on_kill_;
+  std::function<void(const workload::Job&, int)> on_start_;
   SchedulerStats stats_;
+
+  // -- live utilization accounting (SchedulerProbe) ------------------------
+  // Busy CPUs by class plus lazily advanced cumulative busy integrals;
+  // the integral at time T is invariant to same-instant event ordering,
+  // which is what makes sampled series deterministic.
+  int busy_native_cpus_ = 0;
+  int busy_interstitial_cpus_ = 0;
+  std::size_t running_native_ = 0;
+  std::size_t running_interstitial_ = 0;
+  std::uint64_t native_cpu_sec_ = 0;
+  std::uint64_t interstitial_cpu_sec_ = 0;
+  SimTime busy_integral_at_ = 0;
+  /// Snapshot of the most recent pass (see last_pass()).
+  PassContext last_pass_;
   trace::Tracer* tracer_ = nullptr;
   /// Reservation each waiting job last held, for honored/violated events.
   std::unordered_map<workload::JobId, SimTime> reserved_start_;

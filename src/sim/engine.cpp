@@ -26,6 +26,10 @@ void Engine::dispatch(Event& e) {
       break;
     case EventType::kSchedulerWake:
       break;  // its entire effect is the quiescent pass that follows
+    case EventType::kSample:
+      // Never queued: the pending sample is the next_sample_ scalar and
+      // fires from drain_current_time (see Engine::schedule_sample).
+      break;
   }
 }
 
@@ -53,6 +57,9 @@ void Engine::sync_counters() {
   c.engine_events_wake = std::max(
       c.engine_events_wake, stats_.scheduled_by_type[static_cast<int>(
                                 EventType::kSchedulerWake)]);
+  c.engine_events_sample = std::max(
+      c.engine_events_sample, stats_.scheduled_by_type[static_cast<int>(
+                                  EventType::kSample)]);
 }
 
 void Engine::drain_current_time() {
@@ -65,9 +72,13 @@ void Engine::drain_current_time() {
   if (ISTC_TRACE_COUNTERS_ON(tracer_)) {
     ++tracer_->counters().engine_timesteps;
   }
+  // Claim the pending sample up front; it fires after the timestep
+  // settles, so it observes the post-pass state and its hook can re-arm.
+  const bool sample_due = next_sample_ == now_;
+  if (sample_due) next_sample_ = kTimeInfinity;
   for (;;) {
     bool fired = false;
-    while (!queue_empty() && queue_next_time() == now_) {
+    while (!heap_empty() && heap_next_time() == now_) {
       ++events_processed_;
       ++batch;
       if (ISTC_TRACE_COUNTERS_ON(tracer_)) {
@@ -82,11 +93,24 @@ void Engine::drain_current_time() {
       }
       fired = true;
     }
+    // Hook transparency: a timestamp reached only by the sample probes
+    // state but changes nothing, so the quiescent hooks (the scheduler
+    // pass) are skipped and the schedule is bit-identical to an unsampled
+    // run.
+    if (!fired && rounds == 0 && sample_due) break;
     if (!fired && rounds > 0) break;  // hooks already ran, nothing new
     for (auto& hook : hooks_) hook(now_);
     ++rounds;
     ISTC_ASSERT(rounds < kMaxRounds);
-    if (queue_empty() || queue_next_time() != now_) break;
+    if (heap_empty() || heap_next_time() != now_) break;
+  }
+  if (sample_due) {
+    ++events_processed_;
+    ++batch;
+    if (ISTC_TRACE_COUNTERS_ON(tracer_)) {
+      ++tracer_->counters().engine_events_drained;
+    }
+    if (sample_hook_) sample_hook_(now_);
   }
   if (batch > stats_.max_timestep_batch) stats_.max_timestep_batch = batch;
   stats_.heap_allocations = queue_.heap_allocations();

@@ -49,8 +49,9 @@ class JobEventSink {
 /// increments / compares) and mirrored into TraceSummary when a tracer
 /// with counters is attached.
 struct EngineStats {
-  /// Events scheduled, by EventType slot (callback, submit, finish, wake).
-  std::uint64_t scheduled_by_type[kNumEventTypes] = {0, 0, 0, 0};
+  /// Events scheduled, by EventType slot (callback, submit, finish, wake,
+  /// sample).
+  std::uint64_t scheduled_by_type[kNumEventTypes] = {};
   /// High-water mark of simultaneously queued events.
   std::size_t peak_queue_depth = 0;
   /// Largest number of events drained at one timestamp (including events
@@ -116,6 +117,32 @@ class Engine {
     schedule_typed(t, EventType::kSchedulerWake, 0);
   }
 
+  /// Schedule a metrics sample at t (metrics::SimSampler).  Unlike a wake,
+  /// a sample is *hook-transparent*: a timestamp reached only by the
+  /// sample invokes the sample hook but skips the quiescent hooks, so
+  /// periodic sampling never inserts extra scheduler passes (which would
+  /// shift gate decisions) and the schedule stays bit-identical to an
+  /// unsampled run in both queue modes.  The pending sample is a scalar
+  /// deadline beside the event heap, not a heap entry — re-arming every
+  /// tick costs two comparisons, never a sift through the (large,
+  /// submission-preloaded) heap.  At most one may be pending; the sampler
+  /// re-arms from its own hook, after the slot has been claimed.  When a
+  /// sample coincides with real events it fires last, observing the
+  /// settled post-pass state.
+  void schedule_sample(SimTime t) {
+    ISTC_EXPECTS(t >= now_);
+    ISTC_EXPECTS(next_sample_ == kTimeInfinity);
+    next_sample_ = t;
+    note_scheduled(EventType::kSample);
+  }
+
+  /// Receiver of kSample events (at most one; nullptr detaches).  The hook
+  /// must only observe — scheduling anything other than a future sample
+  /// from it would forfeit hook transparency.
+  void set_sample_hook(std::function<void(SimTime)> hook) {
+    sample_hook_ = std::move(hook);
+  }
+
   /// Register a hook invoked once per distinct timestamp after its events
   /// drain.  Hooks run in registration order and may schedule new events;
   /// events they add for the *current* time fire before the timestep ends
@@ -175,9 +202,19 @@ class Engine {
     if (depth > stats_.peak_queue_depth) stats_.peak_queue_depth = depth;
   }
 
-  bool queue_empty() const { return typed_ ? queue_.empty() : legacy_.empty(); }
-  SimTime queue_next_time() const {
+  /// Heap-only accessors (real events; the pending sample is separate).
+  bool heap_empty() const { return typed_ ? queue_.empty() : legacy_.empty(); }
+  SimTime heap_next_time() const {
     return typed_ ? queue_.next_time() : legacy_.next_time();
+  }
+
+  /// Overall next work item: real events merged with the pending sample.
+  bool queue_empty() const {
+    return heap_empty() && next_sample_ == kTimeInfinity;
+  }
+  SimTime queue_next_time() const {
+    const SimTime t = heap_empty() ? kTimeInfinity : heap_next_time();
+    return t < next_sample_ ? t : next_sample_;
   }
 
   void dispatch(Event& e);
@@ -189,6 +226,10 @@ class Engine {
   EventQueue queue_;
   LegacyEventQueue legacy_;
   JobEventSink* sink_ = nullptr;
+  std::function<void(SimTime)> sample_hook_;
+  /// The single pending sample deadline (kTimeInfinity = none); lives
+  /// beside the heap so per-tick re-arming is O(1) — see schedule_sample.
+  SimTime next_sample_ = kTimeInfinity;
   std::vector<std::function<void(SimTime)>> hooks_;
   SimTime now_ = 0;
   std::uint64_t events_processed_ = 0;

@@ -49,9 +49,10 @@ enum class EventType : std::uint8_t {
   kJobSubmit,      ///< arg = submission index (JobEventSink::job_submit)
   kJobFinish,      ///< arg = job id (JobEventSink::job_finish)
   kSchedulerWake,  ///< no payload; exists to trigger a quiescent pass
+  kSample,         ///< no payload; invokes the engine's sample hook only
 };
 
-inline constexpr int kNumEventTypes = 4;
+inline constexpr int kNumEventTypes = 5;
 
 /// Small-buffer storage for kCallback events.  Trivially copyable
 /// callables up to kInlineBytes live inline (the heap then relocates them

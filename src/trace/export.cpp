@@ -284,75 +284,76 @@ void write_chrome_trace_file(const std::string& path, const Tracer& tracer,
   write_chrome_trace(out, tracer, options);
 }
 
+std::vector<SummaryField> summary_fields(const TraceSummary& s) {
+  // Pinned column order of counters.csv: new fields append at the end so
+  // existing consumers keep their offsets.  Wall-clock (`*_us`) timers are
+  // flagged — they never participate in determinism comparisons.
+  return {
+      {"events_recorded", s.events_recorded, false},
+      {"events_dropped", s.events_dropped, false},
+      {"engine_events_drained", s.engine_events_drained, false},
+      {"engine_timesteps", s.engine_timesteps, false},
+      {"sched_passes", s.sched_passes, false},
+      {"sched_pass_us_total", s.sched_pass_us_total, true},
+      {"sched_pass_us_max", s.sched_pass_us_max, true},
+      {"backfill_scans", s.backfill_scans, false},
+      {"reservations_made", s.reservations_made, false},
+      {"reservations_honored", s.reservations_honored, false},
+      {"reservations_violated", s.reservations_violated, false},
+      {"gate_decisions", s.gate_decisions, false},
+      {"gate_open", s.gate_open, false},
+      {"gate_closed", s.gate_closed, false},
+      {"interstitial_submitted", s.interstitial_submitted, false},
+      {"interstitial_rejected_by_gate", s.interstitial_rejected_by_gate,
+       false},
+      {"interstitial_killed", s.interstitial_killed, false},
+      // Pass-pipeline stage timings (one slot per sched::StageKind).
+      {"stage_priority_us", s.stage_us[0], true},
+      {"stage_dispatch_us", s.stage_us[1], true},
+      {"stage_backfill_us", s.stage_us[2], true},
+      {"stage_gate_us", s.stage_us[3], true},
+      {"priority_recomputes", s.priority_recomputes, false},
+      {"priority_reuses", s.priority_reuses, false},
+      {"profile_rebuilds", s.profile_rebuilds, false},
+      // Engine event-core gauges (typed event queue).
+      {"engine_peak_queue_depth", s.engine_peak_queue_depth, false},
+      {"engine_max_timestep_batch", s.engine_max_timestep_batch, false},
+      {"engine_events_callback", s.engine_events_callback, false},
+      {"engine_events_job_submit", s.engine_events_job_submit, false},
+      {"engine_events_job_finish", s.engine_events_job_finish, false},
+      {"engine_events_wake", s.engine_events_wake, false},
+      {"engine_heap_allocations", s.engine_heap_allocations, false},
+      // Fault-injection counters.
+      {"faults_injected", s.faults_injected, false},
+      {"fault_crashes", s.fault_crashes, false},
+      {"fault_node_failures", s.fault_node_failures, false},
+      {"fault_killed_native", s.fault_killed_native, false},
+      {"fault_killed_interstitial", s.fault_killed_interstitial, false},
+      {"fault_cpu_sec_lost", s.fault_cpu_sec_lost, false},
+      {"fault_cpu_sec_recovered", s.fault_cpu_sec_recovered, false},
+      {"fault_native_resubmits", s.fault_native_resubmits, false},
+      {"fault_retries", s.fault_retries, false},
+      {"fault_retries_exhausted", s.fault_retries_exhausted, false},
+      // Telemetry layer (appended).
+      {"stage_setup_us", s.stage_setup_us, true},
+      {"engine_events_sample", s.engine_events_sample, false},
+  };
+}
+
 void write_counters_csv(const std::string& path,
                         const TraceSummary& summary) {
+  const auto fields = summary_fields(summary);
+  std::vector<std::string> names;
+  std::vector<std::string> values;
+  names.reserve(fields.size());
+  values.reserve(fields.size());
+  for (const SummaryField& f : fields) {
+    names.emplace_back(f.name);
+    values.push_back(std::to_string(f.value));
+  }
   CsvWriter csv(path);
-  csv.header({"events_recorded", "events_dropped", "engine_events_drained",
-              "engine_timesteps", "sched_passes", "sched_pass_us_total",
-              "sched_pass_us_max", "backfill_scans", "reservations_made",
-              "reservations_honored", "reservations_violated",
-              "gate_decisions", "gate_open", "gate_closed",
-              "interstitial_submitted", "interstitial_rejected_by_gate",
-              "interstitial_killed",
-              // Pass-pipeline stage timings (one slot per sched::StageKind;
-              // new columns append so existing consumers keep their offsets).
-              "stage_priority_us", "stage_dispatch_us", "stage_backfill_us",
-              "stage_gate_us", "priority_recomputes", "priority_reuses",
-              "profile_rebuilds",
-              // Engine event-core gauges (typed event queue; new columns
-              // append so existing consumers keep their offsets).
-              "engine_peak_queue_depth", "engine_max_timestep_batch",
-              "engine_events_callback", "engine_events_job_submit",
-              "engine_events_job_finish", "engine_events_wake",
-              "engine_heap_allocations",
-              // Fault-injection counters (new columns append so existing
-              // consumers keep their offsets).
-              "faults_injected", "fault_crashes", "fault_node_failures",
-              "fault_killed_native", "fault_killed_interstitial",
-              "fault_cpu_sec_lost", "fault_cpu_sec_recovered",
-              "fault_native_resubmits", "fault_retries",
-              "fault_retries_exhausted"});
-  csv.row({std::to_string(summary.events_recorded),
-           std::to_string(summary.events_dropped),
-           std::to_string(summary.engine_events_drained),
-           std::to_string(summary.engine_timesteps),
-           std::to_string(summary.sched_passes),
-           std::to_string(summary.sched_pass_us_total),
-           std::to_string(summary.sched_pass_us_max),
-           std::to_string(summary.backfill_scans),
-           std::to_string(summary.reservations_made),
-           std::to_string(summary.reservations_honored),
-           std::to_string(summary.reservations_violated),
-           std::to_string(summary.gate_decisions),
-           std::to_string(summary.gate_open),
-           std::to_string(summary.gate_closed),
-           std::to_string(summary.interstitial_submitted),
-           std::to_string(summary.interstitial_rejected_by_gate),
-           std::to_string(summary.interstitial_killed),
-           std::to_string(summary.stage_us[0]),
-           std::to_string(summary.stage_us[1]),
-           std::to_string(summary.stage_us[2]),
-           std::to_string(summary.stage_us[3]),
-           std::to_string(summary.priority_recomputes),
-           std::to_string(summary.priority_reuses),
-           std::to_string(summary.profile_rebuilds),
-           std::to_string(summary.engine_peak_queue_depth),
-           std::to_string(summary.engine_max_timestep_batch),
-           std::to_string(summary.engine_events_callback),
-           std::to_string(summary.engine_events_job_submit),
-           std::to_string(summary.engine_events_job_finish),
-           std::to_string(summary.engine_events_wake),
-           std::to_string(summary.engine_heap_allocations),
-           std::to_string(summary.faults_injected),
-           std::to_string(summary.fault_crashes),
-           std::to_string(summary.fault_node_failures),
-           std::to_string(summary.fault_killed_native),
-           std::to_string(summary.fault_killed_interstitial),
-           std::to_string(summary.fault_cpu_sec_lost),
-           std::to_string(summary.fault_cpu_sec_recovered),
-           std::to_string(summary.fault_native_resubmits),
-           std::to_string(summary.fault_retries),
-           std::to_string(summary.fault_retries_exhausted)});
+  csv.header(names);
+  csv.row(values);
 }
 
 }  // namespace istc::trace

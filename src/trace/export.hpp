@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "trace/summary.hpp"
 #include "trace/tracer.hpp"
@@ -36,7 +38,24 @@ void write_chrome_trace(std::ostream& out, const Tracer& tracer,
 void write_chrome_trace_file(const std::string& path, const Tracer& tracer,
                              const ChromeTraceOptions& options);
 
-/// Counter dump: one header row, one value row (util/csv formatting).
+/// One named TraceSummary field.  `wall_clock` marks host-time (`*_us`)
+/// measurements, which are not deterministic across runs; everything else
+/// is sim-time derived and byte-stable for a given seed.
+struct SummaryField {
+  const char* name;
+  std::uint64_t value;
+  bool wall_clock;
+};
+
+/// Every TraceSummary counter as an ordered (name, value, wall_clock)
+/// table.  This is the single enumeration both the counters.csv exporter
+/// and the metrics registry bridge consume, so a counter added here shows
+/// up everywhere at once.  Order is pinned: new fields append at the end,
+/// so existing CSV consumers keep their column offsets.
+std::vector<SummaryField> summary_fields(const TraceSummary& summary);
+
+/// Counter dump: one header row, one value row (util/csv formatting);
+/// columns are summary_fields() in order.
 void write_counters_csv(const std::string& path, const TraceSummary& summary);
 
 }  // namespace istc::trace

@@ -33,6 +33,7 @@ struct TraceSummary {
   std::uint64_t engine_events_job_submit = 0;  ///< typed job-submit events
   std::uint64_t engine_events_job_finish = 0;  ///< typed job-finish events
   std::uint64_t engine_events_wake = 0;        ///< scheduler-wake events
+  std::uint64_t engine_events_sample = 0;      ///< metrics-sample events
   /// Typed-queue heap allocations (vector growth + boxed callbacks);
   /// zero in steady state on the typed path, 0 (unknowable) in legacy mode.
   std::uint64_t engine_heap_allocations = 0;
@@ -48,11 +49,14 @@ struct TraceSummary {
 
   // -- scheduler pipeline stages (one slot per sched::StageKind) ----------
   // Wall µs spent inside each pass stage, and how often the stage ran.
-  // stage_us sums to slightly less than sched_pass_us_total (the remainder
-  // is pass setup: profile origin-advance and the paranoid cross-check).
+  // Pass setup (wake pruning, profile origin-advance, the paranoid
+  // cross-check) is timed into its own stage_setup_us slot, so
+  // stage_setup_us + sum(stage_us) == sched_pass_us_total holds exactly
+  // (pinned by tests/trace/test_determinism.cpp).
   static constexpr int kNumStages = 4;
   std::uint64_t stage_us[kNumStages] = {0, 0, 0, 0};
   std::uint64_t stage_runs[kNumStages] = {0, 0, 0, 0};
+  std::uint64_t stage_setup_us = 0;  ///< pre-stage pass setup, wall µs
 
   // -- incremental scheduling state --------------------------------------
   /// Passes that re-sorted the queue because the fair-share ledger or the

@@ -1,0 +1,97 @@
+// Log2Histogram: the bucket map must agree with a naive edge-scanning
+// binner on every value class — the property that lets the figure benches
+// replace their bespoke binning with the shared histogram.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "metrics/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace istc::metrics {
+namespace {
+
+/// Naive reference: linear scan over [bucket_lo, bucket_hi) edges.
+int naive_bucket(std::uint64_t v) {
+  for (int k = 0; k < Log2Histogram::kBuckets; ++k) {
+    const bool last = k == Log2Histogram::kBuckets - 1;
+    if (v >= Log2Histogram::bucket_lo(k) &&
+        (last || v < Log2Histogram::bucket_hi(k))) {
+      return k;
+    }
+  }
+  return -1;
+}
+
+TEST(Log2Histogram, BucketIndexMatchesNaiveBinnerOnEdges) {
+  // 0 and 1 are their own buckets; every power of two starts a bucket.
+  EXPECT_EQ(Log2Histogram::bucket_index(0), 0);
+  EXPECT_EQ(Log2Histogram::bucket_index(1), 1);
+  for (int p = 1; p < 64; ++p) {
+    const std::uint64_t pow = std::uint64_t{1} << p;
+    for (const std::uint64_t v : {pow - 1, pow, pow + 1}) {
+      EXPECT_EQ(Log2Histogram::bucket_index(v), naive_bucket(v)) << v;
+    }
+  }
+  const auto max = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(Log2Histogram::bucket_index(max), 64);
+  EXPECT_EQ(naive_bucket(max), 64);
+}
+
+TEST(Log2Histogram, BucketIndexMatchesNaiveBinnerOnRandomValues) {
+  Rng rng(0x10c2);
+  for (int i = 0; i < 20000; ++i) {
+    // Uniform over bit widths, then uniform within the width — plain
+    // uniform u64 would almost never land in the small buckets.
+    const int width = static_cast<int>(rng.below(65));
+    const std::uint64_t lo =
+        width == 0 ? 0 : std::uint64_t{1} << (width - 1);
+    const std::uint64_t v = width == 0 ? 0 : lo + rng.below(lo);
+    EXPECT_EQ(Log2Histogram::bucket_index(v), naive_bucket(v)) << v;
+  }
+}
+
+TEST(Log2Histogram, EveryBucketContainsItsOwnEdges) {
+  for (int k = 0; k < Log2Histogram::kBuckets; ++k) {
+    EXPECT_EQ(Log2Histogram::bucket_index(Log2Histogram::bucket_lo(k)), k);
+    if (k < 64) {
+      EXPECT_EQ(Log2Histogram::bucket_index(Log2Histogram::bucket_hi(k) - 1),
+                k);
+      EXPECT_LT(Log2Histogram::bucket_lo(k), Log2Histogram::bucket_hi(k));
+    } else {
+      // Bucket 64's exclusive edge does not fit in uint64; the clamped
+      // edge value itself belongs to the bucket.
+      EXPECT_EQ(Log2Histogram::bucket_index(Log2Histogram::bucket_hi(k)), k);
+    }
+  }
+}
+
+TEST(Log2Histogram, AddAccumulatesCountsTotalsAndSum) {
+  Log2Histogram h;
+  EXPECT_EQ(h.first_nonzero(), -1);
+  EXPECT_EQ(h.last_nonzero(), -1);
+  h.add(0);
+  h.add(1);
+  h.add(5);
+  h.add(5);
+  h.add(1023);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.sum(), 0u + 1 + 5 + 5 + 1023);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(3), 2u);   // [4,8)
+  EXPECT_EQ(h.count(10), 1u);  // [512,1024)
+  EXPECT_EQ(h.first_nonzero(), 0);
+  EXPECT_EQ(h.last_nonzero(), 10);
+}
+
+TEST(Log2Histogram, BucketLabelsSpellTheRanges) {
+  EXPECT_EQ(bucket_label(0), "0");
+  EXPECT_EQ(bucket_label(1), "[1,2)");
+  EXPECT_EQ(bucket_label(4), "[8,16)");
+}
+
+}  // namespace
+}  // namespace istc::metrics

@@ -1,0 +1,82 @@
+// Registry: idempotent by-name registration, array-indexed hot path,
+// registration-order iteration (the property the byte-stable RunReport
+// serialization rests on), and per-instrument determinism flags.
+
+#include <gtest/gtest.h>
+
+#include "metrics/registry.hpp"
+
+namespace istc::metrics {
+namespace {
+
+TEST(Registry, RegistrationIsIdempotentByName) {
+  Registry reg;
+  const CounterId a = reg.counter("passes");
+  const CounterId b = reg.counter("passes");
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(reg.counters().size(), 1u);
+
+  const HistogramId h1 = reg.histogram("wait_s");
+  const HistogramId h2 = reg.histogram("wait_s");
+  EXPECT_EQ(h1.index, h2.index);
+  EXPECT_EQ(reg.histograms().size(), 1u);
+
+  // Counters, gauges, and histograms are separate namespaces.
+  const GaugeId g = reg.gauge("passes");
+  EXPECT_EQ(reg.gauges().size(), 1u);
+  EXPECT_EQ(g.index, 0u);
+}
+
+TEST(Registry, IterationFollowsRegistrationOrder) {
+  Registry reg;
+  reg.counter("zulu");
+  reg.counter("alpha");
+  reg.counter("mike");
+  ASSERT_EQ(reg.counters().size(), 3u);
+  EXPECT_EQ(reg.counters()[0].name, "zulu");
+  EXPECT_EQ(reg.counters()[1].name, "alpha");
+  EXPECT_EQ(reg.counters()[2].name, "mike");
+}
+
+TEST(Registry, HotPathAccumulatesThroughIds) {
+  Registry reg;
+  const CounterId c = reg.counter("events");
+  const GaugeId g = reg.gauge("depth");
+  const HistogramId h = reg.histogram("sizes");
+  reg.add(c);
+  reg.add(c, 41);
+  reg.set(g, -7);
+  reg.observe(h, 3);
+  reg.observe(h, 300);
+  EXPECT_EQ(reg.counter_value(c), 42u);
+  EXPECT_EQ(reg.gauge_value(g), -7);
+  EXPECT_EQ(reg.histogram_ref(h).total(), 2u);
+  EXPECT_EQ(reg.histogram_ref(h).sum(), 303u);
+  reg.set_counter(c, 5);
+  EXPECT_EQ(reg.counter_value(c), 5u);
+}
+
+TEST(Registry, FindByNameReturnsInstrumentOrNull) {
+  Registry reg;
+  reg.counter("present", Determinism::kWallClock);
+  const auto* c = reg.find_counter("present");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->name, "present");
+  EXPECT_EQ(c->det, Determinism::kWallClock);
+  EXPECT_EQ(reg.find_counter("absent"), nullptr);
+  EXPECT_EQ(reg.find_gauge("present"), nullptr);
+  EXPECT_EQ(reg.find_histogram("present"), nullptr);
+}
+
+TEST(Registry, DeterminismFlagSticksToFirstRegistration) {
+  Registry reg;
+  reg.counter("pass_us", Determinism::kWallClock);
+  // Re-registering with the same flag is the idempotent lookup.
+  reg.counter("pass_us", Determinism::kWallClock);
+  const auto* c = reg.find_counter("pass_us");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->det, Determinism::kWallClock);
+}
+
+}  // namespace
+}  // namespace istc::metrics

@@ -14,6 +14,7 @@
 
 #include "cluster/downtime.hpp"
 #include "core/driver.hpp"
+#include "metrics/report.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/engine.hpp"
 #include "trace/export.hpp"
@@ -51,7 +52,8 @@ std::vector<workload::Job> random_natives(std::uint64_t seed) {
 }
 
 sched::RunResult run_miniature(std::uint64_t seed, Tracer* tracer,
-                               bool typed_events = true) {
+                               bool typed_events = true,
+                               metrics::RunMetrics* metrics = nullptr) {
   sim::Engine eng(typed_events);
   cluster::DowntimeCalendar cal({{2000, 2400}, {4500, 4800}});
   cluster::Machine machine(
@@ -66,6 +68,7 @@ sched::RunResult run_miniature(std::uint64_t seed, Tracer* tracer,
   core::ProjectSpec spec = core::ProjectSpec::continual_stream(8, 120, kSpan);
   spec.recovery = core::PreemptionRecovery::kCheckpoint;
   core::InterstitialDriver driver(s, spec, 10000);
+  if (metrics != nullptr) metrics->attach(eng, s, kSpan);
   eng.run();
   return s.take_result(kSpan);
 }
@@ -186,6 +189,69 @@ TEST(TraceDeterminism, EngineEventCoreGaugesReachSummary) {
   // The whole scheduler stack runs on typed events: nothing in the
   // miniature needs the type-erased callback fallback.
   EXPECT_EQ(s.engine_events_callback, 0u);
+}
+
+// Telemetry with sampling disabled is a pure observer: the golden
+// schedule hash — including sim_end — is untouched.
+TEST(TraceDeterminism, MetricsAttachedSamplerOffMatchesGolden) {
+  metrics::RunMetrics m;  // default config: interval 0, no sampler
+  const auto run = run_miniature(42, nullptr, true, &m);
+  EXPECT_EQ(hash_run(run), 0x4cb3857a75f8d6bfull);
+  EXPECT_EQ(m.sampler(), nullptr);
+  m.ingest(run);
+  const auto* c = m.registry().find_counter("jobs_native_completed");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value, run.native_count());
+}
+
+// With the sampler on, sample ticks are hook-transparent in both queue
+// modes (the pending sample is a scalar deadline beside the event heap,
+// never a heap entry): either way the schedule — every record and
+// kill — is bit-identical to the bare run.  Only sim_end may move (the
+// engine drains sample ticks out to the sampler stop), which is why this
+// compares records rather than the golden hash.
+TEST(TraceDeterminism, SamplingIsScheduleNeutral) {
+  const auto bare = run_miniature(42, nullptr);
+  auto same = [](const sched::JobRecord& x, const sched::JobRecord& y) {
+    return x.job.id == y.job.id && x.job.cpus == y.job.cpus &&
+           x.job.runtime == y.job.runtime && x.job.submit == y.job.submit &&
+           x.start == y.start && x.end == y.end &&
+           x.interstitial() == y.interstitial();
+  };
+  for (const bool typed : {true, false}) {
+    metrics::SamplerConfig cfg;
+    cfg.interval = 60;
+    metrics::RunMetrics m(cfg);
+    const auto sampled = run_miniature(42, nullptr, typed, &m);
+    ASSERT_NE(m.sampler(), nullptr);
+    // kSpan / 60 ticks, the last exactly on the stop.
+    EXPECT_EQ(m.sampler()->rows().size(), 100u) << "typed=" << typed;
+    ASSERT_EQ(sampled.records.size(), bare.records.size());
+    for (std::size_t i = 0; i < sampled.records.size(); ++i) {
+      EXPECT_TRUE(same(sampled.records[i], bare.records[i]))
+          << "typed=" << typed << " record " << i;
+    }
+    ASSERT_EQ(sampled.killed.size(), bare.killed.size());
+    for (std::size_t i = 0; i < sampled.killed.size(); ++i) {
+      EXPECT_TRUE(same(sampled.killed[i], bare.killed[i]))
+          << "typed=" << typed << " kill " << i;
+    }
+  }
+}
+
+// Pass setup is timed into its own slot, so the stage timers partition
+// the pass total exactly — no pass microsecond is unattributed.
+TEST(TraceDeterminism, StageTimersSumToPassTotal) {
+#if !ISTC_TRACING_ENABLED
+  GTEST_SKIP() << "tracing compiled out (ISTC_TRACING=OFF)";
+#endif
+  Tracer tracer(TraceMode::kCountersOnly);
+  run_miniature(42, &tracer);
+  const auto s = tracer.summary();
+  ASSERT_GT(s.sched_passes, 0u);
+  std::uint64_t sum = s.stage_setup_us;
+  for (int i = 0; i < TraceSummary::kNumStages; ++i) sum += s.stage_us[i];
+  EXPECT_EQ(sum, s.sched_pass_us_total);
 }
 
 TEST(TraceDeterminism, DifferentSeedsProduceDifferentTraces) {
