@@ -5,15 +5,26 @@
 
 #include "metrics/waits.hpp"
 #include "trace/summary.hpp"
+#include "util/thread_pool.hpp"
 
 namespace istc::bench {
 
 void print_preamble(const char* artifact, const char* description) {
+  // Benches take the pool width from the environment (the CLI uses
+  // --threads); either way the effective count lands in the header so a
+  // saved log pins the parallelism it ran with.
+  const char* env = std::getenv("ISTC_THREADS");
+  if (env && env[0] != '\0') {
+    const long n = std::atol(env);
+    if (n > 0) set_default_thread_count(static_cast<std::size_t>(n));
+  }
   std::printf("==============================================================\n");
   std::printf("%s\n", artifact);
   std::printf("%s\n", description);
   std::printf("Workload: synthetic logs calibrated to the paper's Table 1\n");
   std::printf("(shape reproduction; absolute values differ — EXPERIMENTS.md)\n");
+  std::printf("Threads: %zu (ISTC_THREADS or hardware)\n",
+              default_thread_count());
   std::printf("==============================================================\n\n");
 }
 

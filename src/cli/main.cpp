@@ -15,6 +15,8 @@
 #include "core/advisor.hpp"
 #include "core/driver.hpp"
 #include "core/experiment.hpp"
+#include "grid/fleet.hpp"
+#include "grid/report.hpp"
 #include "metrics/report.hpp"
 #include "metrics/utilization.hpp"
 #include "metrics/waits.hpp"
@@ -24,6 +26,7 @@
 #include "trace/tracer.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/presets.hpp"
 #include "workload/swf.hpp"
 
@@ -49,7 +52,13 @@ int usage() {
       "               [--max-breakage 1.10]\n"
       "  istc replay  --swf trace.swf [--cpus 1024] [--clock 1.0]\n"
       "               [--icpus 8] [--isec1ghz 120]\n"
+      "  istc grid    [--grid-machines ross,bluemtn,bluepac,synth1]\n"
+      "               [--broker-policy best-fit|round-robin|least-loaded]\n"
+      "               [--project-quota 0.25] [--grid-projects 6]\n"
+      "               [--grid-jobs 300] [--grid-latency-s 30]\n"
+      "               [--grid-seed N] [--report fleet.json]\n"
       "\n"
+      "global: --threads N pins the worker-pool width (0 = hardware)\n"
       "harvest and replay accept trace exports (see README, Inspecting a\n"
       "run): --trace out.jsonl --trace-chrome out.json --trace-csv out.csv\n");
   return 2;
@@ -359,17 +368,107 @@ int cmd_replay(const ArgParser& args) {
   return 0;
 }
 
+int cmd_grid(const ArgParser& args) {
+  const std::string list =
+      args.get_or("grid-machines", "ross,bluemtn,bluepac,synth1");
+  auto fleet = grid::parse_fleet_list(list);
+  if (!fleet) {
+    std::fprintf(stderr, "unknown machine in --grid-machines '%s'\n",
+                 list.c_str());
+    return usage();
+  }
+  const auto policy =
+      grid::parse_broker_policy(args.get_or("broker-policy", "best-fit"));
+  if (!policy) return usage();
+  const double quota_frac = args.get_num_or("project-quota", 0.25);
+  const auto nprojects =
+      static_cast<std::size_t>(args.get_int_or("grid-projects", 6));
+  const auto jobs_each =
+      static_cast<std::size_t>(args.get_int_or("grid-jobs", 300));
+  const auto seed =
+      static_cast<std::uint64_t>(args.get_int_or("grid-seed", 0x6121D));
+
+  int fleet_cpus = 0;
+  for (const auto& m : *fleet) fleet_cpus += m.spec.cpus;
+  auto projects =
+      grid::sweep_projects(nprojects, jobs_each, fleet_cpus, quota_frac, seed);
+
+  grid::FleetConfig cfg;
+  cfg.broker.policy = *policy;
+  cfg.broker.latency =
+      static_cast<Seconds>(args.get_int_or("grid-latency-s", 30));
+  cfg.threads = static_cast<std::size_t>(args.get_int_or("threads", 0));
+  const auto result = grid::run_fleet(std::move(*fleet), std::move(projects), cfg);
+
+  std::printf("fleet: %zu machines, %d CPUs, broker %s, %zu threads\n",
+              result.machines.size(), fleet_cpus, grid::broker_policy_name(*policy),
+              cfg.threads > 0 ? cfg.threads : default_thread_count());
+  std::printf("epochs %zu, dispatches %zu, fleet hash %016llx\n\n",
+              result.epochs, result.dispatches.size(),
+              static_cast<unsigned long long>(result.hash));
+  Table machines("Fleet machines");
+  machines.headers({"machine", "cpus", "native", "grid done", "bounced",
+                    "killed", "util"});
+  for (const auto& m : result.machines) {
+    machines.row(
+        {m.name, Table::integer(m.run.machine.cpus),
+         Table::integer(static_cast<long long>(m.run.native_count())),
+         Table::integer(static_cast<long long>(m.port.completed)),
+         Table::integer(static_cast<long long>(m.port.bounced)),
+         Table::integer(static_cast<long long>(m.port.killed)),
+         Table::num(metrics::average_utilization(m.run.records,
+                                                 m.run.machine.cpus, 0,
+                                                 m.run.span),
+                    3)});
+  }
+  machines.print();
+  std::printf("\n");
+  Table proj("Projects");
+  proj.headers({"project", "cpus/job", "jobs", "done", "abandoned", "share",
+                "quota", "harvest cpu-h"});
+  for (std::size_t p = 0; p < result.projects.size(); ++p) {
+    const auto& spec = result.projects[p];
+    const auto& led = result.ledgers[p];
+    proj.row({spec.name, Table::integer(spec.cpus_per_job),
+              Table::integer(static_cast<long long>(spec.jobs)),
+              Table::integer(static_cast<long long>(led.completed)),
+              Table::integer(static_cast<long long>(led.abandoned())),
+              Table::num(spec.share, 1), Table::integer(spec.quota_cpus),
+              Table::num(static_cast<double>(led.harvested_cpu_sec) / 3600.0,
+                         1)});
+  }
+  proj.print();
+  std::printf("\nfleet fairness (Jain, harvested/share): %.3f\n",
+              result.fairness);
+  const std::string report_path = args.get_or("report", "");
+  if (!report_path.empty()) {
+    try {
+      grid::write_fleet_report_file(report_path, result);
+      std::printf("wrote fleet report to %s\n", report_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "fleet report export failed: %s\n", e.what());
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const ArgParser args(argc, argv);
   const std::string cmd = args.command();
 
+  // Global: pin the worker-pool width before any command builds a pool.
+  const auto threads = args.get_int_or("threads", 0);
+  if (threads > 0) set_default_thread_count(static_cast<std::size_t>(threads));
+
   int rc;
   if (cmd == "report") rc = cmd_report(args);
+  else if (cmd == "harvest" && args.has("grid")) rc = cmd_grid(args);
   else if (cmd == "harvest") rc = cmd_harvest(args);
   else if (cmd == "plan") rc = cmd_plan(args);
   else if (cmd == "replay") rc = cmd_replay(args);
+  else if (cmd == "grid") rc = cmd_grid(args);
   else return usage();
 
   for (const auto& e : args.errors()) {

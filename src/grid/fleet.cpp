@@ -1,0 +1,242 @@
+#include "grid/fleet.hpp"
+
+#include <algorithm>
+
+#include "sched/presets.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/presets.hpp"
+
+namespace istc::grid {
+
+namespace {
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+
+}  // namespace
+
+std::uint64_t hash_run(const sched::RunResult& run) {
+  std::uint64_t h = kFnvOffset;
+  for (const auto& r : run.records) {
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(r.job.id));
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(r.start));
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(r.end));
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(r.job.cpus));
+  }
+  for (const auto& r : run.killed) {
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(r.job.id));
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(r.start));
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(r.end));
+  }
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(run.sim_end));
+  return h;
+}
+
+double jain_fairness(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+FleetResult run_fleet(std::vector<MachineSetup> setups,
+                      std::vector<GridProjectSpec> projects,
+                      const FleetConfig& cfg) {
+  ISTC_EXPECTS(!setups.empty());
+  std::vector<std::unique_ptr<GridMachine>> owned;
+  owned.reserve(setups.size());
+  for (auto& s : setups) owned.push_back(std::make_unique<GridMachine>(std::move(s)));
+  std::vector<GridMachine*> machines;
+  for (auto& m : owned) machines.push_back(m.get());
+
+  GridBroker broker(std::move(projects), cfg.broker);
+
+  const std::size_t threads =
+      cfg.threads > 0 ? cfg.threads : default_thread_count();
+  std::optional<ThreadPool> pool;
+  if (threads > 1 && machines.size() > 1) pool.emplace(threads);
+  const auto each_machine = [&](const std::function<void(std::size_t)>& fn) {
+    if (pool) {
+      parallel_for(*pool, machines.size(), fn);
+    } else {
+      for (std::size_t i = 0; i < machines.size(); ++i) fn(i);
+    }
+  };
+
+  FleetResult out;
+  SimTime now = 0;
+  for (;;) {
+    SimTime next = broker.next_wake(now);
+    for (const auto* m : machines) {
+      // Any queued report is deliverable at the next instant; bounce
+      // deadlines and exact grid-job completions are known futures.
+      next = std::min(next, m->next_report_time(now + 1));
+    }
+    if (cfg.heartbeat > 0) {
+      bool live = false;
+      for (const auto* m : machines) {
+        live = live || m->next_event_time() < kTimeInfinity;
+      }
+      if (live) next = std::min(next, now + cfg.heartbeat);
+    }
+    if (next >= kTimeInfinity) break;
+    ISTC_ASSERT(next > now);
+    // Advance phase: shards are independent up to `next` — nothing routed
+    // at this boundary can land before next + latency (conservative
+    // lookahead), so this fans out without any cross-shard ordering.
+    each_machine([&](std::size_t i) { machines[i]->advance(next); });
+    now = next;
+    ++out.epochs;
+    // Boundary phase (serial, machine order, then broker): deterministic
+    // regardless of how the advance phase was threaded.
+    for (auto* m : machines) {
+      for (const auto& report : m->collect_reports(now)) broker.ingest(report);
+    }
+    broker.route(now, machines);
+  }
+  ISTC_ASSERT(broker.done());
+  // Native drain: all grid work is accounted, the rest of each machine's
+  // timeline is purely local.
+  each_machine([&](std::size_t i) { machines[i]->drain(); });
+  for (auto* m : machines) {
+    ISTC_ASSERT(m->collect_reports(kTimeInfinity).empty());
+  }
+
+  out.hash = kFnvOffset;
+  for (auto* m : machines) {
+    FleetMachineOutcome mo;
+    mo.name = m->name();
+    mo.port = m->port_stats();
+    mo.run = m->take_result();
+    mo.hash = hash_run(mo.run);
+    out.hash = fnv1a_u64(out.hash, mo.hash);
+    out.sim_end = std::max(out.sim_end, mo.run.sim_end);
+    out.machines.push_back(std::move(mo));
+  }
+  out.projects = broker.project_specs();
+  out.ledgers = broker.ledgers();
+  out.dispatches = broker.dispatches();
+  std::vector<double> per_share;
+  for (std::size_t p = 0; p < out.projects.size(); ++p) {
+    per_share.push_back(static_cast<double>(out.ledgers[p].harvested_cpu_sec) /
+                        out.projects[p].share);
+  }
+  out.fairness = jain_fairness(per_share);
+  return out;
+}
+
+sched::RunResult run_native_only(MachineSetup setup) {
+  setup.local_project.reset();
+  GridMachine machine(std::move(setup));
+  machine.drain();
+  return machine.take_result();
+}
+
+MachineSetup site_machine_setup(cluster::Site site) {
+  MachineSetup s;
+  s.spec = cluster::machine_spec(site);
+  s.name = s.spec.name;
+  s.downtime = cluster::site_downtime(site);
+  s.policy = sched::site_policy(site);
+  s.natives = workload::site_log(site);
+  s.span = cluster::site_span(site);
+  return s;
+}
+
+MachineSetup synthetic_machine_setup(int index) {
+  MachineSetup s = site_machine_setup(cluster::Site::kRoss);
+  s.spec.name = "Synthetic-" + std::to_string(index);
+  s.spec.site = "synthetic";
+  s.name = s.spec.name;
+  s.natives = workload::site_log(cluster::Site::kRoss,
+                                 0x517D0000ull + static_cast<std::uint64_t>(index));
+  return s;
+}
+
+std::optional<std::vector<MachineSetup>> parse_fleet_list(
+    const std::string& csv) {
+  std::vector<MachineSetup> fleet;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = std::min(csv.find(',', pos), csv.size());
+    const std::string tok = csv.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (tok.empty()) continue;
+    if (tok == "ross") {
+      fleet.push_back(site_machine_setup(cluster::Site::kRoss));
+    } else if (tok == "bluemtn" || tok == "bluemountain") {
+      fleet.push_back(site_machine_setup(cluster::Site::kBlueMountain));
+    } else if (tok == "bluepac" || tok == "bluepacific") {
+      fleet.push_back(site_machine_setup(cluster::Site::kBluePacific));
+    } else if (tok.rfind("synth", 0) == 0) {
+      int index = 0;
+      const std::string digits = tok.substr(5);
+      if (digits.empty()) return std::nullopt;
+      for (const char c : digits) {
+        if (c < '0' || c > '9') return std::nullopt;
+        index = index * 10 + (c - '0');
+      }
+      fleet.push_back(synthetic_machine_setup(index));
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (fleet.empty()) return std::nullopt;
+  return fleet;
+}
+
+std::vector<MachineSetup> default_fleet() {
+  std::vector<MachineSetup> fleet;
+  fleet.push_back(site_machine_setup(cluster::Site::kRoss));
+  fleet.push_back(site_machine_setup(cluster::Site::kBlueMountain));
+  fleet.push_back(site_machine_setup(cluster::Site::kBluePacific));
+  fleet.push_back(synthetic_machine_setup(1));
+  return fleet;
+}
+
+std::vector<GridProjectSpec> sweep_projects(std::size_t nprojects,
+                                            std::size_t jobs_each,
+                                            int fleet_cpus, double quota_frac,
+                                            std::uint64_t seed) {
+  ISTC_EXPECTS(nprojects > 0);
+  ISTC_EXPECTS(jobs_each > 0);
+  Rng rng(seed);
+  static constexpr int kWidths[] = {8, 16, 32, 64};
+  std::vector<GridProjectSpec> projects;
+  for (std::size_t p = 0; p < nprojects; ++p) {
+    GridProjectSpec spec;
+    spec.name = "P" + std::to_string(p);
+    spec.cpus_per_job = kWidths[rng.below(4)];
+    // 60 s .. 20 min @ 1 GHz, the paper's interstitial-job scale.
+    spec.work_per_cpu =
+        static_cast<double>(60 + 60 * rng.below(20)) * cluster::kGiga;
+    spec.jobs = jobs_each;
+    spec.share = 1.0 + static_cast<double>(rng.below(3));
+    if (quota_frac > 0) {
+      const int quota =
+          static_cast<int>(quota_frac * static_cast<double>(fleet_cpus));
+      spec.quota_cpus = std::max(quota, spec.cpus_per_job);
+    }
+    spec.retry.max_retries = 3;
+    spec.retry.backoff = 5 * kSecondsPerMinute;
+    spec.retry.checkpoint_interval = 30 * kSecondsPerMinute;
+    projects.push_back(std::move(spec));
+  }
+  return projects;
+}
+
+}  // namespace istc::grid

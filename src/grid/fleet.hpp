@@ -1,0 +1,104 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/presets.hpp"
+#include "grid/broker.hpp"
+#include "grid/machine.hpp"
+
+/// \file fleet.hpp
+/// run_fleet — the conservatively synchronized federated simulation.
+///
+/// Epoch loop: the next boundary is the earliest time anything crosses a
+/// link — a broker wake (project arrival, retry eligibility, poll tick) or
+/// a machine report (grid-job completion, bounce deadline, queued kill).
+/// Every machine with events in (T_prev, T] advances *independently* to T
+/// (no message can reach it earlier than T + latency, the classic
+/// lower-bound-timestamp argument with the link latency as lookahead), so
+/// the advance step fans out over the thread pool.  The boundary step —
+/// collect reports in machine order, ingest, route — is serial.  Machine
+/// state therefore evolves identically at any thread count, and the fleet
+/// hash is bit-stable from 1 to N shard threads (pinned by tests and by
+/// bench/fleet_broker's exit-code gate).
+
+namespace istc::grid {
+
+struct FleetConfig {
+  BrokerConfig broker;
+  /// Extra boundary cadence (0 = boundaries only when messages demand
+  /// them).  Exists to prove slicing is invisible: a sliced single-machine
+  /// run must reproduce the unsliced golden hash.
+  Seconds heartbeat = 0;
+  /// Shard threads; 0 = util::default_thread_count().
+  std::size_t threads = 0;
+};
+
+struct FleetMachineOutcome {
+  std::string name;
+  sched::RunResult run;
+  GridMachine::PortStats port;
+  std::uint64_t hash = 0;  ///< hash_run(run), the per-shard determinism pin
+};
+
+struct FleetResult {
+  std::vector<FleetMachineOutcome> machines;
+  std::vector<GridProjectSpec> projects;
+  std::vector<ProjectLedger> ledgers;
+  std::vector<DispatchRecord> dispatches;
+  std::size_t epochs = 0;
+  SimTime sim_end = 0;      ///< max over machines
+  std::uint64_t hash = 0;   ///< machine hashes folded in machine order
+  double fairness = 1.0;    ///< Jain's index over harvested work per share
+};
+
+/// FNV-1a over a run's observable schedule — records (id, start, end,
+/// cpus), kills (id, start, end), sim_end — the exact recipe of the
+/// determinism test pins, exported so grid tests and the bench gate can
+/// compare against the existing goldens.
+std::uint64_t hash_run(const sched::RunResult& run);
+
+/// Jain's fairness index (sum x)^2 / (n * sum x^2); 1.0 for n == 0 or
+/// all-zero.
+double jain_fairness(const std::vector<double>& xs);
+
+FleetResult run_fleet(std::vector<MachineSetup> setups,
+                      std::vector<GridProjectSpec> projects,
+                      const FleetConfig& cfg = {});
+
+/// Native-only reference run of one machine (no interstitial stream at
+/// all) — the native-impact baseline for the fleet tables.
+sched::RunResult run_native_only(MachineSetup setup);
+
+// -- presets ----------------------------------------------------------------
+
+/// The canonical per-site machine: Table-1 spec, site downtime calendar,
+/// site queueing policy, and the site's calibrated native log.
+MachineSetup site_machine_setup(cluster::Site site);
+
+/// A synthetic Ross-class variant: same spec/policy/downtime, reseeded
+/// native log (same statistics, different realization), named
+/// "Synthetic-<index>".
+MachineSetup synthetic_machine_setup(int index);
+
+/// Parse a fleet list like "ross,bluemtn,bluepac,synth1".  Accepted
+/// tokens: ross, bluemtn (bluemountain), bluepac (bluepacific), synthN.
+/// Returns nullopt on any unknown token.
+std::optional<std::vector<MachineSetup>> parse_fleet_list(
+    const std::string& csv);
+
+/// The default fleet: all three paper machines plus one synthetic variant.
+std::vector<MachineSetup> default_fleet();
+
+/// A deterministic competing-project sweep: `nprojects` projects of
+/// `jobs_each` machine-neutral jobs with varied widths/sizes/shares drawn
+/// from `seed`, each quota-capped to `quota_frac` of `fleet_cpus` (0
+/// disables quotas).
+std::vector<GridProjectSpec> sweep_projects(std::size_t nprojects,
+                                            std::size_t jobs_each,
+                                            int fleet_cpus, double quota_frac,
+                                            std::uint64_t seed);
+
+}  // namespace istc::grid

@@ -1,0 +1,156 @@
+#include "grid/machine.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace istc::grid {
+
+GridMachine::GridMachine(MachineSetup setup)
+    : setup_(std::move(setup)),
+      name_(setup_.name.empty() ? setup_.spec.name : setup_.name),
+      engine_(setup_.typed_events),
+      scheduler_(engine_, cluster::Machine(setup_.spec, setup_.downtime),
+                 setup_.policy),
+      tracer_(trace::TraceMode::kCountersOnly) {
+  scheduler_.set_tracer(&tracer_);
+  scheduler_.load(setup_.natives);
+  next_local_id_ = setup_.first_interstitial_id.value_or(
+      static_cast<workload::JobId>(setup_.natives.size()));
+  if (setup_.local_project) {
+    driver_.emplace(scheduler_, *setup_.local_project, next_local_id_);
+  } else {
+    scheduler_.set_post_pass_hook(
+        [this](const sched::PassContext& ctx) { on_pass(ctx); });
+    scheduler_.set_kill_hook(
+        [this](const sched::JobRecord& victim, sched::KillReason reason) {
+          on_kill(victim, reason);
+        });
+  }
+  if (setup_.faults.enabled()) injector_.emplace(scheduler_, setup_.faults);
+}
+
+void GridMachine::advance(SimTime until) {
+  while (engine_.next_event_time() <= until) engine_.step();
+}
+
+SimTime GridMachine::next_report_time(SimTime asap) const {
+  SimTime t = kTimeInfinity;
+  if (!reports_.empty()) t = asap;
+  // An in-flight or landed job resolves (start or bounce) no later than
+  // its arrival plus the patience window.
+  for (const SimTime at : arrivals_) {
+    t = std::min(t, std::max(at + setup_.bounce_patience, asap));
+  }
+  for (const auto& l : landed_) {
+    t = std::min(t, std::max(l.arrived + setup_.bounce_patience, asap));
+  }
+  for (const auto& r : running_) t = std::min(t, r.end);
+  return t;
+}
+
+void GridMachine::deliver(SimTime at, const GridJob& job) {
+  ISTC_EXPECTS(accepts_routed());
+  ISTC_EXPECTS(at >= engine_.now());
+  ++stats_.delivered;
+  arrivals_.push_back(at);
+  engine_.schedule(at, [this, job] {
+    arrivals_.pop_front();
+    landed_.push_back({job, engine_.now()});
+  });
+}
+
+void GridMachine::on_pass(const sched::PassContext& ctx) {
+  if (landed_.empty()) return;
+  std::size_t kept = 0;
+  for (auto& l : landed_) {
+    const Seconds runtime = runtime_for(l.job.work_per_cpu);
+    // The Figure-1 gate, same predicate as InterstitialDriver: start only
+    // when no waiting native could (per estimates) start before this job
+    // would finish.
+    const bool gate_open =
+        ctx.queue_empty || ctx.queue_earliest_start - ctx.now > runtime;
+    bool started = false;
+    if (gate_open) {
+      workload::Job j;
+      j.id = next_local_id_;
+      j.klass = workload::JobClass::kInterstitial;
+      j.user = core::kInterstitialUser;
+      j.group = core::kInterstitialGroup;
+      j.cpus = l.job.cpus;
+      j.submit = l.arrived;
+      j.runtime = runtime;
+      j.estimate = runtime;
+      if (scheduler_.try_start_immediately(j)) {
+        ++next_local_id_;
+        ++stats_.started;
+        running_.push_back({j.id, l.job, ctx.now, ctx.now + runtime});
+        started = true;
+      }
+    }
+    if (!started) landed_[kept++] = l;
+  }
+  landed_.resize(kept);
+}
+
+void GridMachine::on_kill(const sched::JobRecord& victim,
+                          sched::KillReason /*reason*/) {
+  if (!victim.job.interstitial()) return;  // native requeue is the injector's
+  const auto it =
+      std::find_if(running_.begin(), running_.end(),
+                   [&](const RunningGrid& r) { return r.local_id == victim.job.id; });
+  if (it == running_.end()) return;
+  const Seconds elapsed = victim.end - victim.start;
+  // Checkpoint arithmetic mirrors InterstitialDriver::on_fault_kill: work
+  // up to the last checkpoint survives; the remainder is re-routed by the
+  // broker (possibly to a machine with a different clock, which is why the
+  // remainder travels as machine-neutral cycles).
+  const Seconds saved =
+      it->job.checkpoint > 0 ? (elapsed / it->job.checkpoint) * it->job.checkpoint
+                             : 0;
+  GridJob rest = it->job;
+  rest.work_per_cpu -= machine().spec().cycles_in(saved);
+  ISTC_ASSERT(rest.work_per_cpu > 0);
+  ++stats_.killed;
+  reports_.push_back(
+      {ReportKind::kKilled, rest, victim.end,
+       static_cast<std::uint64_t>(it->job.cpus) *
+           static_cast<std::uint64_t>(elapsed)});
+  running_.erase(it);
+}
+
+std::vector<PortReport> GridMachine::collect_reports(SimTime now) {
+  std::vector<PortReport> out = std::move(reports_);
+  reports_.clear();
+  std::size_t kept = 0;
+  for (auto& r : running_) {
+    if (r.end <= now) {
+      ++stats_.completed;
+      out.push_back({ReportKind::kCompleted, r.job, r.end,
+                     static_cast<std::uint64_t>(r.job.cpus) *
+                         static_cast<std::uint64_t>(r.end - r.start)});
+    } else {
+      running_[kept++] = r;
+    }
+  }
+  running_.resize(kept);
+  kept = 0;
+  for (auto& l : landed_) {
+    if (l.arrived + setup_.bounce_patience <= now) {
+      ++stats_.bounced;
+      out.push_back({ReportKind::kBounced, l.job, now, 0});
+    } else {
+      landed_[kept++] = l;
+    }
+  }
+  landed_.resize(kept);
+  return out;
+}
+
+int GridMachine::lookahead_min_free(SimTime t, Seconds dur) const {
+  const sched::ResourceProfile& profile = scheduler_.profile();
+  const SimTime start = std::max(t, profile.origin());
+  return profile.min_free(start, start + std::max<Seconds>(dur, 1));
+}
+
+}  // namespace istc::grid

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "grid/fleet.hpp"
+
+/// \file report.hpp
+/// Fleet RunReport: the "istc.run_report.v2" document for a federated run —
+/// one entry per machine in the new "machines" section plus a "fleet"
+/// section (projects, broker ledgers, fairness, epoch count).  The
+/// single-machine writer (metrics/report.hpp) emits the same schema with a
+/// one-element machine list; both declare v1 compatibility because every
+/// v1 field is preserved at its old path.
+
+namespace istc::grid {
+
+/// Deterministic by construction: everything in a FleetResult is sim-time
+/// derived, so equal-seed fleet runs serialize byte-identically.
+void write_fleet_report(std::ostream& out, const FleetResult& fleet);
+void write_fleet_report_file(const std::string& path,
+                             const FleetResult& fleet);
+
+}  // namespace istc::grid

@@ -123,12 +123,26 @@ void write_run_report(std::ostream& out, const sched::RunResult& result,
                       const ReportOptions& options) {
   const Registry& reg = metrics.registry();
   out << "{\n";
-  out << "  \"schema\": \"istc.run_report.v1\",\n";
+  out << "  \"schema\": \"" << kRunReportSchema << "\",\n";
+  out << "  \"compat\": [\"" << kRunReportCompat << "\"],\n";
   out << "  \"machine\": {\"name\": \"" << json_escape(result.machine.name)
       << "\", \"site\": \"" << json_escape(result.machine.site)
       << "\", \"cpus\": " << result.machine.cpus
       << ", \"clock_ghz\": " << format_double(result.machine.clock_ghz)
       << "},\n";
+  // v2: per-machine sections.  A solo run is a one-machine fleet; the
+  // fleet writer (grid/report.hpp) emits the same shape with one entry
+  // per shard.
+  out << "  \"machines\": [\n    {\"name\": \""
+      << json_escape(result.machine.name) << "\", \"site\": \""
+      << json_escape(result.machine.site)
+      << "\", \"cpus\": " << result.machine.cpus
+      << ", \"clock_ghz\": " << format_double(result.machine.clock_ghz)
+      << ",\n     \"span_s\": " << result.span
+      << ", \"sim_end_s\": " << result.sim_end
+      << ",\n     \"jobs\": {\"native_completed\": " << result.native_count()
+      << ", \"interstitial_completed\": " << result.interstitial_count()
+      << ", \"killed\": " << result.killed.size() << "}}\n  ],\n";
   out << "  \"span_s\": " << result.span << ",\n";
   out << "  \"sim_end_s\": " << result.sim_end << ",\n";
   out << "  \"sample_interval_s\": " << metrics.sample_interval() << ",\n";

@@ -77,6 +77,13 @@ class RunMetrics {
   std::optional<SimSampler> sampler_;
 };
 
+/// RunReport schema identity.  v2 adds a "machines" section (one entry
+/// per machine; single-element for solo runs) for grid/federated runs and
+/// a "compat" list naming the older schemas whose fields are all still
+/// present at their original paths.
+inline constexpr const char* kRunReportSchema = "istc.run_report.v2";
+inline constexpr const char* kRunReportCompat = "istc.run_report.v1";
+
 struct ReportOptions {
   /// Emit the "wall_clock" section (host-time counters).  OFF yields a
   /// fully deterministic document — the form the determinism tests compare
@@ -84,9 +91,10 @@ struct ReportOptions {
   bool include_wall_clock = true;
 };
 
-/// The unified RunReport: one JSON document ("istc.run_report.v1") merging
+/// The unified RunReport: one JSON document (kRunReportSchema) merging
 /// run identity, job totals, deterministic registry counters/gauges,
-/// histogram buckets, the sampled time series, and (optionally) the
+/// histogram buckets, the sampled time series, a one-element "machines"
+/// section (the v2 shape shared with fleet reports), and (optionally) the
 /// wall-clock counters.
 void write_run_report(std::ostream& out, const sched::RunResult& result,
                       const RunMetrics& metrics,

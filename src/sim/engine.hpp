@@ -152,6 +152,12 @@ class Engine {
   SimTime now() const { return now_; }
   std::uint64_t events_processed() const { return events_processed_; }
   bool finished() const { return queue_empty(); }
+  /// Absolute time of the next pending work item (heap events merged with
+  /// the pending sample); kTimeInfinity when nothing is queued.  The grid
+  /// layer uses this to advance a machine in bounded epoch slices via
+  /// step() without ever moving the clock past a real event — run(until)
+  /// bumps now_ to `until`, which would shift sim_end across slicings.
+  SimTime next_event_time() const { return queue_next_time(); }
   std::size_t queued_events() const {
     return typed_ ? queue_.size() : legacy_.size();
   }

@@ -8,10 +8,25 @@
 
 namespace istc {
 
+namespace {
+// 0 = unset (fall back to hardware concurrency).  Atomic because bench
+// workers may size transient pools while the main thread reconfigures.
+std::atomic<std::size_t> g_default_threads{0};
+}  // namespace
+
+void set_default_thread_count(std::size_t threads) {
+  g_default_threads.store(threads, std::memory_order_relaxed);
+}
+
+std::size_t default_thread_count() {
+  const std::size_t configured =
+      g_default_threads.load(std::memory_order_relaxed);
+  if (configured > 0) return configured;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
+  if (threads == 0) threads = default_thread_count();
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -92,7 +107,7 @@ void parallel_for(ThreadPool& pool, std::size_t n,
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
-  if (n <= 1) {
+  if (n <= 1 || default_thread_count() == 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }

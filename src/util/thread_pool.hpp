@@ -20,9 +20,20 @@
 
 namespace istc {
 
+/// Process-wide default worker count, consulted wherever a pool is sized
+/// implicitly: `ThreadPool(0)` and the transient `parallel_for`.  0 (the
+/// initial state) means hardware concurrency.  The CLI's `--threads` flag
+/// and the bench harness's ISTC_THREADS env var land here, so artifacts
+/// can record — and runs can pin — the parallelism they used.
+void set_default_thread_count(std::size_t threads);
+
+/// The resolved default (>= 1): the configured count, or hardware
+/// concurrency when none was set.
+std::size_t default_thread_count();
+
 class ThreadPool {
  public:
-  /// \param threads 0 means hardware_concurrency (at least 1).
+  /// \param threads 0 means default_thread_count().
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 
@@ -58,8 +69,8 @@ class ThreadPool {
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn);
 
-/// Convenience: run fn(i) for i in [0, n) on a transient pool sized to the
-/// hardware; falls back to serial execution when n is tiny.
+/// Convenience: run fn(i) for i in [0, n) on a transient pool sized by
+/// default_thread_count(); falls back to serial execution when n is tiny.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
 }  // namespace istc

@@ -99,10 +99,14 @@ TEST(SimSampler, EqualSeedRunsProduceByteIdenticalReports) {
   ASSERT_FALSE(a.empty());
   EXPECT_EQ(a, b);
   EXPECT_NE(a, report_of(43, 60));
-  // The document carries the sections the schema names.
+  // The document carries the sections the schema names: the v2 header
+  // with its v1 compat marker, the new per-machine section, and every
+  // retained v1 section.
   for (const char* needle :
-       {"\"schema\": \"istc.run_report.v1\"", "\"counters\"", "\"histograms\"",
-        "\"series\"", "\"native_wait_s\""}) {
+       {"\"schema\": \"istc.run_report.v2\"",
+        "\"compat\": [\"istc.run_report.v1\"]", "\"machines\"",
+        "\"counters\"", "\"histograms\"", "\"series\"",
+        "\"native_wait_s\""}) {
     EXPECT_NE(a.find(needle), std::string::npos) << needle;
   }
   EXPECT_EQ(a.find("\"wall_clock\""), std::string::npos);
