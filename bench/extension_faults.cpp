@@ -1,4 +1,4 @@
-// Extension beyond the paper: unplanned failures.
+// Extension beyond the paper: unplanned failures — and the run-fork sweep.
 //
 // The paper's outage model is entirely *planned* — the scheduler drains
 // ahead of calendar windows and no running job ever overlaps one.  Real
@@ -6,76 +6,117 @@
 // kills is the interstitial stream: its jobs are small, restartable, and
 // nobody waits on them.  This driver sweeps failure rate (machine-crash
 // MTBF, plus node failures at twice that rate) x checkpoint interval on
-// the Blue Mountain continual scenario and reports the headline result:
-// the harvested utilization lift degrades gracefully as failures get more
-// frequent, while native utilization stays pinned to what a native-only
-// machine achieves under the *same* fault timeline (natives are
-// resubmitted and re-run; the crash, not the harvest, is what costs
-// capacity).
+// the Blue Mountain continual scenario, with failures confined to the
+// back stretch of the log (the last quarter), and reports the headline
+// result: the harvested utilization lift degrades gracefully as failures
+// get more frequent, while native utilization stays pinned to what a
+// native-only machine achieves under the *same* fault timeline.
+//
+// Because every variant shares the identical fault-free prefix (the first
+// three quarters of the log), the sweep runs on core::SimRun forks: one
+// prefix simulation per scenario family (with-stream / native-only), then
+// one cheap fork per variant.  A from-scratch arm re-simulates every
+// variant from t=0 and must match the forked arm bit for bit — that
+// equality, plus the measured end-to-end speedup, is this driver's exit
+// gate alongside the native-pinned check.
 
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <memory>
 #include <vector>
 
 #include "common.hpp"
+#include "core/fork.hpp"
 #include "trace/tracer.hpp"
 
 namespace {
 
 using namespace istc;
 
-struct CaseResult {
+/// One sweep cell: an MTBF (0 = fault-free) x checkpoint cadence.
+struct Variant {
   const char* name = "";
-  Seconds mtbf = 0;           // 0 = fault-free
+  Seconds mtbf = 0;
   Seconds checkpoint = 0;
-  sched::RunResult run;
-  /// Native utilization of the fault-matched native-only run (same crash
-  /// timeline, no interstitial stream): the fair "pinned" reference —
-  /// faults cost everyone capacity; the question is what the interstitial
-  /// machinery *adds* on top.
-  double native_only_util = 0;
 };
 
-void set_faults(core::Scenario& sc, Seconds crash_mtbf) {
-  if (crash_mtbf <= 0) return;
-  sc.faults.crash_mtbf = crash_mtbf;
-  sc.faults.crash_repair = 4 * kSecondsPerHour;
+struct VariantResult {
+  Variant variant;
+  sched::RunResult run;
+  trace::TraceSummary counters;
+};
+
+fault::FaultSpec faults_for(Seconds crash_mtbf, SimTime start) {
+  fault::FaultSpec spec;
+  if (crash_mtbf <= 0) return spec;
+  spec.crash_mtbf = crash_mtbf;
+  spec.crash_repair = 4 * kSecondsPerHour;
   // Node-sized failures arrive twice as often as full crashes.
-  sc.faults.node_mtbf = crash_mtbf / 2;
-  sc.faults.node_repair = 2 * kSecondsPerHour;
-  sc.faults.node_cpus = 256;
+  spec.node_mtbf = crash_mtbf / 2;
+  spec.node_repair = 2 * kSecondsPerHour;
+  spec.node_cpus = 256;
+  spec.start = start;  // stop is clamped to the site span by the run
+  return spec;
 }
 
-CaseResult run_case(const char* name, Seconds crash_mtbf,
-                    Seconds checkpoint_interval) {
+core::Scenario base_scenario(bool with_stream) {
   core::Scenario sc;
   sc.site = cluster::Site::kBlueMountain;
-  // The long continual stream (Table 6's 4500 s @ 1 GHz, ~4.8 h on Blue
-  // Mountain): long enough that a 30-minute checkpoint cadence genuinely
-  // divides a job, which is what makes the checkpoint axis meaningful.
-  auto stream = core::ProjectSpec::continual_stream(
-      32, 4500, cluster::site_span(sc.site));
-  stream.fault_retry.max_retries = 5;
-  stream.fault_retry.backoff = 10 * kSecondsPerMinute;
-  stream.fault_retry.checkpoint_interval = checkpoint_interval;
-  sc.project = stream;
-  set_faults(sc, crash_mtbf);
-  // Counters-only tracing so RunResult::trace carries the fault ledger
-  // (kills by class, cpu-time lost/recovered, retries) without an event
-  // buffer; tracing never perturbs the schedule.
-  trace::Tracer tracer(trace::TraceMode::kCountersOnly);
-  sc.tracer = &tracer;
-  CaseResult r;
-  r.name = name;
-  r.mtbf = crash_mtbf;
-  r.checkpoint = checkpoint_interval;
-  r.run = core::run_scenario(sc);
+  if (with_stream) {
+    // The long continual stream (Table 6's 4500 s @ 1 GHz, ~4.8 h on Blue
+    // Mountain): long enough that a 30-minute checkpoint cadence genuinely
+    // divides a job, which is what makes the checkpoint axis meaningful.
+    auto stream = core::ProjectSpec::continual_stream(
+        32, 4500, cluster::site_span(sc.site));
+    stream.fault_retry.max_retries = 5;
+    stream.fault_retry.backoff = 10 * kSecondsPerMinute;
+    sc.project = stream;
+  }
+  return sc;
+}
 
-  core::Scenario native_only;
-  native_only.site = sc.site;
-  set_faults(native_only, crash_mtbf);
-  r.native_only_util = bench::native_util_of(core::run_scenario(native_only));
+/// Configure a run standing at the fork point t0 for `v` and drain it:
+/// install the checkpoint cadence, inject the variant's fault process, and
+/// attach a counters-only tracer covering the fault window.  Shared by
+/// both arms so they diverge in *how they reached t0* and nothing else.
+VariantResult finish_variant(core::SimRun& run, const Variant& v,
+                             trace::Tracer& tracer) {
+  if (core::InterstitialDriver* driver = run.driver()) {
+    core::FaultRetryPolicy retry = driver->spec().fault_retry;
+    retry.checkpoint_interval = v.checkpoint;
+    driver->set_fault_retry(retry);
+  }
+  if (v.mtbf > 0) run.add_faults(faults_for(v.mtbf, run.now()));
+  run.set_tracer(&tracer);
+  VariantResult r;
+  r.variant = v;
+  r.run = run.finish();
+  r.counters = tracer.counters();
   return r;
+}
+
+bool same_run(const sched::RunResult& a, const sched::RunResult& b) {
+  if (a.sim_end != b.sim_end || a.records.size() != b.records.size() ||
+      a.killed.size() != b.killed.size()) {
+    return false;
+  }
+  const auto same = [](const sched::JobRecord& x, const sched::JobRecord& y) {
+    return x.job.id == y.job.id && x.job.cpus == y.job.cpus &&
+           x.start == y.start && x.end == y.end;
+  };
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    if (!same(a.records[i], b.records[i])) return false;
+  }
+  for (std::size_t i = 0; i < a.killed.size(); ++i) {
+    if (!same(a.killed[i], b.killed[i])) return false;
+  }
+  return true;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
 }  // namespace
@@ -83,15 +124,17 @@ CaseResult run_case(const char* name, Seconds crash_mtbf,
 int main() {
   bench::print_preamble(
       "Extension — unplanned failures (Blue Mountain, 32CPU x ~4.8h)",
-      "Harvest lift vs crash MTBF x checkpoint interval; natives stay "
-      "pinned.");
+      "Harvest lift vs crash MTBF x checkpoint interval via run forks; "
+      "natives stay pinned.");
 
-  const double base_native_util =
-      core::native_utilization(cluster::Site::kBlueMountain);
-
-  std::vector<CaseResult> cases;
-  cases.push_back(run_case("fault-free", 0, 0));
   const bool quick = std::getenv("ISTC_QUICK") != nullptr;
+  const SimTime span = cluster::site_span(cluster::Site::kBlueMountain);
+  // Failures are confined to the back stretch; everything before t0 is the
+  // shared fault-free prefix the forks reuse.
+  const SimTime t0 = span / 4 * 3;
+
+  std::vector<Variant> variants;
+  variants.push_back({"fault-free", 0, 0});
   struct Setting {
     const char* name;
     Seconds mtbf;
@@ -102,28 +145,98 @@ int main() {
                                    {"mtbf 1 week", kSecondsPerWeek},
                                    {"mtbf 2 days", 2 * kSecondsPerDay}};
   for (const Setting& s : mtbfs) {
-    cases.push_back(run_case(s.name, s.mtbf, 0));
-    cases.push_back(run_case(s.name, s.mtbf, 30 * kSecondsPerMinute));
+    variants.push_back({s.name, s.mtbf, 0});
+    variants.push_back({s.name, s.mtbf, 30 * kSecondsPerMinute});
   }
+  // The native-only references: checkpointing is a property of the stream,
+  // so one native variant per MTBF suffices.
+  std::vector<Variant> native_variants;
+  native_variants.push_back({"fault-free", 0, 0});
+  for (const Setting& s : mtbfs) native_variants.push_back({s.name, s.mtbf, 0});
+
+  // --- Arm A: shared prefix once per scenario family, one fork per
+  // variant.  The prefix simulates [0, t0] exactly once.
+  const auto forked_t0 = std::chrono::steady_clock::now();
+  std::vector<VariantResult> forked, forked_native;
+  {
+    core::SimRun prefix(base_scenario(true));
+    prefix.run_until(t0);
+    for (const Variant& v : variants) {
+      trace::Tracer tracer(trace::TraceMode::kCountersOnly);
+      std::unique_ptr<core::SimRun> fork = prefix.fork();
+      forked.push_back(finish_variant(*fork, v, tracer));
+    }
+  }
+  {
+    core::SimRun prefix(base_scenario(false));
+    prefix.run_until(t0);
+    for (const Variant& v : native_variants) {
+      trace::Tracer tracer(trace::TraceMode::kCountersOnly);
+      std::unique_ptr<core::SimRun> fork = prefix.fork();
+      forked_native.push_back(finish_variant(*fork, v, tracer));
+    }
+  }
+  const double forked_wall = seconds_since(forked_t0);
+
+  // --- Arm B: every variant re-simulated from t=0 (the pre-fork world).
+  // Identical fault construction at t0, so the results must be
+  // bit-identical — and the wall-clock difference is pure prefix reuse.
+  const auto scratch_t0 = std::chrono::steady_clock::now();
+  std::vector<VariantResult> scratch, scratch_native;
+  for (const Variant& v : variants) {
+    trace::Tracer tracer(trace::TraceMode::kCountersOnly);
+    core::SimRun run(base_scenario(true));
+    run.run_until(t0);
+    scratch.push_back(finish_variant(run, v, tracer));
+  }
+  for (const Variant& v : native_variants) {
+    trace::Tracer tracer(trace::TraceMode::kCountersOnly);
+    core::SimRun run(base_scenario(false));
+    run.run_until(t0);
+    scratch_native.push_back(finish_variant(run, v, tracer));
+  }
+  const double scratch_wall = seconds_since(scratch_t0);
+
+  // --- Fork determinism gate: forked == from-scratch, every variant.
+  bool forks_exact = true;
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    if (!same_run(forked[i].run, scratch[i].run) ||
+        forked[i].counters.faults_injected !=
+            scratch[i].counters.faults_injected) {
+      std::printf("FORK MISMATCH: %s ckpt=%lld\n", variants[i].name,
+                  static_cast<long long>(variants[i].checkpoint));
+      forks_exact = false;
+    }
+  }
+  for (std::size_t i = 0; i < native_variants.size(); ++i) {
+    if (!same_run(forked_native[i].run, scratch_native[i].run)) {
+      std::printf("FORK MISMATCH (native-only): %s\n", native_variants[i].name);
+      forks_exact = false;
+    }
+  }
+
+  // Native-only utilization per MTBF — the fair "pinned" reference: faults
+  // cost everyone capacity; the question is what harvesting *adds*.
+  const auto native_ref = [&](Seconds mtbf) {
+    for (const VariantResult& r : forked_native) {
+      if (r.variant.mtbf == mtbf) return bench::native_util_of(r.run);
+    }
+    return 0.0;
+  };
 
   Table t;
   t.headers({"scenario", "ckpt", "faults", "killed n/i", "lost cpu-h",
              "recovered", "overall util", "native util", "d-native"});
   bool native_pinned = true;
-  for (const CaseResult& c : cases) {
-    const auto& s = c.run.trace;
+  for (const VariantResult& c : forked) {
+    const auto& s = c.counters;
     const double nat = bench::native_util_of(c.run);
-    // "Pinned" is judged against the fault-matched native-only run: the
-    // same crash timeline with the interstitial stream removed.  Faults
-    // cost everyone capacity; this isolates what harvesting *adds*.  The
-    // check is one-sided — natives may only come out *ahead* (interstitial
+    // One-sided check — natives may only come out *ahead* (interstitial
     // jobs, being the youngest running work, absorb partial-capacity kills
-    // that would otherwise land on natives), and that is a win, not drift.
-    const double reference =
-        c.mtbf > 0 ? c.native_only_util : base_native_util;
-    const double dnat = nat - reference;
+    // that would otherwise land on natives); that is a win, not drift.
+    const double dnat = nat - native_ref(c.variant.mtbf);
     native_pinned = native_pinned && dnat >= -0.005;
-    t.row({c.name, c.checkpoint > 0 ? "30m" : "-",
+    t.row({c.variant.name, c.variant.checkpoint > 0 ? "30m" : "-",
            Table::integer(static_cast<long long>(s.faults_injected)),
            Table::integer(static_cast<long long>(s.fault_killed_native)) +
                "/" +
@@ -137,29 +250,44 @@ int main() {
   }
   t.print();
 
+  // --- Speedup gate: prefix sharing must actually pay.  The forked arm
+  // simulates each shared prefix once (two prefixes) plus one fault
+  // window per variant; the scratch arm re-simulates everything.
+  const double speedup = forked_wall > 0 ? scratch_wall / forked_wall : 0;
+  double min_speedup = quick ? 1.3 : 2.0;
+  if (const char* env = std::getenv("ISTC_FORK_SPEEDUP_MIN")) {
+    min_speedup = std::atof(env);
+  }
+  const bool fast_enough = min_speedup <= 0 || speedup >= min_speedup;
+
   std::printf(
-      "\nReading: d-native compares each row against a native-only run with\n"
-      "the *same* fault timeline (fault-free rows against the fault-free\n"
-      "baseline %.3f).  Faults cost the machine capacity no matter what,\n"
-      "so the fair question is whether harvesting adds native damage on\n"
-      "top — it does not: no row drops more than 0.5 points below its\n"
+      "\nReading: failures land in the back quarter of the log ([%.0f h,\n"
+      "%.0f h)); every variant shares the fault-free prefix before that.\n"
+      "d-native compares each row against a native-only run under the\n"
+      "*same* fault timeline.  Faults cost the machine capacity no matter\n"
+      "what, so the fair question is whether harvesting adds native damage\n"
+      "on top — it does not: no row drops more than 0.5 points below its\n"
       "reference, and rows can come out ahead because interstitials (the\n"
       "youngest running work) absorb partial-capacity kills that would\n"
-      "otherwise land on natives.  The harvest lift shrinks with the MTBF\n"
-      "(killed interstitial work plus repair downtime), and checkpointing\n"
-      "claws back much of the loss: only work since the last 30-minute\n"
-      "checkpoint is redone.\n"
-      "native pinned within 0.5 points at every setting: %s\n",
-      base_native_util, native_pinned ? "yes" : "NO");
+      "otherwise land on natives.  Checkpointing claws back much of the\n"
+      "interstitial loss: only work since the last 30-minute checkpoint is\n"
+      "redone.\n"
+      "native pinned within 0.5 points at every setting: %s\n"
+      "fork results bit-identical to from-scratch runs:  %s\n"
+      "sweep wall time: forked %.2fs vs from-scratch %.2fs (%.2fx, need "
+      ">=%.2fx)\n",
+      static_cast<double>(t0) / 3600.0, static_cast<double>(span) / 3600.0,
+      native_pinned ? "yes" : "NO", forks_exact ? "yes" : "NO", forked_wall,
+      scratch_wall, speedup, min_speedup);
 
   // BENCH-style JSON artifact (same shape the micro benches emit) so CI
-  // can track the degradation curve across commits.
+  // can track the degradation curve and the fork speedup across commits.
   const std::string path = bench::artifact_path("BENCH_faults.json");
   if (std::FILE* f = std::fopen(path.c_str(), "w")) {
     std::fprintf(f, "{\"benchmarks\":[\n");
-    for (std::size_t i = 0; i < cases.size(); ++i) {
-      const CaseResult& c = cases[i];
-      const auto& s = c.run.trace;
+    for (std::size_t i = 0; i < forked.size(); ++i) {
+      const VariantResult& c = forked[i];
+      const auto& s = c.counters;
       std::fprintf(
           f,
           "{\"name\":\"faults/%s/ckpt_%lld\",\"mtbf_s\":%lld,"
@@ -167,22 +295,25 @@ int main() {
           "\"overall_util\":%.6f,\"native_util\":%.6f,"
           "\"native_util_reference\":%.6f,\"cpu_h_lost\":%.2f,"
           "\"cpu_h_recovered\":%.2f,\"retries\":%llu,"
-          "\"retries_exhausted\":%llu}%s\n",
-          c.name, static_cast<long long>(c.checkpoint),
-          static_cast<long long>(c.mtbf),
-          static_cast<long long>(c.checkpoint),
+          "\"retries_exhausted\":%llu},\n",
+          c.variant.name, static_cast<long long>(c.variant.checkpoint),
+          static_cast<long long>(c.variant.mtbf),
+          static_cast<long long>(c.variant.checkpoint),
           static_cast<unsigned long long>(s.faults_injected),
           bench::overall_util(c.run), bench::native_util_of(c.run),
-          c.mtbf > 0 ? c.native_only_util : base_native_util,
+          native_ref(c.variant.mtbf),
           static_cast<double>(s.fault_cpu_sec_lost) / 3600.0,
           static_cast<double>(s.fault_cpu_sec_recovered) / 3600.0,
           static_cast<unsigned long long>(s.fault_retries),
-          static_cast<unsigned long long>(s.fault_retries_exhausted),
-          i + 1 < cases.size() ? "," : "");
+          static_cast<unsigned long long>(s.fault_retries_exhausted));
     }
+    std::fprintf(f,
+                 "{\"name\":\"faults/fork_sweep\",\"forked_wall_s\":%.3f,"
+                 "\"scratch_wall_s\":%.3f,\"speedup\":%.3f}\n",
+                 forked_wall, scratch_wall, speedup);
     std::fprintf(f, "]}\n");
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
   }
-  return native_pinned ? 0 : 1;
+  return (native_pinned && forks_exact && fast_enough) ? 0 : 1;
 }

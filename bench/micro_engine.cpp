@@ -1,10 +1,11 @@
 // Microbenchmarks of the discrete-event engine.
 //
-// Every benchmark takes a trailing 0/1 arg selecting the event-queue
-// representation in the same binary: 0 = the legacy std::function heap,
-// 1 = the typed flat heap (Scenario::typed_events).  Schedules are
-// identical either way (the determinism suite pins that); only the
-// per-event representation cost moves.
+// Every benchmark takes a trailing queue-impl arg selecting the event
+// queue in the same binary: 0 = the legacy std::function heap, 1 = the
+// typed flat binary heap, 2 = the typed calendar/ladder queue (the
+// production default).  Schedules are identical in every mode (the
+// determinism suite pins that); only the per-event representation and
+// ordering cost moves.
 
 #include <benchmark/benchmark.h>
 
@@ -15,13 +16,27 @@
 namespace {
 
 using istc::SimTime;
+using istc::sim::QueueImpl;
+
+QueueImpl impl_of(long arg) {
+  switch (arg) {
+    case 0:
+      return QueueImpl::kLegacy;
+    case 1:
+      return QueueImpl::kBinaryHeap;
+    default:
+      return QueueImpl::kCalendar;
+  }
+}
 
 void BM_EngineScheduleAndDrain(benchmark::State& state) {
   const auto n = static_cast<SimTime>(state.range(0));
-  const bool typed = state.range(1) != 0;
+  const QueueImpl impl = impl_of(state.range(1));
   for (auto _ : state) {
-    istc::sim::Engine eng(typed);
-    if (typed) eng.reserve_events(static_cast<std::size_t>(n));
+    istc::sim::Engine eng(impl);
+    if (impl != QueueImpl::kLegacy) {
+      eng.reserve_events(static_cast<std::size_t>(n));
+    }
     long sink = 0;
     for (SimTime t = 0; t < n; ++t) {
       eng.schedule(t, [&sink] { ++sink; });
@@ -34,13 +49,15 @@ void BM_EngineScheduleAndDrain(benchmark::State& state) {
 BENCHMARK(BM_EngineScheduleAndDrain)
     ->Args({1000, 0})
     ->Args({1000, 1})
+    ->Args({1000, 2})
     ->Args({100000, 0})
-    ->Args({100000, 1});
+    ->Args({100000, 1})
+    ->Args({100000, 2});
 
 // The steady-state shape of a site replay: every event a typed job event
 // dispatched through the JobEventSink vtable, no callbacks at all.  Only
-// meaningful on the typed path (legacy wraps these in std::function, which
-// BM_EngineScheduleAndDrain already measures).
+// meaningful on the typed paths (legacy wraps these in std::function,
+// which BM_EngineScheduleAndDrain already measures).
 void BM_EngineTypedJobStream(benchmark::State& state) {
   struct CountingSink final : istc::sim::JobEventSink {
     long submits = 0;
@@ -49,8 +66,9 @@ void BM_EngineTypedJobStream(benchmark::State& state) {
     void job_finish(std::uint32_t) override { ++finishes; }
   };
   const auto n = static_cast<SimTime>(state.range(0));
+  const QueueImpl impl = impl_of(state.range(1));
   for (auto _ : state) {
-    istc::sim::Engine eng;
+    istc::sim::Engine eng(impl);
     CountingSink sink;
     eng.set_job_sink(&sink);
     eng.reserve_events(static_cast<std::size_t>(2 * n));
@@ -63,14 +81,14 @@ void BM_EngineTypedJobStream(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n);
 }
-BENCHMARK(BM_EngineTypedJobStream)->Arg(100000);
+BENCHMARK(BM_EngineTypedJobStream)->Args({100000, 1})->Args({100000, 2});
 
 void BM_EngineSameTimestampBatch(benchmark::State& state) {
   // Many events at one timestamp: one quiescent pass per step.
   const auto n = static_cast<SimTime>(state.range(0));
-  const bool typed = state.range(1) != 0;
+  const QueueImpl impl = impl_of(state.range(1));
   for (auto _ : state) {
-    istc::sim::Engine eng(typed);
+    istc::sim::Engine eng(impl);
     long hook_calls = 0;
     eng.on_quiescent([&hook_calls](SimTime) { ++hook_calls; });
     for (SimTime i = 0; i < n; ++i) eng.schedule(42, [] {});
@@ -79,7 +97,10 @@ void BM_EngineSameTimestampBatch(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_EngineSameTimestampBatch)->Args({10000, 0})->Args({10000, 1});
+BENCHMARK(BM_EngineSameTimestampBatch)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({10000, 2});
 
 // Deliberately the typed core's worst case: a recursive chain needs a
 // self-referential callable, and copying a std::function into the queue
@@ -88,9 +109,9 @@ BENCHMARK(BM_EngineSameTimestampBatch)->Args({10000, 0})->Args({10000, 1});
 // takes this path — it exists to keep the fallback's cost visible.
 void BM_EngineSelfPerpetuatingChain(benchmark::State& state) {
   const long links = state.range(0);
-  const bool typed = state.range(1) != 0;
+  const QueueImpl impl = impl_of(state.range(1));
   for (auto _ : state) {
-    istc::sim::Engine eng(typed);
+    istc::sim::Engine eng(impl);
     long count = 0;
     std::function<void()> link = [&] {
       if (++count < links) eng.schedule_in(1, link);
@@ -101,14 +122,17 @@ void BM_EngineSelfPerpetuatingChain(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * links);
 }
-BENCHMARK(BM_EngineSelfPerpetuatingChain)->Args({100000, 0})->Args({100000, 1});
+BENCHMARK(BM_EngineSelfPerpetuatingChain)
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->Args({100000, 2});
 
 // End-to-end: the continual-harvest co-simulation (the heaviest scenario
-// class) with the event core A/B'd via Scenario::typed_events.  Wall ms is
-// the number to compare — this is the event queue's share of a real
+// class) with the event core A/B'd across all three queue impls.  Wall ms
+// is the number to compare — this is the event queue's share of a real
 // experiment, everything else held constant.
 void BM_ContinualHarvestEventCore(benchmark::State& state) {
-  const bool typed = state.range(0) != 0;
+  const QueueImpl impl = impl_of(state.range(0));
   std::uint64_t seed = 400;
   std::uint64_t heap_allocs = 0;
   for (auto _ : state) {
@@ -118,7 +142,8 @@ void BM_ContinualHarvestEventCore(benchmark::State& state) {
     sc.log_seed = seed++;  // avoid the process-wide cache
     sc.project = istc::core::ProjectSpec::continual_stream(
         32, 120, istc::cluster::site_span(sc.site));
-    sc.typed_events = typed;
+    sc.typed_events = impl != QueueImpl::kLegacy;
+    sc.queue = impl == QueueImpl::kLegacy ? QueueImpl::kCalendar : impl;
     sc.tracer = &tracer;
     const auto run = istc::core::run_scenario(sc);
     benchmark::DoNotOptimize(run.records.size());
@@ -131,6 +156,7 @@ void BM_ContinualHarvestEventCore(benchmark::State& state) {
 BENCHMARK(BM_ContinualHarvestEventCore)
     ->Arg(0)
     ->Arg(1)
+    ->Arg(2)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 

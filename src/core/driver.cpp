@@ -30,6 +30,26 @@ InterstitialDriver::InterstitialDriver(sched::BatchScheduler& scheduler,
   scheduler_.wake_at(std::max(spec_.start_time, scheduler.engine().now()));
 }
 
+InterstitialDriver::InterstitialDriver(sched::BatchScheduler& scheduler,
+                                       const InterstitialDriver& other)
+    : scheduler_(scheduler),
+      spec_(other.spec_),
+      job_runtime_(other.job_runtime_),
+      next_id_(other.next_id_),
+      submitted_(other.submitted_),
+      kills_observed_(other.kills_observed_),
+      retries_exhausted_(other.retries_exhausted_),
+      resume_(other.resume_),
+      retry_queue_(other.retry_queue_),
+      retry_attempts_(other.retry_attempts_) {
+  scheduler_.set_post_pass_hook(
+      [this](const sched::PassContext& ctx) { on_pass(ctx); });
+  scheduler_.set_kill_hook(
+      [this](const sched::JobRecord& victim, sched::KillReason reason) {
+        on_kill(victim, reason);
+      });
+}
+
 void InterstitialDriver::on_kill(const sched::JobRecord& victim,
                                  sched::KillReason reason) {
   if (!victim.interstitial()) return;

@@ -34,6 +34,14 @@ class InterstitialDriver {
   InterstitialDriver(sched::BatchScheduler& scheduler, ProjectSpec spec,
                      workload::JobId first_job_id);
 
+  /// Run-fork clone: copy `other`'s mid-run submission state and attach to
+  /// `scheduler` (the forked scheduler; registers the post-pass and kill
+  /// hooks there).  Unlike the primary constructor this schedules no
+  /// initial wake — the forked engine's queue already holds every wake the
+  /// source had armed.
+  InterstitialDriver(sched::BatchScheduler& scheduler,
+                     const InterstitialDriver& other);
+
   InterstitialDriver(const InterstitialDriver&) = delete;
   InterstitialDriver& operator=(const InterstitialDriver&) = delete;
 
@@ -47,6 +55,16 @@ class InterstitialDriver {
 
   const ProjectSpec& spec() const { return spec_; }
   Seconds job_runtime() const { return job_runtime_; }
+
+  /// Sweep support: swap the fault-retry policy (max retries, backoff,
+  /// checkpoint cadence) mid-run.  The policy is only consulted when a
+  /// fault kill is handled, so setting it on a freshly forked run whose
+  /// fault window lies entirely ahead is exactly equivalent to having
+  /// constructed the driver with it (the fork determinism gate in
+  /// bench/extension_faults.cpp checks that equivalence every run).
+  void set_fault_retry(const FaultRetryPolicy& policy) {
+    spec_.fault_retry = policy;
+  }
 
   /// Kill accounting: every interstitial kill the scheduler reported
   /// (preemption and faults alike; see PreemptionRecovery / FaultRetryPolicy).

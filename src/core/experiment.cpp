@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/driver.hpp"
+#include "core/fork.hpp"
 #include "core/run_cache.hpp"
 #include "metrics/makespan.hpp"
 #include "metrics/report.hpp"
@@ -20,54 +21,11 @@ namespace istc::core {
 using cluster::Site;
 
 sched::RunResult run_scenario(const Scenario& scenario) {
-  const Site site = scenario.site;
-  workload::JobLog log = scenario.log_seed == 0
-                             ? workload::site_log(site)
-                             : workload::site_log(site, scenario.log_seed);
-  if (scenario.perfect_estimates) {
-    log = workload::with_perfect_estimates(log);
-  }
-  if (scenario.native_time_factor != 1.0 ||
-      scenario.native_size_factor != 1.0) {
-    log = workload::with_scaled_jobs(log, scenario.native_time_factor,
-                                     scenario.native_size_factor,
-                                     cluster::machine_spec(site).cpus);
-  }
-
-  sim::Engine engine(scenario.typed_events);
-  sched::PolicySpec policy = sched::site_policy(site);
-  policy.preempt_interstitial = scenario.preempt_interstitial;
-  policy.incremental_profile = scenario.incremental_profile;
-  sched::BatchScheduler scheduler(engine, cluster::make_machine(site),
-                                  std::move(policy));
-  if (scenario.tracer != nullptr) scheduler.set_tracer(scenario.tracer);
-  scheduler.load(log);
-
-  std::optional<InterstitialDriver> driver;
-  if (scenario.project) {
-    driver.emplace(scheduler, *scenario.project,
-                   static_cast<workload::JobId>(log.size()));
-  }
-
-  // Constructed after the driver so the fault timeline's event sequence
-  // numbers follow the driver's initial wake — times are unaffected.
-  std::optional<fault::FaultInjector> injector;
-  if (scenario.faults.enabled()) {
-    fault::FaultSpec faults = scenario.faults;
-    faults.stop = std::min(faults.stop, cluster::site_span(site));
-    injector.emplace(scheduler, faults);
-  }
-
-  // Attached last so the sampler's first tick follows every constructor's
-  // initial events in sequence order; attach only observes the run.
-  if (scenario.metrics != nullptr) {
-    scenario.metrics->attach(engine, scheduler, cluster::site_span(site));
-  }
-
-  engine.run();
-  auto result = scheduler.take_result(cluster::site_span(site));
-  if (scenario.metrics != nullptr) scenario.metrics->ingest(result);
-  return result;
+  // SimRun owns the construction order (engine → scheduler → driver →
+  // injector → metrics); running straight to the end without forking is
+  // the degenerate case.
+  SimRun run(scenario);
+  return run.finish();
 }
 
 namespace {

@@ -42,8 +42,9 @@ FaultInjector::FaultInjector(sched::BatchScheduler& scheduler, FaultSpec spec)
   // the crash process is independent of the node-failure process and both
   // depend only on the seed — never on what the simulation does.
   const Rng root(spec_.seed);
-  const auto generate = [this, &root](Seconds mtbf, std::uint64_t stream,
-                                      bool crash) {
+  std::vector<FaultEvent> timeline;
+  const auto generate = [this, &root, &timeline](
+                            Seconds mtbf, std::uint64_t stream, bool crash) {
     if (mtbf <= 0) return;
     Rng rng = root.fork(stream);
     SimTime t = spec_.start;
@@ -52,27 +53,41 @@ FaultInjector::FaultInjector(sched::BatchScheduler& scheduler, FaultSpec spec)
           std::llround(rng.exponential(static_cast<double>(mtbf))));
       t += std::max<Seconds>(1, gap);
       if (t >= spec_.stop) break;
-      timeline_.push_back(FaultEvent{t, crash});
+      timeline.push_back(FaultEvent{t, crash});
     }
   };
   generate(spec_.crash_mtbf, 1, true);
   generate(spec_.node_mtbf, 2, false);
   // Merge the streams; at equal times the crash fires first (it subsumes
   // any node failure anyway).
-  std::sort(timeline_.begin(), timeline_.end(),
+  std::sort(timeline.begin(), timeline.end(),
             [](const FaultEvent& a, const FaultEvent& b) {
               if (a.time != b.time) return a.time < b.time;
               return a.crash && !b.crash;
             });
+  timeline_ =
+      std::make_shared<const std::vector<FaultEvent>>(std::move(timeline));
   sim::Engine& engine = scheduler_.engine();
-  engine.reserve_events(timeline_.size());
-  for (std::size_t i = 0; i < timeline_.size(); ++i) {
-    engine.schedule(timeline_[i].time, [this, i] { fire(i); });
+  engine.reserve_events(timeline_->size());
+  // Typed fault events: the queue entry carries the timeline index, not a
+  // closure, so a mid-run queue stays POD-only (run forks depend on it).
+  engine.set_fault_hook([this](std::uint32_t i) { fire(i); });
+  for (std::size_t i = 0; i < timeline_->size(); ++i) {
+    engine.schedule_fault((*timeline_)[i].time, static_cast<std::uint32_t>(i));
   }
 }
 
+FaultInjector::FaultInjector(sched::BatchScheduler& scheduler,
+                             const FaultInjector& other)
+    : scheduler_(scheduler),
+      spec_(other.spec_),
+      timeline_(other.timeline_),
+      stats_(other.stats_) {
+  scheduler_.engine().set_fault_hook([this](std::uint32_t i) { fire(i); });
+}
+
 void FaultInjector::fire(std::size_t index) {
-  const FaultEvent& ev = timeline_[index];
+  const FaultEvent& ev = (*timeline_)[index];
   const SimTime now = scheduler_.engine().now();
   ISTC_ASSERT(now == ev.time);
   const int total = scheduler_.machine().total_cpus();

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sched/scheduler.hpp"
@@ -76,13 +77,20 @@ class FaultInjector {
  public:
   FaultInjector(sched::BatchScheduler& scheduler, FaultSpec spec);
 
+  /// Run-fork clone: attach to `scheduler` (the forked stack) and share
+  /// `other`'s immutable timeline.  The forked engine's queue already
+  /// holds the not-yet-fired kFaultFire events (each carrying its
+  /// timeline index), so the clone schedules nothing — it only registers
+  /// itself as the fault hook and carries the tallies forward.
+  FaultInjector(sched::BatchScheduler& scheduler, const FaultInjector& other);
+
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
   const FaultSpec& spec() const { return spec_; }
   const FaultStats& stats() const { return stats_; }
   /// Failures on the pre-generated timeline (fired + still pending).
-  std::size_t scheduled_faults() const { return timeline_.size(); }
+  std::size_t scheduled_faults() const { return timeline_->size(); }
 
  private:
   struct FaultEvent {
@@ -94,7 +102,8 @@ class FaultInjector {
 
   sched::BatchScheduler& scheduler_;
   FaultSpec spec_;
-  std::vector<FaultEvent> timeline_;
+  /// Immutable once generated; shared between a run and its forks.
+  std::shared_ptr<const std::vector<FaultEvent>> timeline_;
   FaultStats stats_;
 };
 

@@ -9,7 +9,7 @@ namespace istc::grid {
 GridMachine::GridMachine(MachineSetup setup)
     : setup_(std::move(setup)),
       name_(setup_.name.empty() ? setup_.spec.name : setup_.name),
-      engine_(setup_.typed_events),
+      engine_(setup_.queue_impl()),
       scheduler_(engine_, cluster::Machine(setup_.spec, setup_.downtime),
                  setup_.policy),
       tracer_(trace::TraceMode::kCountersOnly) {

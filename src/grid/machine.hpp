@@ -94,6 +94,11 @@ struct MachineSetup {
   /// before the port bounces it back to the broker for re-routing.
   Seconds bounce_patience = 0;
   bool typed_events = true;
+  /// Typed queue selection (same semantics as core::Scenario::queue).
+  sim::QueueImpl queue = sim::QueueImpl::kCalendar;
+  sim::QueueImpl queue_impl() const {
+    return typed_events ? queue : sim::QueueImpl::kLegacy;
+  }
 };
 
 class GridMachine {

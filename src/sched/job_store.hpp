@@ -1,0 +1,151 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/time.hpp"
+#include "workload/job.hpp"
+
+/// \file job_store.hpp
+/// Structure-of-arrays storage for every job the scheduler currently holds
+/// (waiting, running, or killed-awaiting-its-stale-finish-event).
+///
+/// The scheduler's hot loops — victim selection for preemption and
+/// unplanned failures, from-scratch profile rebuilds, reclaimable-capacity
+/// checks — are scans over "every running job".  Storing those jobs in an
+/// unordered_map made each scan a pointer chase; here they are parallel
+/// arrays (state / start / estimated end / cpus / id / class) indexed by a
+/// stable 32-bit slot, so a scan touches a handful of contiguous cache
+/// lines.  The cold workload::Job payload (user, group, submit, runtime,
+/// estimate...) lives in its own array, read only when a specific job is
+/// acted on.
+///
+/// Slots are recycled through a free list, so the arrays stay sized to the
+/// high-water mark of concurrently live jobs (not the log length), and the
+/// engine's kJobFinish events can carry the slot directly — completion is
+/// an array access, no hash lookup.
+///
+/// A killed job's slot parks in the zombie state instead of freeing: its
+/// completion event is still queued, and the slot must not be reissued
+/// until that stale event fires and releases it (the same protocol the old
+/// killed_pending_ set implemented, now a state tag instead of a second
+/// container).
+
+namespace istc::sched {
+
+/// Lifecycle tag of one slot.
+enum class SlotState : std::uint8_t {
+  kFree = 0,     ///< on the free list, contents meaningless
+  kPending = 1,  ///< waiting in the scheduler's queue
+  kRunning = 2,  ///< on CPUs; a kJobFinish event holds the slot number
+  kZombie = 3,   ///< killed; held until the stale finish event fires
+};
+
+class JobStore {
+ public:
+  /// Insert a job as kPending and return its slot (free-list recycled).
+  std::uint32_t acquire(const workload::Job& job) {
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+      ISTC_ASSERT(state_[slot] == SlotState::kFree);
+      job_[slot] = job;
+    } else {
+      slot = static_cast<std::uint32_t>(job_.size());
+      job_.push_back(job);
+      state_.push_back(SlotState::kFree);
+      start_.push_back(0);
+      est_end_.push_back(0);
+      cpus_.push_back(0);
+      id_.push_back(0);
+      interstitial_.push_back(0);
+    }
+    state_[slot] = SlotState::kPending;
+    start_[slot] = 0;
+    est_end_[slot] = 0;
+    cpus_[slot] = job.cpus;
+    id_[slot] = job.id;
+    interstitial_[slot] = job.interstitial() ? 1 : 0;
+    ++live_;
+    return slot;
+  }
+
+  /// kPending -> kRunning with the dispatch's start / estimated end.
+  void mark_running(std::uint32_t slot, SimTime start, SimTime est_end) {
+    ISTC_ASSERT(state_[slot] == SlotState::kPending);
+    state_[slot] = SlotState::kRunning;
+    start_[slot] = start;
+    est_end_[slot] = est_end;
+  }
+
+  /// kRunning -> kZombie: the job was killed but its finish event is still
+  /// queued and owns the slot.
+  void mark_zombie(std::uint32_t slot) {
+    ISTC_ASSERT(state_[slot] == SlotState::kRunning);
+    state_[slot] = SlotState::kZombie;
+    ++zombies_;
+  }
+
+  /// Free a slot (completion, or a zombie's stale finish event firing).
+  void release(std::uint32_t slot) {
+    ISTC_ASSERT(state_[slot] != SlotState::kFree);
+    if (state_[slot] == SlotState::kZombie) --zombies_;
+    state_[slot] = SlotState::kFree;
+    free_.push_back(slot);
+    --live_;
+  }
+
+  // -- hot columns ---------------------------------------------------------
+
+  SlotState state(std::uint32_t slot) const { return state_[slot]; }
+  SimTime start(std::uint32_t slot) const { return start_[slot]; }
+  SimTime est_end(std::uint32_t slot) const { return est_end_[slot]; }
+  int cpus(std::uint32_t slot) const { return cpus_[slot]; }
+  workload::JobId id(std::uint32_t slot) const { return id_[slot]; }
+  bool interstitial(std::uint32_t slot) const {
+    return interstitial_[slot] != 0;
+  }
+
+  // -- cold payload --------------------------------------------------------
+
+  const workload::Job& job(std::uint32_t slot) const { return job_[slot]; }
+
+  // -- extent --------------------------------------------------------------
+
+  /// One past the highest slot ever issued (scan bound; includes free
+  /// slots, whose state tag excludes them from any walk).
+  std::uint32_t slots() const { return static_cast<std::uint32_t>(job_.size()); }
+  /// Non-free slots (pending + running + zombie).
+  std::size_t live() const { return live_; }
+  std::size_t zombies() const { return zombies_; }
+
+  void reserve(std::size_t n) {
+    job_.reserve(n);
+    state_.reserve(n);
+    start_.reserve(n);
+    est_end_.reserve(n);
+    cpus_.reserve(n);
+    id_.reserve(n);
+    interstitial_.reserve(n);
+  }
+
+ private:
+  // Parallel hot arrays, all indexed by slot.
+  std::vector<SlotState> state_;
+  std::vector<SimTime> start_;
+  std::vector<SimTime> est_end_;
+  std::vector<int> cpus_;
+  std::vector<workload::JobId> id_;
+  std::vector<std::uint8_t> interstitial_;
+  // Cold payload, same indexing.
+  std::vector<workload::Job> job_;
+  /// LIFO free list — recycling order is a pure function of event order,
+  /// so slot assignment is deterministic.
+  std::vector<std::uint32_t> free_;
+  std::size_t live_ = 0;
+  std::size_t zombies_ = 0;
+};
+
+}  // namespace istc::sched

@@ -53,7 +53,7 @@ void PriorityStage::run(BatchScheduler& s, PassState& st) {
     std::unordered_map<std::uint32_t, double> deficits;
     deficits.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-      const workload::Job& job = s.pending_[i];
+      const workload::Job& job = s.store_.job(s.pending_[i]);
       const std::uint32_t key =
           (static_cast<std::uint32_t>(job.user) << 16) |
           static_cast<std::uint32_t>(job.group);
@@ -66,10 +66,12 @@ void PriorityStage::run(BatchScheduler& s, PassState& st) {
                        if (s.prio_[a] != s.prio_[b]) {
                          return s.prio_[a] > s.prio_[b];
                        }
-                       if (s.pending_[a].submit != s.pending_[b].submit) {
-                         return s.pending_[a].submit < s.pending_[b].submit;
+                       const workload::Job& ja = s.store_.job(s.pending_[a]);
+                       const workload::Job& jb = s.store_.job(s.pending_[b]);
+                       if (ja.submit != jb.submit) {
+                         return ja.submit < jb.submit;
                        }
-                       return s.pending_[a].id < s.pending_[b].id;
+                       return ja.id < jb.id;
                      });
     s.prio_epoch_ = s.fairshare_.epoch();
     s.pending_dirty_ = false;
@@ -91,9 +93,9 @@ void DispatchStage::run(BatchScheduler& s, PassState& st) {
   std::size_t pos = 0;
   for (; pos < st.order.size(); ++pos) {
     const std::size_t idx = st.order[pos];
-    const workload::Job& job = s.pending_[idx];
+    const std::uint32_t slot = s.pending_[idx];
     SimTime t = kTimeInfinity;
-    if (s.try_dispatch(job, st.now, /*may_start=*/true, preempt_, t)) {
+    if (s.try_dispatch(slot, st.now, /*may_start=*/true, preempt_, t)) {
       st.started[idx] = 1;
       continue;
     }
@@ -102,7 +104,7 @@ void DispatchStage::run(BatchScheduler& s, PassState& st) {
     st.saw_blocked = true;
     st.head_earliest = t;
     st.queue_earliest = std::min(st.queue_earliest, t);
-    s.make_reservation(job, t);
+    s.make_reservation(s.store_.job(slot), t);
     ++pos;
     break;
   }
@@ -116,9 +118,9 @@ void BackfillStage::run(BatchScheduler& s, PassState& st) {
   const bool may_start = mode_ != BackfillMode::kNone;
   for (std::size_t pos = st.resume_pos; pos < st.order.size(); ++pos) {
     const std::size_t idx = st.order[pos];
-    const workload::Job& job = s.pending_[idx];
+    const std::uint32_t slot = s.pending_[idx];
     SimTime t = kTimeInfinity;
-    if (s.try_dispatch(job, st.now, may_start, preempt_, t)) {
+    if (s.try_dispatch(slot, st.now, may_start, preempt_, t)) {
       // Started while a higher-priority job stayed blocked: backfill.
       ++s.stats_.backfilled_starts;
       st.started[idx] = 1;
@@ -129,7 +131,9 @@ void BackfillStage::run(BatchScheduler& s, PassState& st) {
     // they cannot delay it.  Conservative: every blocked job reserves, so
     // nothing may delay any higher-priority waiter (Ross's more
     // restrictive backfill).
-    if (mode_ == BackfillMode::kConservative) s.make_reservation(job, t);
+    if (mode_ == BackfillMode::kConservative) {
+      s.make_reservation(s.store_.job(slot), t);
+    }
   }
 }
 
@@ -152,7 +156,7 @@ void GateStage::run(BatchScheduler& s, PassState& st) {
     s.compact_buf_.clear();
     s.compact_buf_.reserve(s.pending_.size());
     for (const std::size_t idx : st.order) {
-      if (!st.started[idx]) s.compact_buf_.push_back(std::move(s.pending_[idx]));
+      if (!st.started[idx]) s.compact_buf_.push_back(s.pending_[idx]);
     }
     s.pending_.swap(s.compact_buf_);
   }

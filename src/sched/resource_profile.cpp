@@ -9,49 +9,60 @@ namespace istc::sched {
 ResourceProfile::ResourceProfile(SimTime origin, int capacity)
     : origin_(origin), capacity_(capacity) {
   ISTC_EXPECTS(capacity >= 0);
-  free_[origin_] = capacity_;
+  pts_.push_back(Pt{origin_, capacity_});
+}
+
+std::size_t ResourceProfile::find(SimTime t) const {
+  const auto first = pts_.begin() + static_cast<std::ptrdiff_t>(head_);
+  const auto it = std::upper_bound(
+      first, pts_.end(), t, [](SimTime v, const Pt& p) { return v < p.t; });
+  ISTC_ASSERT(it != first);
+  return static_cast<std::size_t>(it - pts_.begin()) - 1;
 }
 
 int ResourceProfile::free_at(SimTime t) const {
   ISTC_EXPECTS(t >= origin_);
-  auto it = free_.upper_bound(t);
-  ISTC_ASSERT(it != free_.begin());
-  --it;
-  return it->second;
+  return pts_[find(t)].f;
 }
 
 int ResourceProfile::min_free(SimTime start, SimTime end) const {
   ISTC_EXPECTS(start >= origin_);
   ISTC_EXPECTS(end > start);
-  auto it = free_.upper_bound(start);
-  ISTC_ASSERT(it != free_.begin());
-  --it;
-  int lo = it->second;
-  for (++it; it != free_.end() && it->first < end; ++it) {
-    lo = std::min(lo, it->second);
+  std::size_t i = find(start);
+  int lo = pts_[i].f;
+  for (++i; i < pts_.size() && pts_[i].t < end; ++i) {
+    lo = std::min(lo, pts_[i].f);
   }
   return lo;
 }
 
-std::map<SimTime, int>::iterator ResourceProfile::split_at(SimTime t) {
-  auto it = free_.lower_bound(t);
-  if (it != free_.end() && it->first == t) return it;
-  ISTC_ASSERT(it != free_.begin());
-  auto prev = std::prev(it);
-  return free_.emplace_hint(it, t, prev->second);
+std::size_t ResourceProfile::split_at(SimTime t) {
+  const std::size_t i = find(t);
+  if (pts_[i].t == t) return i;
+  pts_.insert(pts_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+              Pt{t, pts_[i].f});
+  return i + 1;
 }
 
 void ResourceProfile::coalesce(SimTime lo, SimTime hi) {
-  auto it = free_.lower_bound(lo);
-  if (it != free_.begin()) --it;
-  while (it != free_.end()) {
-    auto next = std::next(it);
-    if (next == free_.end() || it->first > hi) break;
-    if (next->second == it->second) {
-      free_.erase(next);
-    } else {
-      it = next;
-    }
+  // Mirror of the textbook map walk: consider (kept, next) pairs while the
+  // kept breakpoint is at or before hi; drop `next` when equal-valued.
+  // Survivors compact leftward in place; the single erase at the end
+  // closes the gap with one move of the untouched tail.
+  const auto first = pts_.begin() + static_cast<std::ptrdiff_t>(head_);
+  const auto it = std::lower_bound(
+      first, pts_.end(), lo, [](const Pt& p, SimTime v) { return p.t < v; });
+  std::size_t w = static_cast<std::size_t>(it - pts_.begin());
+  if (w > head_) --w;  // include the segment the range's left edge cuts into
+  std::size_t j = w + 1;
+  for (; j < pts_.size(); ++j) {
+    if (pts_[w].t > hi) break;
+    if (pts_[j].f == pts_[w].f) continue;  // merged into the kept segment
+    pts_[++w] = pts_[j];
+  }
+  if (j != w + 1) {
+    pts_.erase(pts_.begin() + static_cast<std::ptrdiff_t>(w) + 1,
+               pts_.begin() + static_cast<std::ptrdiff_t>(j));
   }
 }
 
@@ -60,12 +71,12 @@ void ResourceProfile::reserve(SimTime start, SimTime end, int cpus) {
   ISTC_EXPECTS(end > start);
   ISTC_EXPECTS(cpus > 0);
   ISTC_EXPECTS(min_free(start, end) >= cpus);
-  auto lo = split_at(start);
+  const std::size_t lo = split_at(start);
   // end may be past every breakpoint; splitting materializes the boundary.
-  split_at(end);
-  for (auto it = lo; it != free_.end() && it->first < end; ++it) {
-    it->second -= cpus;
-    ISTC_ASSERT(it->second >= 0);
+  const std::size_t hi = split_at(end);
+  for (std::size_t i = lo; i < hi; ++i) {
+    pts_[i].f -= cpus;
+    ISTC_ASSERT(pts_[i].f >= 0);
   }
   coalesce(start, end);
 }
@@ -74,11 +85,11 @@ void ResourceProfile::release(SimTime start, SimTime end, int cpus) {
   ISTC_EXPECTS(start >= origin_);
   ISTC_EXPECTS(end > start);
   ISTC_EXPECTS(cpus > 0);
-  auto lo = split_at(start);
-  split_at(end);
-  for (auto it = lo; it != free_.end() && it->first < end; ++it) {
-    it->second += cpus;
-    ISTC_ASSERT(it->second <= capacity_);
+  const std::size_t lo = split_at(start);
+  const std::size_t hi = split_at(end);
+  for (std::size_t i = lo; i < hi; ++i) {
+    pts_[i].f += cpus;
+    ISTC_ASSERT(pts_[i].f <= capacity_);
   }
   coalesce(start, end);
 }
@@ -92,15 +103,12 @@ ResourceProfile::Step ResourceProfile::step_at(SimTime t) const {
   // Fast path: t inside the first segment.  The sampler probes settled
   // state, where every breakpoint at or before the probe time has already
   // been consumed by a scheduler pass (advance_origin), so this is the
-  // common case — two node reads instead of a tree descent.
-  auto it = free_.begin();
-  if (auto second = std::next(it);
-      second != free_.end() && second->first <= t) {
-    it = std::prev(free_.upper_bound(t));
-  }
-  const int at_t = it->second;
-  for (++it; it != free_.end(); ++it) {
-    if (it->second != at_t) return {at_t, it->first};
+  // common case — one bounds check instead of a binary search.
+  std::size_t i = head_;
+  if (head_ + 1 < pts_.size() && pts_[head_ + 1].t <= t) i = find(t);
+  const int at_t = pts_[i].f;
+  for (++i; i < pts_.size(); ++i) {
+    if (pts_[i].f != at_t) return {at_t, pts_[i].t};
   }
   return {at_t, kTimeInfinity};
 }
@@ -108,45 +116,51 @@ ResourceProfile::Step ResourceProfile::step_at(SimTime t) const {
 void ResourceProfile::advance_origin(SimTime t) {
   ISTC_EXPECTS(t >= origin_);
   if (t == origin_) return;
-  // Value in force at t comes from the last breakpoint <= t.
-  auto it = free_.upper_bound(t);
-  ISTC_ASSERT(it != free_.begin());
-  --it;
-  const int at_t = it->second;
-  free_.erase(free_.begin(), free_.upper_bound(t));
-  // Re-anchor the first segment exactly at t (erase may have removed it).
-  free_[t] = at_t;
+  // The segment covering t becomes the first live entry, re-anchored
+  // exactly at t; everything before it is dead history behind the cursor.
+  std::size_t i = find(t);
+  pts_[i].t = t;
+  head_ = i;
   origin_ = t;
   // The new first segment may now equal its successor (the erased history
-  // carried the only difference); merge so the profile stays canonical.
-  coalesce(t, t);
+  // carried the only difference); fold the run so the profile stays
+  // canonical.
+  while (head_ + 1 < pts_.size() && pts_[head_ + 1].f == pts_[head_].f) {
+    pts_[head_ + 1].t = t;
+    ++head_;
+  }
+  // Reclaim the dead prefix in bulk once it dominates: amortized O(1) per
+  // advance, and the array never grows beyond ~2x the live breakpoints.
+  if (head_ > 64 && head_ * 2 > pts_.size()) {
+    pts_.erase(pts_.begin(), pts_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
 }
 
-void ResourceProfile::coalesce() {
-  coalesce(origin_, std::prev(free_.end())->first);
-}
+void ResourceProfile::coalesce() { coalesce(origin_, pts_.back().t); }
 
 bool ResourceProfile::same_function(const ResourceProfile& other) const {
   if (origin_ != other.origin_ || capacity_ != other.capacity_) return false;
   // Sweep the union of breakpoints; the functions are equal iff they agree
   // on every segment the union induces.
-  auto a = free_.begin();
-  auto b = other.free_.begin();
-  int va = a->second;
-  int vb = b->second;
+  std::size_t a = head_;
+  std::size_t b = other.head_;
+  int va = pts_[a].f;
+  int vb = other.pts_[b].f;
   ++a;
   ++b;
-  while (a != free_.end() || b != other.free_.end()) {
+  while (a < pts_.size() || b < other.pts_.size()) {
     if (va != vb) return false;
-    if (b == other.free_.end() || (a != free_.end() && a->first < b->first)) {
-      va = a->second;
+    if (b == other.pts_.size() ||
+        (a < pts_.size() && pts_[a].t < other.pts_[b].t)) {
+      va = pts_[a].f;
       ++a;
-    } else if (a == free_.end() || b->first < a->first) {
-      vb = b->second;
+    } else if (a == pts_.size() || other.pts_[b].t < pts_[a].t) {
+      vb = other.pts_[b].f;
       ++b;
     } else {
-      va = a->second;
-      vb = b->second;
+      va = pts_[a].f;
+      vb = other.pts_[b].f;
       ++a;
       ++b;
     }
@@ -160,46 +174,44 @@ SimTime ResourceProfile::earliest_fit(int cpus, Seconds duration,
   ISTC_EXPECTS(duration > 0);
   ISTC_EXPECTS(cpus <= capacity_);
   SimTime t = std::max(not_before, origin_);
+  const std::size_t n = pts_.size();
   // Walk candidate start times: current t, then each breakpoint where free
   // capacity rises.  For each candidate, scan the window; on failure, jump
   // to the step after the blocking segment.
   for (;;) {
-    // Find the first segment covering t.
-    auto it = free_.upper_bound(t);
-    ISTC_ASSERT(it != free_.begin());
-    --it;
-    if (it->second < cpus) {
+    // Find the segment covering t.
+    std::size_t i = find(t);
+    if (pts_[i].f < cpus) {
       // Blocked immediately; advance to the next step with enough room.
-      ++it;
-      while (it != free_.end() && it->second < cpus) ++it;
-      if (it == free_.end()) {
+      ++i;
+      while (i < n && pts_[i].f < cpus) ++i;
+      if (i == n) {
         // Last segment value is reachable only if >= cpus; since the final
         // segment extends to infinity and capacity >= cpus, the last
         // segment must eventually fit.  If not, the profile is saturated
         // forever, which reserve() forbids (it cannot exceed capacity).
-        ISTC_ASSERT(std::prev(free_.end())->second >= cpus);
-        return std::prev(free_.end())->first > t ? std::prev(free_.end())->first
-                                                 : t;
+        ISTC_ASSERT(pts_[n - 1].f >= cpus);
+        return pts_[n - 1].t > t ? pts_[n - 1].t : t;
       }
-      t = it->first;
+      t = pts_[i].t;
       continue;
     }
     // Scan forward through [t, t+duration).
     const SimTime end = t + duration;
-    auto scan = std::next(it);
+    std::size_t scan = i + 1;
     bool ok = true;
-    for (; scan != free_.end() && scan->first < end; ++scan) {
-      if (scan->second < cpus) {
+    for (; scan < n && pts_[scan].t < end; ++scan) {
+      if (pts_[scan].f < cpus) {
         ok = false;
         break;
       }
     }
     if (ok) return t;
     // Restart after the blocking segment.
-    auto after = scan;
-    while (after != free_.end() && after->second < cpus) ++after;
-    ISTC_ASSERT(after != free_.end() || std::prev(free_.end())->second >= cpus);
-    t = after != free_.end() ? after->first : std::prev(free_.end())->first;
+    std::size_t after = scan;
+    while (after < n && pts_[after].f < cpus) ++after;
+    ISTC_ASSERT(after < n || pts_[n - 1].f >= cpus);
+    t = after < n ? pts_[after].t : pts_[n - 1].t;
   }
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
-#include <map>
+#include <cstddef>
+#include <vector>
 
 #include "util/time.hpp"
 
@@ -11,6 +12,14 @@
 /// packer: reservations subtract capacity over an interval; queries ask how
 /// much is free at an instant, the minimum over a window, or the earliest
 /// start at which a (cpus x duration) rectangle fits.
+///
+/// Storage is a flat sorted array of breakpoints, not a tree: every hot
+/// pass operation is a scan (earliest_fit walks candidate windows,
+/// reserve/release sweep an interval, coalesce merges a run), and scanning
+/// a few hundred contiguous 16-byte entries beats chasing red-black tree
+/// nodes by a wide margin.  Point lookups are binary searches.  The
+/// per-pass advance_origin bumps a head cursor instead of erasing nodes;
+/// the dead prefix is reclaimed in bulk once it dominates the array.
 
 namespace istc::sched {
 
@@ -50,7 +59,7 @@ class ResourceProfile {
 
   /// The step in force at t: free CPUs plus the instant that value next
   /// changes (kTimeInfinity when constant onward).  Equivalent to
-  /// {free_at(t), next_change(t)} in a single map descent — the sampler
+  /// {free_at(t), next_change(t)} in a single descent — the sampler
   /// probes this every tick, so the paired query is on the hot path.
   struct Step {
     int free;
@@ -79,20 +88,31 @@ class ResourceProfile {
   bool same_function(const ResourceProfile& other) const;
 
   /// Number of internal breakpoints (diagnostics / complexity tests).
-  std::size_t steps() const { return free_.size(); }
+  std::size_t steps() const { return pts_.size() - head_; }
 
  private:
-  /// Ensure a breakpoint exists exactly at t; returns iterator to it.
-  std::map<SimTime, int>::iterator split_at(SimTime t);
+  /// One breakpoint: free CPUs from `t` until the next breakpoint.
+  struct Pt {
+    SimTime t;
+    int f;
+  };
+
+  /// Index of the segment covering t (last live index with .t <= t).
+  std::size_t find(SimTime t) const;
+
+  /// Ensure a breakpoint exists exactly at t; returns its index.
+  std::size_t split_at(SimTime t);
 
   /// Merge adjacent equal-valued steps around the given key range.
   void coalesce(SimTime lo, SimTime hi);
 
   SimTime origin_;
   int capacity_;
-  /// key = step start; value = free CPUs from key until the next key.
-  /// Invariant: non-empty, first key == origin_.
-  std::map<SimTime, int> free_;
+  /// Breakpoints sorted by time; the live region is [head_, pts_.size())
+  /// and its first entry sits exactly at origin_.  Entries before head_
+  /// are consumed history awaiting bulk reclamation.
+  std::vector<Pt> pts_;
+  std::size_t head_ = 0;
 };
 
 }  // namespace istc::sched

@@ -21,11 +21,51 @@ BatchScheduler::BatchScheduler(sim::Engine& engine, cluster::Machine machine,
   engine_.on_quiescent([this](SimTime now) { pass(now); });
 }
 
+BatchScheduler::BatchScheduler(sim::Engine& engine, BatchScheduler& other)
+    : engine_(engine),
+      machine_(other.machine_),
+      policy_(other.policy_),
+      fairshare_(other.fairshare_),
+      store_(other.store_),
+      pending_(other.pending_),
+      killed_records_(other.killed_records_),
+      stats_(other.stats_),
+      busy_native_cpus_(other.busy_native_cpus_),
+      busy_interstitial_cpus_(other.busy_interstitial_cpus_),
+      running_native_(other.running_native_),
+      running_interstitial_(other.running_interstitial_),
+      native_cpu_sec_(other.native_cpu_sec_),
+      interstitial_cpu_sec_(other.interstitial_cpu_sec_),
+      busy_integral_at_(other.busy_integral_at_),
+      last_pass_(other.last_pass_),
+      reserved_start_(other.reserved_start_),
+      pipeline_(
+          build_pipeline(policy_.backfill, policy_.preempt_interstitial)),
+      profile_(other.profile_),
+      prio_(other.prio_),
+      prio_epoch_(other.prio_epoch_),
+      pending_dirty_(other.pending_dirty_),
+      order_cached_(other.order_cached_),
+      queued_wakes_(other.queued_wakes_),
+      outages_(other.outages_),
+      next_outage_id_(other.next_outage_id_),
+      failed_cpus_(other.failed_cpus_) {
+  ISTC_EXPECTS(!other.in_pass_);
+  // The big append-only logs travel copy-on-write: freeze the source's
+  // prefix, then share it.
+  other.submission_table_.freeze();
+  other.records_.freeze();
+  submission_table_ = other.submission_table_;
+  records_ = other.records_;
+  engine_.set_job_sink(this);
+  engine_.on_quiescent([this](SimTime now) { pass(now); });
+}
+
 void BatchScheduler::load(const workload::JobLog& log) {
   // One reservation covers every arrival event; completion events reuse
   // the slots arrivals vacate, so steady state stays allocation-free.
   engine_.reserve_events(log.size());
-  submission_table_.reserve(submission_table_.size() + log.size());
+  submission_table_.reserve_extra(log.size());
   for (const auto& job : log.jobs()) submit(job);
 }
 
@@ -41,12 +81,12 @@ void BatchScheduler::submit(const workload::Job& job) {
 void BatchScheduler::job_submit(std::uint32_t index) {
   const workload::Job& job = submission_table_[index];
   trace_job(trace::EventKind::kJobSubmit, job, job.estimate);
-  pending_.push_back(job);
+  pending_.push_back(store_.acquire(job));
   pending_dirty_ = true;  // cached priority order no longer covers it
 }
 
-void BatchScheduler::job_finish(std::uint32_t job_id) {
-  complete_job(job_id, engine_.now());
+void BatchScheduler::job_finish(std::uint32_t slot) {
+  complete_job(slot, engine_.now());
 }
 
 void BatchScheduler::set_tracer(trace::Tracer* tracer) {
@@ -154,7 +194,8 @@ void BatchScheduler::advance_busy_integrals(SimTime now) {
   }
 }
 
-void BatchScheduler::start_job(const workload::Job& job, SimTime now) {
+void BatchScheduler::start_job(std::uint32_t slot, SimTime now) {
+  const workload::Job& job = store_.job(slot);
   advance_busy_integrals(now);
   if (job.interstitial()) {
     ++stats_.interstitial_starts;
@@ -190,52 +231,54 @@ void BatchScheduler::start_job(const workload::Job& job, SimTime now) {
   if (in_pass_ || policy_.incremental_profile) {
     profile_.reserve(now, now + job.estimate, job.cpus);
   }
-  running_.emplace(job.id, Running{job, now, now + job.estimate});
-  engine_.schedule_job_finish(now + job.runtime, job.id);
+  store_.mark_running(slot, now, now + job.estimate);
+  engine_.schedule_job_finish(now + job.runtime, slot);
 }
 
-void BatchScheduler::complete_job(workload::JobId id, SimTime now) {
-  const auto it = running_.find(id);
-  if (it == running_.end()) {
-    // Stale completion event of a preempted job: consume the kill marker.
-    const auto killed = killed_pending_.find(id);
-    ISTC_ASSERT(killed != killed_pending_.end());
-    killed_pending_.erase(killed);
+void BatchScheduler::complete_job(std::uint32_t slot, SimTime now) {
+  if (store_.state(slot) == SlotState::kZombie) {
+    // Stale completion event of a killed job — the last reference to the
+    // zombie slot; free it.
+    store_.release(slot);
     return;
   }
-  const Running& r = it->second;
+  ISTC_ASSERT(store_.state(slot) == SlotState::kRunning);
+  const workload::Job& job = store_.job(slot);
+  const SimTime start = store_.start(slot);
+  const SimTime est_end = store_.est_end(slot);
   advance_busy_integrals(now);
-  if (r.job.interstitial()) {
-    busy_interstitial_cpus_ -= r.job.cpus;
+  if (job.interstitial()) {
+    busy_interstitial_cpus_ -= job.cpus;
     --running_interstitial_;
   } else {
-    busy_native_cpus_ -= r.job.cpus;
+    busy_native_cpus_ -= job.cpus;
     --running_native_;
   }
-  trace_job(trace::EventKind::kJobFinish, r.job, 0, r.start);
-  machine_.release(r.job.cpus);
+  trace_job(trace::EventKind::kJobFinish, job, 0, start);
+  machine_.release(job.cpus);
   // Persistent-profile delta: return the estimated remainder.  When the
   // estimate was exact (est_end == now) nothing of it lies in the future.
-  if (policy_.incremental_profile && r.est_end > now) {
-    profile_.release(now, r.est_end, r.job.cpus);
+  if (policy_.incremental_profile && est_end > now) {
+    profile_.release(now, est_end, job.cpus);
   }
   // Interstitial jobs run outside the fair-share ledger: they are a
   // facility-level scavenger stream, not a competing allocation.
-  if (!r.job.interstitial()) {
-    fairshare_.charge(r.job.user, r.job.group, r.job.cpu_seconds(), now);
+  if (!job.interstitial()) {
+    fairshare_.charge(job.user, job.group, job.cpu_seconds(), now);
   }
-  records_.push_back(JobRecord{r.job, r.start, now});
-  ISTC_ASSERT(now - r.start == r.job.runtime);
-  running_.erase(it);
+  records_.push_back(JobRecord{job, start, now});
+  ISTC_ASSERT(now - start == job.runtime);
+  store_.release(slot);
 }
 
 ResourceProfile BatchScheduler::rebuild_profile(SimTime now) const {
   // Future free-CPU profile from running jobs' *estimated* completions —
   // the only schedule knowledge a real resource manager has.
   ResourceProfile profile(now, machine_.total_cpus());
-  for (const auto& [id, r] : running_) {
-    ISTC_ASSERT(r.est_end > now);
-    profile.reserve(now, r.est_end, r.job.cpus);
+  for (std::uint32_t s = 0; s < store_.slots(); ++s) {
+    if (store_.state(s) != SlotState::kRunning) continue;
+    ISTC_ASSERT(store_.est_end(s) > now);
+    profile.reserve(now, store_.est_end(s), store_.cpus(s));
   }
   // Failed capacity is allocated on the machine but backed by no running
   // job; re-reserve it or the rebuilt profile would offer downed CPUs.
@@ -286,12 +329,13 @@ void BatchScheduler::make_reservation(const workload::Job& job, SimTime t) {
   }
 }
 
-bool BatchScheduler::try_dispatch(const workload::Job& job, SimTime now,
+bool BatchScheduler::try_dispatch(std::uint32_t slot, SimTime now,
                                   bool may_start, bool preempt,
                                   SimTime& earliest_out) {
   if (ISTC_TRACE_COUNTERS_ON(tracer_)) {
     ++tracer_->counters().backfill_scans;
   }
+  const workload::Job& job = store_.job(slot);
   SimTime t = earliest_start(profile_, job, now);
   // Preemption extension: a blocked native may evict running interstitial
   // jobs instead of waiting on them.
@@ -303,7 +347,7 @@ bool BatchScheduler::try_dispatch(const workload::Job& job, SimTime now,
   }
   earliest_out = t;
   if (t == now && may_start) {
-    start_job(job, now);  // applies the profile delta itself
+    start_job(slot, now);  // applies the profile delta itself
     return true;
   }
   return false;
@@ -404,8 +448,10 @@ void BatchScheduler::pass(SimTime now) {
 bool BatchScheduler::could_start_with_kills(const workload::Job& job,
                                             SimTime now) const {
   int reclaimable = machine_.free_cpus();
-  for (const auto& [id, r] : running_) {
-    if (r.job.interstitial()) reclaimable += r.job.cpus;
+  for (std::uint32_t s = 0; s < store_.slots(); ++s) {
+    if (store_.state(s) == SlotState::kRunning && store_.interstitial(s)) {
+      reclaimable += store_.cpus(s);
+    }
   }
   if (reclaimable < job.cpus) return false;
   if (!machine_.downtime().can_run(now, job.estimate)) return false;
@@ -415,59 +461,66 @@ bool BatchScheduler::could_start_with_kills(const workload::Job& job,
   return true;
 }
 
-void BatchScheduler::kill_running_job(workload::JobId id, KillReason reason) {
-  const auto it = running_.find(id);
-  ISTC_ASSERT(it != running_.end());
-  const Running& r = it->second;
+void BatchScheduler::kill_running_job(std::uint32_t slot, KillReason reason) {
+  ISTC_ASSERT(store_.state(slot) == SlotState::kRunning);
+  const workload::Job& job = store_.job(slot);
+  const SimTime start = store_.start(slot);
+  const SimTime est_end = store_.est_end(slot);
   const SimTime now = engine_.now();
   advance_busy_integrals(now);
-  if (r.job.interstitial()) {
-    busy_interstitial_cpus_ -= r.job.cpus;
+  if (job.interstitial()) {
+    busy_interstitial_cpus_ -= job.cpus;
     --running_interstitial_;
   } else {
-    busy_native_cpus_ -= r.job.cpus;
+    busy_native_cpus_ -= job.cpus;
     --running_native_;
   }
-  trace_job(trace::EventKind::kJobKill, r.job,
-            static_cast<std::int64_t>(reason), r.start);
-  machine_.release(r.job.cpus);
+  trace_job(trace::EventKind::kJobKill, job, static_cast<std::int64_t>(reason),
+            start);
+  machine_.release(job.cpus);
   // Permanent profile delta: the victim's remaining reservation goes away
   // (its origin-side history was already chopped by advance_origin).  A
   // fault kill can race a same-instant completion estimate: when est_end
   // == now nothing of the reservation lies in the future.
-  if ((in_pass_ || policy_.incremental_profile) && r.est_end > now) {
-    profile_.release(now, r.est_end, r.job.cpus);
+  if ((in_pass_ || policy_.incremental_profile) && est_end > now) {
+    profile_.release(now, est_end, job.cpus);
   }
-  killed_records_.push_back(JobRecord{r.job, r.start, now});
-  killed_pending_.insert(id);
-  if (r.job.interstitial()) ++stats_.interstitial_kills;
+  killed_records_.push_back(JobRecord{job, start, now});
+  // The slot parks as a zombie: the queued finish event still references
+  // it, and its firing frees the slot.
+  store_.mark_zombie(slot);
+  if (job.interstitial()) ++stats_.interstitial_kills;
   if (ISTC_TRACE_COUNTERS_ON(tracer_)) {
     auto& c = tracer_->counters();
     if (reason == KillReason::kPreempted) {
       ++c.interstitial_killed;
     } else {
-      ++(r.job.interstitial() ? c.fault_killed_interstitial
-                              : c.fault_killed_native);
+      ++(job.interstitial() ? c.fault_killed_interstitial
+                            : c.fault_killed_native);
     }
   }
-  running_.erase(it);
   if (on_kill_) on_kill_(killed_records_.back(), reason);
 }
 
 bool BatchScheduler::preempt_for(const workload::Job& job, SimTime now) {
-  // Youngest interstitial first: the least work is thrown away.
-  std::vector<const Running*> victims;
-  for (const auto& [id, r] : running_) {
-    if (r.job.interstitial()) victims.push_back(&r);
+  // Youngest interstitial first: the least work is thrown away.  One scan
+  // over the hot state/class columns collects the candidates.
+  victim_buf_.clear();
+  for (std::uint32_t s = 0; s < store_.slots(); ++s) {
+    if (store_.state(s) == SlotState::kRunning && store_.interstitial(s)) {
+      victim_buf_.push_back(s);
+    }
   }
-  std::sort(victims.begin(), victims.end(),
-            [](const Running* a, const Running* b) {
-              if (a->start != b->start) return a->start > b->start;
-              return a->job.id > b->job.id;
+  std::sort(victim_buf_.begin(), victim_buf_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              if (store_.start(a) != store_.start(b)) {
+                return store_.start(a) > store_.start(b);
+              }
+              return store_.id(a) > store_.id(b);
             });
-  for (const Running* v : victims) {
+  for (const std::uint32_t v : victim_buf_) {
     if (profile_.min_free(now, now + job.estimate) >= job.cpus) break;
-    kill_running_job(v->job.id, KillReason::kPreempted);  // invalidates v
+    kill_running_job(v, KillReason::kPreempted);
   }
   return profile_.min_free(now, now + job.estimate) >= job.cpus;
 }
@@ -484,19 +537,22 @@ std::vector<JobRecord> BatchScheduler::fail_capacity(int cpus, SimTime until,
   const std::size_t first_killed = killed_records_.size();
   if (machine_.free_cpus() < cpus) {
     // Youngest running job first (least work lost), natives and
-    // interstitials alike: an unplanned failure spares nobody.  Sorted
-    // (not map order) so fault schedules are deterministic.
-    std::vector<std::pair<SimTime, workload::JobId>> victims;
-    victims.reserve(running_.size());
-    for (const auto& [id, r] : running_) victims.emplace_back(r.start, id);
-    std::sort(victims.begin(), victims.end(),
-              [](const auto& a, const auto& b) {
-                if (a.first != b.first) return a.first > b.first;
-                return a.second > b.second;
+    // interstitials alike: an unplanned failure spares nobody.  Sorted by
+    // (start, id) so fault schedules are independent of storage order.
+    victim_buf_.clear();
+    for (std::uint32_t s = 0; s < store_.slots(); ++s) {
+      if (store_.state(s) == SlotState::kRunning) victim_buf_.push_back(s);
+    }
+    std::sort(victim_buf_.begin(), victim_buf_.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                if (store_.start(a) != store_.start(b)) {
+                  return store_.start(a) > store_.start(b);
+                }
+                return store_.id(a) > store_.id(b);
               });
-    for (const auto& [start, id] : victims) {
+    for (const std::uint32_t s : victim_buf_) {
       if (machine_.free_cpus() >= cpus) break;
-      kill_running_job(id, reason);
+      kill_running_job(s, reason);
     }
   }
   ISTC_ASSERT(machine_.free_cpus() >= cpus);
@@ -507,25 +563,29 @@ std::vector<JobRecord> BatchScheduler::fail_capacity(int cpus, SimTime until,
   if (in_pass_ || policy_.incremental_profile) {
     profile_.reserve(now, until, cpus);
   }
-  outages_.push_back(CapacityOutage{cpus, until});
-  const int restore = cpus;
-  engine_.schedule(until,
-                   [this, restore, until] { restore_capacity(restore, until); });
+  const std::uint32_t outage_id = next_outage_id_++;
+  outages_.push_back(CapacityOutage{outage_id, cpus, until});
+  // Typed repair event: the queue holds a POD entry carrying the outage
+  // id, not a closure (run forks require a closure-free mid-run queue).
+  engine_.schedule_capacity_repair(until, outage_id);
   return {killed_records_.begin() +
               static_cast<std::ptrdiff_t>(first_killed),
           killed_records_.end()};
 }
 
-void BatchScheduler::restore_capacity(int cpus, SimTime until) {
+void BatchScheduler::capacity_repair(std::uint32_t outage_id) {
+  const auto it =
+      std::find_if(outages_.begin(), outages_.end(),
+                   [outage_id](const CapacityOutage& o) {
+                     return o.id == outage_id;
+                   });
+  ISTC_ASSERT(it != outages_.end());
+  const int cpus = it->cpus;
+  ISTC_ASSERT(it->until == engine_.now());
   machine_.release(cpus);
   failed_cpus_ -= cpus;
   ISTC_ASSERT(failed_cpus_ >= 0);
-  for (auto it = outages_.begin(); it != outages_.end(); ++it) {
-    if (it->cpus == cpus && it->until == until) {
-      outages_.erase(it);
-      break;
-    }
-  }
+  outages_.erase(it);
   // The matching profile reservation ran [failure, until) and expires at
   // this very instant — no release needed; the quiescent pass that follows
   // this event re-dispatches onto the restored CPUs.
@@ -548,21 +608,23 @@ bool BatchScheduler::try_start_immediately(const workload::Job& job) {
   }
   // Meta-backfilled jobs never enter the queue: submit and start coincide.
   trace_job(trace::EventKind::kJobSubmit, job, job.estimate);
-  start_job(job, now);
+  start_job(store_.acquire(job), now);
   return true;
 }
 
 RunResult BatchScheduler::take_result(SimTime span) {
   ISTC_EXPECTS(pending_.empty());
-  ISTC_EXPECTS(running_.empty());
+  ISTC_EXPECTS(running_count() == 0);
+  // A drained run has fired every finish event, so no zombie slot (or any
+  // live slot) can remain.
+  ISTC_EXPECTS(store_.live() == 0);
   RunResult result;
   result.machine = machine_.spec();
   result.span = span;
   result.sim_end = engine_.now();
-  result.records = std::move(records_);
+  result.records = records_.take();
   result.killed = std::move(killed_records_);
   if (tracer_ != nullptr) result.trace = tracer_->summary();
-  records_.clear();
   killed_records_.clear();
   return result;
 }

@@ -6,17 +6,18 @@
 #include <set>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "cluster/machine.hpp"
 #include "sched/fairshare.hpp"
+#include "sched/job_store.hpp"
 #include "sched/pipeline.hpp"
 #include "sched/record.hpp"
 #include "sched/resource_profile.hpp"
 #include "sched/timeofday.hpp"
 #include "sim/engine.hpp"
 #include "trace/tracer.hpp"
+#include "util/cow_log.hpp"
 #include "workload/job.hpp"
 
 /// \file scheduler.hpp
@@ -37,6 +38,11 @@
 /// advances the origin, instead of rebuilding the profile from every
 /// running job.  Build with -DISTC_PARANOID=ON to cross-check the
 /// incremental profile against a from-scratch rebuild at every pass.
+///
+/// Live jobs (waiting / running / killed-awaiting-stale-finish) live in a
+/// structure-of-arrays JobStore (job_store.hpp); the queue is a vector of
+/// slot numbers, finish events carry the slot, and every "walk the running
+/// jobs" loop (victim selection, profile rebuild) scans parallel arrays.
 
 namespace istc::sched {
 
@@ -143,6 +149,15 @@ class BatchScheduler : private sim::JobEventSink {
   BatchScheduler(sim::Engine& engine, cluster::Machine machine,
                  PolicySpec policy);
 
+  /// Run-fork clone: become a mid-run copy of `other`, attached to
+  /// `engine` (which must already hold a copy of the source engine's
+  /// state; see sim::Engine::adopt_state and core::SimRun).  The big
+  /// append-only logs (submission table, completed records) are shared
+  /// copy-on-write — `other` is non-const only to freeze them.  Hooks and
+  /// the tracer are NOT copied: they are identities of the forked stack,
+  /// which re-registers its own.
+  BatchScheduler(sim::Engine& engine, BatchScheduler& other);
+
   BatchScheduler(const BatchScheduler&) = delete;
   BatchScheduler& operator=(const BatchScheduler&) = delete;
 
@@ -213,8 +228,13 @@ class BatchScheduler : private sim::JobEventSink {
   sim::Engine& engine() { return engine_; }
 
   std::size_t queue_length() const { return pending_.size(); }
-  std::size_t running_count() const { return running_.size(); }
+  std::size_t running_count() const {
+    return running_native_ + running_interstitial_;
+  }
   std::size_t completed_count() const { return records_.size(); }
+
+  /// The structure-of-arrays job storage (diagnostics / tests).
+  const JobStore& store() const { return store_; }
   const SchedulerStats& stats() const { return stats_; }
 
   /// The pass pipeline (PriorityStage → DispatchStage → BackfillStage →
@@ -253,14 +273,11 @@ class BatchScheduler : private sim::JobEventSink {
   /// pending queue.
   void job_submit(std::uint32_t index) override;
   /// A job-finish event fired: the typed replacement for the old
-  /// completion lambda; carries the job id only.
-  void job_finish(std::uint32_t job_id) override;
-
-  struct Running {
-    workload::Job job;
-    SimTime start = 0;
-    SimTime est_end = 0;
-  };
+  /// completion lambda; carries the job-store slot.
+  void job_finish(std::uint32_t slot) override;
+  /// A capacity-repair event fired: give the outage's CPUs back (the
+  /// matching profile reservation expires at the same instant).
+  void capacity_repair(std::uint32_t outage_id) override;
 
   /// A reservation applied to the profile for this pass only; GateStage
   /// releases it before the post-pass hook runs.
@@ -272,8 +289,10 @@ class BatchScheduler : private sim::JobEventSink {
 
   /// Capacity held offline by an unplanned failure until its repair time;
   /// rebuild-mode profiles must re-reserve these (they are not running
-  /// jobs), and restore_capacity erases the entry when the repair fires.
+  /// jobs).  The id travels in the typed kCapacityRepair event, which
+  /// erases the entry when the repair fires.
   struct CapacityOutage {
+    std::uint32_t id = 0;
     int cpus = 0;
     SimTime until = 0;
   };
@@ -283,8 +302,9 @@ class BatchScheduler : private sim::JobEventSink {
   void pass(SimTime now);
 
   /// Advance the incremental profile's origin to now — or rebuild it from
-  /// running_ when incremental maintenance is off.  Under ISTC_PARANOID
-  /// the incremental profile is checked against a rebuild every pass.
+  /// the running slots when incremental maintenance is off.  Under
+  /// ISTC_PARANOID the incremental profile is checked against a rebuild
+  /// every pass.
   void prepare_profile(SimTime now);
 
   /// From-scratch profile: capacity minus every running job's estimated
@@ -298,7 +318,7 @@ class BatchScheduler : private sim::JobEventSink {
   /// Handle one queued job within the dispatch/backfill walk; shared by
   /// DispatchStage and BackfillStage.  Returns true when the job started;
   /// otherwise earliest_out holds its earliest (estimate-based) start.
-  bool try_dispatch(const workload::Job& job, SimTime now, bool may_start,
+  bool try_dispatch(std::uint32_t slot, SimTime now, bool may_start,
                     bool preempt, SimTime& earliest_out);
 
   /// Blocked-job reservation: temp-reserve [t, t+estimate), count it, and
@@ -316,16 +336,15 @@ class BatchScheduler : private sim::JobEventSink {
   bool preempt_for(const workload::Job& job, SimTime now);
 
   /// Kill one running job: release its CPUs and profile remainder, append
-  /// the kill record, mark its stale completion event, and fire the kill
-  /// hook.  Shared by preemption and fail_capacity.
-  void kill_running_job(workload::JobId id, KillReason reason);
+  /// the kill record, park the slot as a zombie for its stale completion
+  /// event, and fire the kill hook.  Shared by preemption and
+  /// fail_capacity.
+  void kill_running_job(std::uint32_t slot, KillReason reason);
 
-  /// Repair event for one fail_capacity outage: give the CPUs back (the
-  /// matching profile reservation expires at the same instant).
-  void restore_capacity(int cpus, SimTime until);
-
-  /// Allocate CPUs, apply the profile delta, schedule completion.
-  void start_job(const workload::Job& job, SimTime now);
+  /// Allocate CPUs, apply the profile delta, schedule completion.  The
+  /// slot must be kPending (queued, or freshly acquired by the immediate
+  /// interstitial path).
+  void start_job(std::uint32_t slot, SimTime now);
 
   /// Accumulate busy-CPU integrals up to `now` (lazy: called at every
   /// start/complete/kill, i.e. whenever a busy count is about to change).
@@ -335,7 +354,7 @@ class BatchScheduler : private sim::JobEventSink {
   void trace_job(trace::EventKind kind, const workload::Job& job,
                  std::int64_t value = 0, SimTime aux_time = 0);
 
-  void complete_job(workload::JobId id, SimTime now);
+  void complete_job(std::uint32_t slot, SimTime now);
 
   /// Earliest start >= from satisfying profile space, downtime drain, and
   /// time-of-day gating, all per the *estimate*.
@@ -349,17 +368,22 @@ class BatchScheduler : private sim::JobEventSink {
 
   /// Submitted-but-not-yet-arrived jobs, indexed by the 32-bit argument of
   /// their kJobSubmit event.  Grows monotonically (the log is finite);
-  /// keeping entries after arrival keeps indices stable.
-  std::vector<workload::Job> submission_table_;
+  /// keeping entries after arrival keeps indices stable — including across
+  /// fork boundaries, which is why this is a CowLog: forks share the
+  /// frozen prefix instead of copying the whole native log.
+  util::CowLog<workload::Job> submission_table_;
 
-  /// Waiting native jobs.  After every pass this is in priority order
-  /// (GateStage compacts along the sorted walk), which is what lets
-  /// PriorityStage reuse the order when nothing changed.
-  std::vector<workload::Job> pending_;
-  std::unordered_map<workload::JobId, Running> running_;
-  /// Jobs killed before completion; their stale completion events no-op.
-  std::unordered_set<workload::JobId> killed_pending_;
-  std::vector<JobRecord> records_;
+  /// SoA storage for every live job (pending / running / zombie); finish
+  /// events and the queue below refer to its slots.
+  JobStore store_;
+
+  /// Waiting native jobs as job-store slots.  After every pass this is in
+  /// priority order (GateStage compacts along the sorted walk), which is
+  /// what lets PriorityStage reuse the order when nothing changed.
+  std::vector<std::uint32_t> pending_;
+  /// Completed-job records; copy-on-write so a fork late in a run shares
+  /// the (large) history instead of duplicating it.
+  util::CowLog<JobRecord> records_;
   std::vector<JobRecord> killed_records_;
   std::function<void(const PassContext&)> post_pass_;
   std::function<void(const JobRecord&, KillReason)> on_kill_;
@@ -397,7 +421,9 @@ class BatchScheduler : private sim::JobEventSink {
   bool pending_dirty_ = true;
   bool order_cached_ = false;
   /// Scratch for GateStage's in-order queue compaction.
-  std::vector<workload::Job> compact_buf_;
+  std::vector<std::uint32_t> compact_buf_;
+  /// Scratch for victim collection (preempt_for / fail_capacity).
+  std::vector<std::uint32_t> victim_buf_;
 
   /// Future wake timestamps with a queued engine event, pruned each pass;
   /// wake_at dedups against the earliest of these.
@@ -406,6 +432,7 @@ class BatchScheduler : private sim::JobEventSink {
 
   /// Unrepaired fail_capacity outages (usually zero or one entry).
   std::vector<CapacityOutage> outages_;
+  std::uint32_t next_outage_id_ = 0;
   int failed_cpus_ = 0;
 };
 

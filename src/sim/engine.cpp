@@ -14,7 +14,9 @@ void Engine::dispatch(Event& e) {
     case EventType::kCallback: {
       // Claim the payload first: the invoked callable may schedule more
       // events and recycle this event's slab slot.
-      CallbackSlot cb = queue_.take_callback(e);
+      CallbackSlot cb = impl_ == QueueImpl::kCalendar
+                            ? calendar_.take_callback(e)
+                            : queue_.take_callback(e);
       cb.invoke();
       break;
     }
@@ -26,6 +28,12 @@ void Engine::dispatch(Event& e) {
       break;
     case EventType::kSchedulerWake:
       break;  // its entire effect is the quiescent pass that follows
+    case EventType::kCapacityRepair:
+      sink_->capacity_repair(e.arg);
+      break;
+    case EventType::kFaultFire:
+      fault_hook_(e.arg);
+      break;
     case EventType::kSample:
       // Never queued: the pending sample is the next_sample_ scalar and
       // fires from drain_current_time (see Engine::schedule_sample).
@@ -60,6 +68,12 @@ void Engine::sync_counters() {
   c.engine_events_sample = std::max(
       c.engine_events_sample, stats_.scheduled_by_type[static_cast<int>(
                                   EventType::kSample)]);
+  c.engine_events_repair = std::max(
+      c.engine_events_repair, stats_.scheduled_by_type[static_cast<int>(
+                                  EventType::kCapacityRepair)]);
+  c.engine_events_fault = std::max(
+      c.engine_events_fault, stats_.scheduled_by_type[static_cast<int>(
+                                 EventType::kFaultFire)]);
 }
 
 void Engine::drain_current_time() {
@@ -84,12 +98,22 @@ void Engine::drain_current_time() {
       if (ISTC_TRACE_COUNTERS_ON(tracer_)) {
         ++tracer_->counters().engine_events_drained;
       }
-      if (typed_) {
-        Event e = queue_.pop();
-        dispatch(e);
-      } else {
-        EventFn fn = legacy_.pop();
-        fn();
+      switch (impl_) {
+        case QueueImpl::kBinaryHeap: {
+          Event e = queue_.pop();
+          dispatch(e);
+          break;
+        }
+        case QueueImpl::kCalendar: {
+          Event e = calendar_.pop();
+          dispatch(e);
+          break;
+        }
+        case QueueImpl::kLegacy: {
+          EventFn fn = legacy_.pop();
+          fn();
+          break;
+        }
       }
       fired = true;
     }
@@ -113,7 +137,9 @@ void Engine::drain_current_time() {
     if (sample_hook_) sample_hook_(now_);
   }
   if (batch > stats_.max_timestep_batch) stats_.max_timestep_batch = batch;
-  stats_.heap_allocations = queue_.heap_allocations();
+  stats_.heap_allocations = impl_ == QueueImpl::kCalendar
+                                ? calendar_.heap_allocations()
+                                : queue_.heap_allocations();
   if (ISTC_TRACE_COUNTERS_ON(tracer_)) sync_counters();
 }
 

@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "sim/calendar_queue.hpp"
 #include "sim/event_queue.hpp"
 #include "trace/tracer.hpp"
 #include "util/time.hpp"
@@ -17,15 +18,18 @@
 /// completing at the same second trigger one pass, exactly like a real
 /// resource manager waking up on a state change.
 ///
-/// Two event representations share the engine (A/B selectable at
-/// construction, `Scenario::typed_events`):
-///   - typed (default): the flat POD heap of event_queue.hpp — typed
+/// Three event representations share the engine (A/B/C selectable at
+/// construction via QueueImpl, `Scenario::queue`):
+///   - calendar: the two-rung calendar/ladder queue of calendar_queue.hpp,
+///     O(1) amortized push/pop for the near-uniform event-time
+///     distributions these replays produce (the production default).
+///   - binary heap: the flat POD heap of event_queue.hpp (PR 3) — typed
 ///     schedule_* calls carry a 32-bit argument dispatched to the
 ///     registered JobEventSink, generic callbacks use the small-buffer
 ///     slot, and a reserve_events()'d steady state allocates nothing.
 ///   - legacy: every event a type-erased std::function (the pre-rewrite
 ///     behavior, kept as the in-binary benchmark baseline).
-/// Both honor the same (time, seq) contract, so schedules are
+/// All honor the same (time, seq) contract, so schedules are
 /// bit-identical across modes (pinned by tests/trace/test_determinism).
 
 namespace istc::sim {
@@ -38,8 +42,13 @@ class JobEventSink {
   /// A job submission arrives; `index` is the value passed to
   /// schedule_job_submit (the scheduler's submission-table index).
   virtual void job_submit(std::uint32_t index) = 0;
-  /// A running job's true runtime elapsed; `job_id` identifies it.
-  virtual void job_finish(std::uint32_t job_id) = 0;
+  /// A running job's true runtime elapsed; `slot` is the value passed to
+  /// schedule_job_finish (the scheduler's job-store slot).
+  virtual void job_finish(std::uint32_t slot) = 0;
+  /// A capacity outage scheduled via schedule_capacity_repair elapsed;
+  /// `outage_id` is the scheduler's outage identifier.  Default no-op so
+  /// sinks without a fault surface (tests, benches) need not care.
+  virtual void capacity_repair(std::uint32_t outage_id) { (void)outage_id; }
 
  protected:
   ~JobEventSink() = default;
@@ -66,11 +75,17 @@ struct EngineStats {
 
 class Engine {
  public:
-  /// \param typed_events select the typed POD event core (default) or the
-  ///        legacy std::function queue (the A/B baseline).
-  explicit Engine(bool typed_events = true) : typed_(typed_events) {}
+  /// \param impl which event-queue representation to run on.
+  explicit Engine(QueueImpl impl) : impl_(impl) {}
 
-  bool typed_events() const { return typed_; }
+  /// Compatibility constructor: the pre-calendar A/B knob.  true selects
+  /// the typed binary heap (the PR 3 default, which existing allocation
+  /// tests pin), false the legacy std::function queue.
+  explicit Engine(bool typed_events = true)
+      : Engine(typed_events ? QueueImpl::kBinaryHeap : QueueImpl::kLegacy) {}
+
+  QueueImpl queue_impl() const { return impl_; }
+  bool typed_events() const { return impl_ != QueueImpl::kLegacy; }
 
   /// Register the receiver of typed job events (nullptr detaches).  Must
   /// be set before schedule_job_submit / schedule_job_finish fire.
@@ -79,7 +94,16 @@ class Engine {
   /// Pre-reserve queue slots for `n` additional events, so a known burst
   /// (e.g. a whole job log's submissions) never grows the heap mid-run.
   void reserve_events(std::size_t n) {
-    if (typed_) queue_.reserve(queue_.size() + n);
+    switch (impl_) {
+      case QueueImpl::kBinaryHeap:
+        queue_.reserve(queue_.size() + n);
+        break;
+      case QueueImpl::kCalendar:
+        calendar_.reserve(calendar_.size() + n);
+        break;
+      case QueueImpl::kLegacy:
+        break;
+    }
   }
 
   /// Schedule a callback at absolute time t (must not be in the past).
@@ -89,10 +113,16 @@ class Engine {
   template <class F>
   void schedule(SimTime t, F&& fn) {
     ISTC_EXPECTS(t >= now_);
-    if (typed_) {
-      queue_.push_callback(t, std::forward<F>(fn));
-    } else {
-      legacy_.push(t, EventFn(std::forward<F>(fn)));
+    switch (impl_) {
+      case QueueImpl::kBinaryHeap:
+        queue_.push_callback(t, std::forward<F>(fn));
+        break;
+      case QueueImpl::kCalendar:
+        calendar_.push_callback(t, std::forward<F>(fn));
+        break;
+      case QueueImpl::kLegacy:
+        legacy_.push(t, EventFn(std::forward<F>(fn)));
+        break;
     }
     note_scheduled(EventType::kCallback);
   }
@@ -110,11 +140,26 @@ class Engine {
   void schedule_job_submit(SimTime t, std::uint32_t index) {
     schedule_typed(t, EventType::kJobSubmit, index);
   }
-  void schedule_job_finish(SimTime t, std::uint32_t job_id) {
-    schedule_typed(t, EventType::kJobFinish, job_id);
+  void schedule_job_finish(SimTime t, std::uint32_t slot) {
+    schedule_typed(t, EventType::kJobFinish, slot);
   }
   void schedule_wake(SimTime t) {
     schedule_typed(t, EventType::kSchedulerWake, 0);
+  }
+  void schedule_capacity_repair(SimTime t, std::uint32_t outage_id) {
+    schedule_typed(t, EventType::kCapacityRepair, outage_id);
+  }
+  /// Fault-timeline firing (fault::FaultInjector): arg indexes the
+  /// injector's pre-generated timeline and dispatches to the fault hook.
+  /// Typed rather than a captured callback so a mid-run queue holds only
+  /// POD entries — the property run forks depend on.
+  void schedule_fault(SimTime t, std::uint32_t timeline_index) {
+    schedule_typed(t, EventType::kFaultFire, timeline_index);
+  }
+
+  /// Receiver of kFaultFire events (at most one; empty detaches).
+  void set_fault_hook(std::function<void(std::uint32_t)> hook) {
+    fault_hook_ = std::move(hook);
   }
 
   /// Schedule a metrics sample at t (metrics::SimSampler).  Unlike a wake,
@@ -158,9 +203,7 @@ class Engine {
   /// step() without ever moving the clock past a real event — run(until)
   /// bumps now_ to `until`, which would shift sim_end across slicings.
   SimTime next_event_time() const { return queue_next_time(); }
-  std::size_t queued_events() const {
-    return typed_ ? queue_.size() : legacy_.size();
-  }
+  std::size_t queued_events() const { return queue_size(); }
 
   /// Event-core statistics (see EngineStats); valid in both modes.
   const EngineStats& stats() const { return stats_; }
@@ -179,39 +222,101 @@ class Engine {
   /// quiescent hooks).  Returns false when no events remain.
   bool step();
 
+  /// Run-fork support: become a mid-run copy of `other` — pending events,
+  /// push counter, clock, and statistics.  Requires both engines on the
+  /// same typed queue implementation (legacy closures capture their owner
+  /// and cannot be transplanted), no live callback payloads in either
+  /// queue, and no pending sample on `other`.  Sinks and hooks are NOT
+  /// copied: they are identities of the forked stack, which re-registers
+  /// its own (see core/fork.hpp).
+  void adopt_state(const Engine& other) {
+    ISTC_EXPECTS(impl_ == other.impl_);
+    ISTC_EXPECTS(impl_ != QueueImpl::kLegacy);
+    ISTC_EXPECTS(other.next_sample_ == kTimeInfinity);
+    if (impl_ == QueueImpl::kBinaryHeap) {
+      queue_.assign_from(other.queue_);
+    } else {
+      calendar_.assign_from(other.calendar_);
+    }
+    now_ = other.now_;
+    events_processed_ = other.events_processed_;
+    stats_ = other.stats_;
+  }
+
  private:
   void schedule_typed(SimTime t, EventType type, std::uint32_t arg) {
     ISTC_EXPECTS(t >= now_);
-    if (typed_) {
-      queue_.push_typed(t, type, arg);
-    } else {
-      // Legacy baseline: the typed call sites still work, each event just
-      // pays the std::function representation the rewrite removed.
-      switch (type) {
-        case EventType::kJobSubmit:
-          legacy_.push(t, [this, arg] { sink_->job_submit(arg); });
-          break;
-        case EventType::kJobFinish:
-          legacy_.push(t, [this, arg] { sink_->job_finish(arg); });
-          break;
-        default:
-          legacy_.push(t, [] {});
-          break;
-      }
+    switch (impl_) {
+      case QueueImpl::kBinaryHeap:
+        queue_.push_typed(t, type, arg);
+        break;
+      case QueueImpl::kCalendar:
+        calendar_.push_typed(t, type, arg);
+        break;
+      case QueueImpl::kLegacy:
+        // Legacy baseline: the typed call sites still work, each event
+        // just pays the std::function representation the rewrite removed.
+        switch (type) {
+          case EventType::kJobSubmit:
+            legacy_.push(t, [this, arg] { sink_->job_submit(arg); });
+            break;
+          case EventType::kJobFinish:
+            legacy_.push(t, [this, arg] { sink_->job_finish(arg); });
+            break;
+          case EventType::kCapacityRepair:
+            legacy_.push(t, [this, arg] { sink_->capacity_repair(arg); });
+            break;
+          case EventType::kFaultFire:
+            legacy_.push(t, [this, arg] { fault_hook_(arg); });
+            break;
+          default:
+            legacy_.push(t, [] {});
+            break;
+        }
+        break;
     }
     note_scheduled(type);
   }
 
   void note_scheduled(EventType type) {
     ++stats_.scheduled_by_type[static_cast<int>(type)];
-    const std::size_t depth = typed_ ? queue_.size() : legacy_.size();
+    const std::size_t depth = queue_size();
     if (depth > stats_.peak_queue_depth) stats_.peak_queue_depth = depth;
   }
 
   /// Heap-only accessors (real events; the pending sample is separate).
-  bool heap_empty() const { return typed_ ? queue_.empty() : legacy_.empty(); }
+  std::size_t queue_size() const {
+    switch (impl_) {
+      case QueueImpl::kBinaryHeap:
+        return queue_.size();
+      case QueueImpl::kCalendar:
+        return calendar_.size();
+      case QueueImpl::kLegacy:
+        break;
+    }
+    return legacy_.size();
+  }
+  bool heap_empty() const {
+    switch (impl_) {
+      case QueueImpl::kBinaryHeap:
+        return queue_.empty();
+      case QueueImpl::kCalendar:
+        return calendar_.empty();
+      case QueueImpl::kLegacy:
+        break;
+    }
+    return legacy_.empty();
+  }
   SimTime heap_next_time() const {
-    return typed_ ? queue_.next_time() : legacy_.next_time();
+    switch (impl_) {
+      case QueueImpl::kBinaryHeap:
+        return queue_.next_time();
+      case QueueImpl::kCalendar:
+        return calendar_.next_time();
+      case QueueImpl::kLegacy:
+        break;
+    }
+    return legacy_.next_time();
   }
 
   /// Overall next work item: real events merged with the pending sample.
@@ -228,10 +333,12 @@ class Engine {
   /// Mirror the event-core gauges into the attached tracer's counters.
   void sync_counters();
 
-  const bool typed_;
+  const QueueImpl impl_;
   EventQueue queue_;
+  CalendarEventQueue calendar_;
   LegacyEventQueue legacy_;
   JobEventSink* sink_ = nullptr;
+  std::function<void(std::uint32_t)> fault_hook_;
   std::function<void(SimTime)> sample_hook_;
   /// The single pending sample deadline (kTimeInfinity = none); lives
   /// beside the heap so per-tick re-arming is O(1) — see schedule_sample.

@@ -45,14 +45,25 @@ using EventFn = std::function<void()>;
 /// that keeps the generic `schedule(t, fn)` API working; the typed kinds
 /// cover every event the scheduler stack schedules in steady state.
 enum class EventType : std::uint8_t {
-  kCallback,       ///< invoke the stored callable (tests, benches, glue)
-  kJobSubmit,      ///< arg = submission index (JobEventSink::job_submit)
-  kJobFinish,      ///< arg = job id (JobEventSink::job_finish)
-  kSchedulerWake,  ///< no payload; exists to trigger a quiescent pass
-  kSample,         ///< no payload; invokes the engine's sample hook only
+  kCallback,        ///< invoke the stored callable (tests, benches, glue)
+  kJobSubmit,       ///< arg = submission index (JobEventSink::job_submit)
+  kJobFinish,       ///< arg = job-store slot (JobEventSink::job_finish)
+  kSchedulerWake,   ///< no payload; exists to trigger a quiescent pass
+  kSample,          ///< no payload; invokes the engine's sample hook only
+  kCapacityRepair,  ///< arg = outage id (JobEventSink::capacity_repair)
+  kFaultFire,       ///< arg = fault-timeline index (engine fault hook)
 };
 
-inline constexpr int kNumEventTypes = 5;
+inline constexpr int kNumEventTypes = 7;
+
+/// Which event-queue representation an engine runs on.  All three honor
+/// the same (time, seq) ordering contract and are pinned to identical
+/// golden schedule hashes; they differ only in cost.
+enum class QueueImpl : std::uint8_t {
+  kLegacy,      ///< std::function heap (pre-rewrite baseline)
+  kBinaryHeap,  ///< typed flat binary heap (PR 3), O(log n) push/pop
+  kCalendar,    ///< two-rung calendar/ladder queue, O(1) amortized
+};
 
 /// Small-buffer storage for kCallback events.  Trivially copyable
 /// callables up to kInlineBytes live inline (the heap then relocates them
@@ -112,6 +123,71 @@ class CallbackSlot {
   alignas(kAlign) unsigned char buf_[kInlineBytes];
 };
 
+/// The kCallback payload slab shared by the typed queues: slots recycle
+/// through a free list, trivially copyable callables live inline, the rest
+/// are boxed and counted.  Separate from the queue's entry storage so both
+/// the binary heap and the calendar queue reuse the same machinery.
+class CallbackSlab {
+ public:
+  void reserve(std::size_t n) {
+    slots_.reserve(n);
+    free_slots_.reserve(n);
+  }
+
+  /// Store `fn` and return its slot index (an Event::arg).
+  template <class F>
+  std::uint32_t put(F&& fn) {
+    const std::uint32_t idx = acquire_slot();
+    slots_[idx].emplace(std::forward<F>(fn), boxed_);
+    ++live_;
+    return idx;
+  }
+
+  /// Claim slot `idx`: recycle it and return a copy of the payload.  The
+  /// slot is released *before* the caller invokes, so a callback that
+  /// schedules new events may reuse it — take the copy, then invoke() (or
+  /// dispose()) it exactly once.
+  CallbackSlot take(std::uint32_t idx) {
+    const CallbackSlot slot = slots_[idx];
+    if (free_slots_.size() == free_slots_.capacity()) ++grows_;
+    free_slots_.push_back(idx);
+    --live_;
+    return slot;
+  }
+
+  /// Release an undrained slot without running it (queue destructors).
+  void dispose(std::uint32_t idx) {
+    slots_[idx].dispose();
+    --live_;
+  }
+
+  /// Backing-vector growth events (allocations).
+  std::uint64_t grows() const { return grows_; }
+  /// Callables that had to be boxed out of line (allocations).
+  std::uint64_t boxed() const { return boxed_; }
+  /// Slots currently holding an unclaimed payload.  Run forks require
+  /// zero: a queue with no live callbacks is plain copyable data.
+  std::uint64_t live() const { return live_; }
+
+ private:
+  std::uint32_t acquire_slot() {
+    if (!free_slots_.empty()) {
+      const std::uint32_t idx = free_slots_.back();
+      free_slots_.pop_back();
+      return idx;
+    }
+    if (slots_.size() == slots_.capacity()) ++grows_;
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  std::vector<CallbackSlot> slots_;
+  std::vector<std::uint32_t> free_slots_;  ///< recycled slab indices
+  std::uint64_t grows_ = 0;
+  std::uint64_t boxed_ = 0;
+  std::uint64_t live_ = 0;
+};
+
 /// One queue entry.  Trivially copyable and small on purpose: heap sifts
 /// move these with plain assignment, never a type-erased move constructor,
 /// and pop cost scales with entry size.  Callback payloads live in the
@@ -128,6 +204,12 @@ static_assert(std::is_trivially_copyable_v<Event>,
 static_assert(sizeof(Event) <= 24,
               "keep heap entries small: sift cost is copy cost");
 
+/// The ordering contract, shared by every queue implementation.
+inline bool event_before(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq < b.seq;
+}
+
 class EventQueue {
  public:
   EventQueue() = default;
@@ -136,7 +218,7 @@ class EventQueue {
 
   ~EventQueue() {
     for (const Event& e : heap_) {
-      if (e.type == EventType::kCallback) slots_[e.arg].dispose();
+      if (e.type == EventType::kCallback) slab_.dispose(e.arg);
     }
   }
 
@@ -146,8 +228,19 @@ class EventQueue {
   /// amortization API.)
   void reserve(std::size_t n) {
     heap_.reserve(n);
-    slots_.reserve(n);
-    free_slots_.reserve(n);
+    slab_.reserve(n);
+  }
+
+  /// Run-fork support: become a copy of `other`'s pending events and push
+  /// counter.  Requires both queues to hold no live callback payloads —
+  /// with the slab empty the queue is plain trivially copyable data, which
+  /// is what makes forking a mid-run simulation cheap and exact.
+  void assign_from(const EventQueue& other) {
+    ISTC_EXPECTS(other.slab_.live() == 0);
+    ISTC_EXPECTS(slab_.live() == 0);
+    heap_ = other.heap_;
+    seq_ = other.seq_;
+    peak_size_ = other.peak_size_;
   }
 
   void push_typed(SimTime t, EventType type, std::uint32_t arg) {
@@ -164,8 +257,7 @@ class EventQueue {
     Event e;
     e.time = t;
     e.type = EventType::kCallback;
-    e.arg = acquire_slot();
-    slots_[e.arg].emplace(std::forward<F>(fn), boxed_callbacks_);
+    e.arg = slab_.put(std::forward<F>(fn));
     push_entry(e);
   }
 
@@ -196,25 +288,26 @@ class EventQueue {
   /// dispose()) it exactly once.
   CallbackSlot take_callback(const Event& e) {
     ISTC_EXPECTS(e.type == EventType::kCallback);
-    const CallbackSlot slot = slots_[e.arg];
-    if (free_slots_.size() == free_slots_.capacity()) ++grows_;
-    free_slots_.push_back(e.arg);
-    return slot;
+    return slab_.take(e.arg);
   }
 
   /// Heap allocations performed by the queue since construction: backing-
   /// vector growth plus boxed (out-of-line) callbacks.  Zero in steady
   /// state on the typed path — the acceptance criterion of the rewrite.
-  std::uint64_t heap_allocations() const { return grows_ + boxed_callbacks_; }
-  std::uint64_t boxed_callbacks() const { return boxed_callbacks_; }
+  std::uint64_t heap_allocations() const {
+    return grows_ + slab_.grows() + slab_.boxed();
+  }
+  std::uint64_t boxed_callbacks() const { return slab_.boxed(); }
+
+  /// Callback payloads pushed but not yet claimed (see CallbackSlab).
+  std::uint64_t live_callbacks() const { return slab_.live(); }
 
   /// High-water mark of simultaneously queued events.
   std::size_t peak_size() const { return peak_size_; }
 
  private:
   static bool before(const Event& a, const Event& b) {
-    if (a.time != b.time) return a.time < b.time;
-    return a.seq < b.seq;
+    return event_before(a, b);
   }
 
   void push_entry(Event& e) {
@@ -223,17 +316,6 @@ class EventQueue {
     heap_.push_back(e);
     if (heap_.size() > peak_size_) peak_size_ = heap_.size();
     sift_up(heap_.size() - 1);
-  }
-
-  std::uint32_t acquire_slot() {
-    if (!free_slots_.empty()) {
-      const std::uint32_t idx = free_slots_.back();
-      free_slots_.pop_back();
-      return idx;
-    }
-    if (slots_.size() == slots_.capacity()) ++grows_;
-    slots_.emplace_back();
-    return static_cast<std::uint32_t>(slots_.size() - 1);
   }
 
   void sift_up(std::size_t i) {
@@ -262,11 +344,9 @@ class EventQueue {
   }
 
   std::vector<Event> heap_;
-  std::vector<CallbackSlot> slots_;        ///< kCallback payload slab
-  std::vector<std::uint32_t> free_slots_;  ///< recycled slab indices
+  CallbackSlab slab_;  ///< kCallback payloads (arg = slab slot index)
   std::uint64_t seq_ = 0;
   std::uint64_t grows_ = 0;
-  std::uint64_t boxed_callbacks_ = 0;
   std::size_t peak_size_ = 0;
 };
 

@@ -337,6 +337,9 @@ std::vector<SummaryField> summary_fields(const TraceSummary& s) {
       // Telemetry layer (appended).
       {"stage_setup_us", s.stage_setup_us, true},
       {"engine_events_sample", s.engine_events_sample, false},
+      // Typed fault-path events (appended with the calendar-queue core).
+      {"engine_events_repair", s.engine_events_repair, false},
+      {"engine_events_fault", s.engine_events_fault, false},
   };
 }
 

@@ -34,6 +34,8 @@ struct TraceSummary {
   std::uint64_t engine_events_job_finish = 0;  ///< typed job-finish events
   std::uint64_t engine_events_wake = 0;        ///< scheduler-wake events
   std::uint64_t engine_events_sample = 0;      ///< metrics-sample events
+  std::uint64_t engine_events_repair = 0;      ///< capacity-repair events
+  std::uint64_t engine_events_fault = 0;       ///< fault-timeline firings
   /// Typed-queue heap allocations (vector growth + boxed callbacks);
   /// zero in steady state on the typed path, 0 (unknowable) in legacy mode.
   std::uint64_t engine_heap_allocations = 0;

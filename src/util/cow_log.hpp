@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+/// \file cow_log.hpp
+/// Copy-on-write append-only log.
+///
+/// A CowLog is a vector split into a frozen, immutable prefix (shared
+/// between copies through a shared_ptr) and a private append tail.  It
+/// exists for run forks (core/fork.hpp): a mid-run scheduler carries two
+/// large append-only arrays — the submission table (the whole native log)
+/// and the completed-record log — and forking a run per sweep variant must
+/// not duplicate megabytes of history per variant.  freeze() folds the
+/// tail into the shared prefix; copying a frozen log is two pointer copies,
+/// and every copy appends into its own tail from there.
+///
+/// Indexing is stable across freeze(), so 32-bit event arguments indexing
+/// into the log stay valid over a fork boundary.
+
+namespace istc::util {
+
+template <class T>
+class CowLog {
+ public:
+  std::size_t size() const { return base_size_ + tail_.size(); }
+  bool empty() const { return size() == 0; }
+
+  const T& operator[](std::size_t i) const {
+    return i < base_size_ ? (*base_)[i] : tail_[i - base_size_];
+  }
+
+  const T& back() const {
+    ISTC_EXPECTS(!empty());
+    return tail_.empty() ? base_->back() : tail_.back();
+  }
+
+  void push_back(const T& value) { tail_.push_back(value); }
+  void push_back(T&& value) { tail_.push_back(std::move(value)); }
+
+  /// Reserve for `n` further appends.
+  void reserve_extra(std::size_t n) { tail_.reserve(tail_.size() + n); }
+
+  /// Fold the tail into the shared immutable prefix.  Afterwards copying
+  /// this log is O(1); call on the parent immediately before forking.
+  void freeze() {
+    if (tail_.empty()) return;
+    if (base_ == nullptr) {
+      base_ = std::make_shared<const std::vector<T>>(std::move(tail_));
+    } else {
+      std::vector<T> merged;
+      merged.reserve(base_->size() + tail_.size());
+      merged.insert(merged.end(), base_->begin(), base_->end());
+      merged.insert(merged.end(), std::make_move_iterator(tail_.begin()),
+                    std::make_move_iterator(tail_.end()));
+      base_ = std::make_shared<const std::vector<T>>(std::move(merged));
+    }
+    tail_.clear();
+    base_size_ = base_->size();
+  }
+
+  /// Materialize the whole log as one vector and reset to empty.  The
+  /// shared prefix is copied (other forks may still hold it); the tail is
+  /// moved.
+  std::vector<T> take() {
+    std::vector<T> out;
+    if (base_ != nullptr) {
+      out.reserve(base_->size() + tail_.size());
+      out.insert(out.end(), base_->begin(), base_->end());
+      out.insert(out.end(), std::make_move_iterator(tail_.begin()),
+                 std::make_move_iterator(tail_.end()));
+      base_.reset();
+      base_size_ = 0;
+      tail_.clear();
+    } else {
+      out = std::move(tail_);
+      tail_.clear();
+    }
+    return out;
+  }
+
+ private:
+  /// Frozen prefix, shared between forks; null until the first freeze().
+  std::shared_ptr<const std::vector<T>> base_;
+  std::size_t base_size_ = 0;
+  /// Private appends since the last freeze().
+  std::vector<T> tail_;
+};
+
+}  // namespace istc::util

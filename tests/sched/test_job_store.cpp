@@ -1,0 +1,95 @@
+#include "sched/job_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/job.hpp"
+
+namespace istc::sched {
+namespace {
+
+workload::Job make_job(workload::JobId id, int cpus = 4) {
+  workload::Job j;
+  j.id = id;
+  j.cpus = cpus;
+  j.runtime = 100;
+  j.estimate = 200;
+  return j;
+}
+
+TEST(JobStoreFork, AcquireFillsHotColumnsFromTheJob) {
+  JobStore store;
+  const std::uint32_t slot = store.acquire(make_job(7, 16));
+  EXPECT_EQ(store.state(slot), SlotState::kPending);
+  EXPECT_EQ(store.id(slot), 7u);
+  EXPECT_EQ(store.cpus(slot), 16);
+  EXPECT_FALSE(store.interstitial(slot));
+  EXPECT_EQ(store.job(slot).runtime, 100);
+  EXPECT_EQ(store.live(), 1u);
+  EXPECT_EQ(store.slots(), 1u);
+}
+
+TEST(JobStoreFork, LifecycleRunsPendingRunningFree) {
+  JobStore store;
+  const std::uint32_t slot = store.acquire(make_job(1));
+  store.mark_running(slot, 50, 250);
+  EXPECT_EQ(store.state(slot), SlotState::kRunning);
+  EXPECT_EQ(store.start(slot), 50);
+  EXPECT_EQ(store.est_end(slot), 250);
+  store.release(slot);
+  EXPECT_EQ(store.state(slot), SlotState::kFree);
+  EXPECT_EQ(store.live(), 0u);
+}
+
+TEST(JobStoreFork, ZombieHoldsTheSlotUntilReleased) {
+  JobStore store;
+  const std::uint32_t slot = store.acquire(make_job(1));
+  store.mark_running(slot, 0, 100);
+  store.mark_zombie(slot);
+  EXPECT_EQ(store.state(slot), SlotState::kZombie);
+  EXPECT_EQ(store.zombies(), 1u);
+  EXPECT_EQ(store.live(), 1u);
+  // A zombie's slot must not be reissued: the next acquire grows the store
+  // instead of recycling it.
+  const std::uint32_t other = store.acquire(make_job(2));
+  EXPECT_NE(other, slot);
+  // The stale finish event firing releases it for real.
+  store.release(slot);
+  EXPECT_EQ(store.zombies(), 0u);
+  const std::uint32_t recycled = store.acquire(make_job(3));
+  EXPECT_EQ(recycled, slot);
+}
+
+TEST(JobStoreFork, FreeListRecyclesLifoDeterministically) {
+  JobStore store;
+  const std::uint32_t a = store.acquire(make_job(1));
+  const std::uint32_t b = store.acquire(make_job(2));
+  const std::uint32_t c = store.acquire(make_job(3));
+  EXPECT_EQ(store.slots(), 3u);
+  store.release(a);
+  store.release(c);
+  // LIFO: the most recently freed slot is reissued first.
+  EXPECT_EQ(store.acquire(make_job(4)), c);
+  EXPECT_EQ(store.acquire(make_job(5)), a);
+  EXPECT_EQ(store.slots(), 3u);  // sized to the high-water mark
+  store.release(b);
+  EXPECT_EQ(store.live(), 2u);
+}
+
+TEST(JobStoreFork, CopyIsAnIndependentSnapshot) {
+  JobStore store;
+  const std::uint32_t slot = store.acquire(make_job(1));
+  store.mark_running(slot, 10, 110);
+  JobStore copy = store;  // the fork path copies the whole store by value
+  store.release(slot);
+  EXPECT_EQ(copy.state(slot), SlotState::kRunning);
+  EXPECT_EQ(copy.start(slot), 10);
+  EXPECT_EQ(copy.live(), 1u);
+  // Both sides recycle independently from here on.
+  const std::uint32_t in_store = store.acquire(make_job(2));
+  EXPECT_EQ(in_store, slot);
+  const std::uint32_t in_copy = copy.acquire(make_job(2));
+  EXPECT_EQ(in_copy, 1u);
+}
+
+}  // namespace
+}  // namespace istc::sched

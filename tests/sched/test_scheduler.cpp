@@ -371,6 +371,51 @@ TEST(Scheduler, WakeAtNotFooledByStaleEarlierWake) {
   s.take_result(20);
 }
 
+TEST(Scheduler, StaleWakeDedupSurvivesQueueSwap) {
+  // The queued-wakes set must behave identically under every queue impl:
+  // the calendar queue's bucket ordering changes *how* wake events are
+  // stored, never which wakes are deduplicated or when passes fire.  The
+  // wake plan walks the calendar's tiers — same rung-1 bucket (5, 7, 10),
+  // a later rung-1 bucket (70), rung 2 (70000), and the far-future
+  // overflow list (100000000) — re-arming from the post-pass hook the way
+  // the interstitial driver does (arming everything up front would be
+  // covered by the earliest wake and prove nothing).
+  const std::vector<SimTime> plan = {70, 70000, 100000000};
+  std::vector<std::vector<SimTime>> fired_by_impl;
+  std::vector<std::uint64_t> wakeups_by_impl;
+  for (const sim::QueueImpl impl :
+       {sim::QueueImpl::kLegacy, sim::QueueImpl::kBinaryHeap,
+        sim::QueueImpl::kCalendar}) {
+    sim::Engine eng(impl);
+    BatchScheduler s(eng, machine_of(10), fcfs_policy());
+    std::vector<SimTime> fired;
+    s.set_post_pass_hook([&](const PassContext& c) {
+      fired.push_back(c.now);
+      for (const SimTime t : plan) {
+        if (t > c.now) {
+          s.wake_at(t);
+          s.wake_at(t);  // immediate duplicate: must be covered
+          break;
+        }
+      }
+    });
+    s.wake_at(10);
+    s.wake_at(5);
+    s.wake_at(7);  // covered by the wake at 5
+    eng.run();
+    fired_by_impl.push_back(std::move(fired));
+    wakeups_by_impl.push_back(s.stats().wakeups);
+    s.take_result(200000000);
+  }
+  // 2 up-front (10, 5) + one per plan step; the re-armed duplicates and
+  // the covered 7 never reach the queue.
+  const std::vector<SimTime> expected = {5, 10, 70, 70000, 100000000};
+  for (std::size_t i = 0; i < fired_by_impl.size(); ++i) {
+    EXPECT_EQ(fired_by_impl[i], expected) << "impl " << i;
+    EXPECT_EQ(wakeups_by_impl[i], 5u) << "impl " << i;
+  }
+}
+
 TEST(Scheduler, IncrementalProfileMatchesRebuildSchedules) {
   // The pass-persistent profile (deltas + origin advance) and the old
   // from-scratch per-pass rebuild must produce byte-identical schedules,

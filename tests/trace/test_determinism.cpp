@@ -51,10 +51,11 @@ std::vector<workload::Job> random_natives(std::uint64_t seed) {
   return jobs;
 }
 
-sched::RunResult run_miniature(std::uint64_t seed, Tracer* tracer,
-                               bool typed_events = true,
-                               metrics::RunMetrics* metrics = nullptr) {
-  sim::Engine eng(typed_events);
+sched::RunResult run_miniature(
+    std::uint64_t seed, Tracer* tracer,
+    sim::QueueImpl impl = sim::QueueImpl::kCalendar,
+    metrics::RunMetrics* metrics = nullptr) {
+  sim::Engine eng(impl);
   cluster::DowntimeCalendar cal({{2000, 2400}, {4500, 4800}});
   cluster::Machine machine(
       {.name = "determinism-mini", .site = "", .queue_system = "",
@@ -73,9 +74,10 @@ sched::RunResult run_miniature(std::uint64_t seed, Tracer* tracer,
   return s.take_result(kSpan);
 }
 
-std::string jsonl_of(std::uint64_t seed, bool typed_events = true) {
+std::string jsonl_of(std::uint64_t seed,
+                     sim::QueueImpl impl = sim::QueueImpl::kCalendar) {
   Tracer tracer(TraceMode::kFull, 4u << 20);
-  run_miniature(seed, &tracer, typed_events);
+  run_miniature(seed, &tracer, impl);
   EXPECT_EQ(tracer.dropped(), 0u);
   std::ostringstream out;
   write_jsonl(out, tracer);
@@ -153,11 +155,25 @@ TEST(TraceDeterminism, MiniatureJsonlMatchesGolden) {
   EXPECT_EQ(hash_str(jsonl_of(42)), 0x36432d51afb41bcaull);
 }
 
-// The typed event core and the legacy std::function queue implement the
-// same (time, seq) contract, so both must hit the same golden pins: the
-// A/B knob changes representation cost, never behavior.
+// The calendar queue (the default above), the typed binary heap, and the
+// legacy std::function queue implement the same (time, seq) contract, so
+// all three must hit the same golden pins: the queue knob changes
+// representation cost, never behavior.
+TEST(TraceDeterminism, BinaryHeapQueueMatchesScheduleGolden) {
+  const auto run = run_miniature(42, nullptr, sim::QueueImpl::kBinaryHeap);
+  EXPECT_EQ(hash_run(run), 0x4cb3857a75f8d6bfull);
+}
+
+TEST(TraceDeterminism, BinaryHeapQueueMatchesJsonlGolden) {
+#if !ISTC_TRACING_ENABLED
+  GTEST_SKIP() << "tracing compiled out (ISTC_TRACING=OFF)";
+#endif
+  EXPECT_EQ(hash_str(jsonl_of(42, sim::QueueImpl::kBinaryHeap)),
+            0x36432d51afb41bcaull);
+}
+
 TEST(TraceDeterminism, LegacyQueueMatchesScheduleGolden) {
-  const auto run = run_miniature(42, nullptr, /*typed_events=*/false);
+  const auto run = run_miniature(42, nullptr, sim::QueueImpl::kLegacy);
   EXPECT_EQ(hash_run(run), 0x4cb3857a75f8d6bfull);
 }
 
@@ -165,7 +181,7 @@ TEST(TraceDeterminism, LegacyQueueMatchesJsonlGolden) {
 #if !ISTC_TRACING_ENABLED
   GTEST_SKIP() << "tracing compiled out (ISTC_TRACING=OFF)";
 #endif
-  EXPECT_EQ(hash_str(jsonl_of(42, /*typed_events=*/false)),
+  EXPECT_EQ(hash_str(jsonl_of(42, sim::QueueImpl::kLegacy)),
             0x36432d51afb41bcaull);
 }
 
@@ -195,7 +211,7 @@ TEST(TraceDeterminism, EngineEventCoreGaugesReachSummary) {
 // schedule hash — including sim_end — is untouched.
 TEST(TraceDeterminism, MetricsAttachedSamplerOffMatchesGolden) {
   metrics::RunMetrics m;  // default config: interval 0, no sampler
-  const auto run = run_miniature(42, nullptr, true, &m);
+  const auto run = run_miniature(42, nullptr, sim::QueueImpl::kCalendar, &m);
   EXPECT_EQ(hash_run(run), 0x4cb3857a75f8d6bfull);
   EXPECT_EQ(m.sampler(), nullptr);
   m.ingest(run);
@@ -218,23 +234,26 @@ TEST(TraceDeterminism, SamplingIsScheduleNeutral) {
            x.start == y.start && x.end == y.end &&
            x.interstitial() == y.interstitial();
   };
-  for (const bool typed : {true, false}) {
+  for (const sim::QueueImpl impl :
+       {sim::QueueImpl::kCalendar, sim::QueueImpl::kBinaryHeap,
+        sim::QueueImpl::kLegacy}) {
+    const int mode = static_cast<int>(impl);
     metrics::SamplerConfig cfg;
     cfg.interval = 60;
     metrics::RunMetrics m(cfg);
-    const auto sampled = run_miniature(42, nullptr, typed, &m);
+    const auto sampled = run_miniature(42, nullptr, impl, &m);
     ASSERT_NE(m.sampler(), nullptr);
     // kSpan / 60 ticks, the last exactly on the stop.
-    EXPECT_EQ(m.sampler()->rows().size(), 100u) << "typed=" << typed;
+    EXPECT_EQ(m.sampler()->rows().size(), 100u) << "impl=" << mode;
     ASSERT_EQ(sampled.records.size(), bare.records.size());
     for (std::size_t i = 0; i < sampled.records.size(); ++i) {
       EXPECT_TRUE(same(sampled.records[i], bare.records[i]))
-          << "typed=" << typed << " record " << i;
+          << "impl=" << mode << " record " << i;
     }
     ASSERT_EQ(sampled.killed.size(), bare.killed.size());
     for (std::size_t i = 0; i < sampled.killed.size(); ++i) {
       EXPECT_TRUE(same(sampled.killed[i], bare.killed[i]))
-          << "typed=" << typed << " kill " << i;
+          << "impl=" << mode << " kill " << i;
     }
   }
 }

@@ -1,0 +1,94 @@
+#include "util/cow_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace istc::util {
+namespace {
+
+TEST(CowLog, BehavesLikeAVectorBeforeFreezing) {
+  CowLog<int> log;
+  EXPECT_TRUE(log.empty());
+  log.push_back(1);
+  log.push_back(2);
+  log.push_back(3);
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], 1);
+  EXPECT_EQ(log[2], 3);
+  EXPECT_EQ(log.back(), 3);
+}
+
+TEST(CowLog, FreezePreservesContentsAndIndices) {
+  CowLog<int> log;
+  for (int i = 0; i < 10; ++i) log.push_back(i);
+  log.freeze();
+  EXPECT_EQ(log.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(log[static_cast<std::size_t>(i)], i);
+  log.push_back(10);
+  EXPECT_EQ(log.size(), 11u);
+  EXPECT_EQ(log[10], 10);
+  EXPECT_EQ(log.back(), 10);
+}
+
+// The fork contract: after freeze + copy, each side appends privately and
+// neither sees the other's tail, while the shared prefix stays put (its
+// indices must remain valid — queued event args point into it).
+TEST(CowLog, CopiesShareThePrefixButNotTheTail) {
+  CowLog<std::string> a;
+  a.push_back("shared0");
+  a.push_back("shared1");
+  a.freeze();
+  CowLog<std::string> b = a;
+
+  a.push_back("a-only");
+  b.push_back("b-only0");
+  b.push_back("b-only1");
+
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_EQ(a[1], "shared1");
+  EXPECT_EQ(b[1], "shared1");
+  EXPECT_EQ(a[2], "a-only");
+  EXPECT_EQ(b[2], "b-only0");
+  EXPECT_EQ(b[3], "b-only1");
+}
+
+TEST(CowLog, RepeatedFreezesFoldTheTailIntoThePrefix) {
+  CowLog<int> log;
+  log.push_back(0);
+  log.freeze();
+  log.push_back(1);
+  log.freeze();  // refreeze with a non-empty tail
+  log.freeze();  // refreeze with an empty tail is a no-op
+  log.push_back(2);
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], 0);
+  EXPECT_EQ(log[1], 1);
+  EXPECT_EQ(log[2], 2);
+}
+
+TEST(CowLog, TakeMaterializesEverythingAndResets) {
+  CowLog<int> log;
+  log.push_back(1);
+  log.freeze();
+  CowLog<int> fork = log;
+  log.push_back(2);
+  const std::vector<int> all = log.take();
+  EXPECT_EQ(all, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(log.empty());
+  // The fork's view is untouched by the source's take.
+  EXPECT_EQ(fork.size(), 1u);
+  EXPECT_EQ(fork[0], 1);
+}
+
+TEST(CowLog, TakeWithoutFreezeMovesTheTail) {
+  CowLog<int> log;
+  log.push_back(7);
+  log.push_back(8);
+  EXPECT_EQ(log.take(), (std::vector<int>{7, 8}));
+  EXPECT_TRUE(log.empty());
+}
+
+}  // namespace
+}  // namespace istc::util
