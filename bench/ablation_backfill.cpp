@@ -5,27 +5,7 @@
 // conservative, and no backfill at all.
 
 #include "common.hpp"
-#include "sched/presets.hpp"
 #include "sched/scheduler.hpp"
-#include "sim/engine.hpp"
-#include "workload/presets.hpp"
-
-namespace {
-
-istc::sched::RunResult run_with(istc::sched::BackfillMode mode) {
-  using namespace istc;
-  const auto site = cluster::Site::kBlueMountain;
-  sim::Engine engine;
-  sched::PolicySpec policy = sched::site_policy(site);
-  policy.backfill = mode;
-  sched::BatchScheduler scheduler(engine, cluster::make_machine(site),
-                                  policy);
-  scheduler.load(workload::site_log(site));
-  engine.run();
-  return scheduler.take_result(cluster::site_span(site));
-}
-
-}  // namespace
 
 int main() {
   using namespace istc;
@@ -43,18 +23,22 @@ int main() {
       {"no backfill", sched::BackfillMode::kNone},
   };
 
+  std::vector<core::Scenario> scenarios;
+  for (const Case& c : cases) {
+    core::Scenario sc = bench::bluemtn_scenario();
+    sc.backfill = c.mode;
+    scenarios.push_back(sc);
+  }
+  const auto runs = bench::run_scenarios(scenarios);
+
   Table t;
   t.headers({"backfill", "utilization", "median wait (s)", "avg wait (s)",
              "largest-5% median (s)", "drain time (d)"});
-  for (const auto& c : cases) {
-    const auto run = run_with(c.mode);
-    const auto w = metrics::wait_stats(run.records);
-    const auto wl =
-        metrics::wait_stats(metrics::largest_native(run.records, 0.05));
-    t.row({c.name, Table::num(bench::overall_util(run), 3),
-           Table::num(w.median_wait_s, 0), Table::num(w.avg_wait_s, 0),
-           Table::num(wl.median_wait_s, 0),
-           Table::num(to_days(run.sim_end), 1)});
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto w = bench::wait_cells(runs[i].records);
+    t.row({cases[i].name, Table::num(bench::overall_util(runs[i]), 3),
+           w.median, w.avg, w.largest5,
+           Table::num(to_days(runs[i].sim_end), 1)});
   }
   t.print();
   std::printf(

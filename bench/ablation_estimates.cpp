@@ -6,31 +6,12 @@
 
 #include "common.hpp"
 
-namespace {
-
-istc::sched::RunResult run_case(bool perfect, bool interstitial) {
-  using namespace istc;
-  core::Scenario sc;
-  sc.site = cluster::Site::kBlueMountain;
-  sc.perfect_estimates = perfect;
-  if (interstitial) {
-    sc.project = core::ProjectSpec::continual_stream(
-        32, 120, cluster::site_span(sc.site));
-  }
-  return core::run_scenario(sc);
-}
-
-}  // namespace
-
 int main() {
   using namespace istc;
   bench::print_preamble(
       "Ablation — user estimates (Blue Mountain, continual 32CPU x 458s)",
       "Gross overestimates (real logs) vs perfect estimates.");
 
-  Table t;
-  t.headers({"scenario", "interstitial jobs", "overall util", "native util",
-             "median wait (s)", "avg wait (s)"});
   struct Case {
     const char* name;
     bool perfect;
@@ -42,14 +23,26 @@ int main() {
       {"perfect, native only", true, false},
       {"perfect + interstitial", true, true},
   };
-  for (const auto& c : cases) {
-    const auto run = run_case(c.perfect, c.interstitial);
-    const auto w = metrics::wait_stats(run.records);
-    t.row({c.name,
-           Table::integer(static_cast<long long>(run.interstitial_count())),
-           Table::num(bench::overall_util(run), 3),
-           Table::num(bench::native_util_of(run), 3),
-           Table::num(w.median_wait_s, 0), Table::num(w.avg_wait_s, 0)});
+
+  std::vector<core::Scenario> scenarios;
+  for (const Case& c : cases) {
+    core::Scenario sc =
+        bench::bluemtn_scenario(c.interstitial ? 32 : 0, 120);
+    sc.perfect_estimates = c.perfect;
+    scenarios.push_back(sc);
+  }
+  const auto runs = bench::run_scenarios(scenarios);
+
+  Table t;
+  t.headers({"scenario", "interstitial jobs", "overall util", "native util",
+             "median wait (s)", "avg wait (s)"});
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto w = bench::wait_cells(runs[i].records);
+    t.row({cases[i].name,
+           Table::integer(
+               static_cast<long long>(runs[i].interstitial_count())),
+           Table::num(bench::overall_util(runs[i]), 3),
+           Table::num(bench::native_util_of(runs[i]), 3), w.median, w.avg});
   }
   t.print();
   std::printf(

@@ -9,21 +9,6 @@
 
 #include "common.hpp"
 
-namespace {
-
-istc::sched::RunResult run_with(istc::core::GatePolicy gate) {
-  using namespace istc;
-  core::Scenario sc;
-  sc.site = cluster::Site::kBlueMountain;
-  auto stream = core::ProjectSpec::continual_stream(
-      32, 120, cluster::site_span(sc.site));
-  stream.gate = gate;
-  sc.project = stream;
-  return core::run_scenario(sc);
-}
-
-}  // namespace
-
 int main() {
   using namespace istc;
   bench::print_preamble(
@@ -31,18 +16,7 @@ int main() {
       "Native protection vs harvest for three gate policies.");
 
   const auto& base = core::native_baseline(cluster::Site::kBlueMountain);
-  const auto w_base = metrics::wait_stats(base.records);
-
-  Table t;
-  t.headers({"gate", "interstitial jobs", "overall util",
-             "median wait (s)", "avg wait (s)", "largest-5% median (s)"});
-  t.row({"(native only)", "0", Table::num(bench::overall_util(base), 3),
-         Table::num(w_base.median_wait_s, 0),
-         Table::num(w_base.avg_wait_s, 0),
-         Table::num(metrics::wait_stats(
-                        metrics::largest_native(base.records, 0.05))
-                        .median_wait_s,
-                    0)});
+  const auto w_base = bench::wait_cells(base.records);
 
   struct Case {
     const char* name;
@@ -53,16 +27,27 @@ int main() {
       {"head-only (Fig. 1 verbatim)", core::GatePolicy::kHeadOnly},
       {"always (no gate)", core::GatePolicy::kAlways},
   };
-  for (const auto& c : cases) {
-    const auto run = run_with(c.gate);
-    const auto w = metrics::wait_stats(run.records);
-    const auto wl =
-        metrics::wait_stats(metrics::largest_native(run.records, 0.05));
-    t.row({c.name,
-           Table::integer(static_cast<long long>(run.interstitial_count())),
-           Table::num(bench::overall_util(run), 3),
-           Table::num(w.median_wait_s, 0), Table::num(w.avg_wait_s, 0),
-           Table::num(wl.median_wait_s, 0)});
+
+  std::vector<core::Scenario> scenarios;
+  for (const Case& c : cases) {
+    core::Scenario sc = bench::bluemtn_scenario(32, 120);
+    sc.project->gate = c.gate;
+    scenarios.push_back(sc);
+  }
+  const auto runs = bench::run_scenarios(scenarios);
+
+  Table t;
+  t.headers({"gate", "interstitial jobs", "overall util",
+             "median wait (s)", "avg wait (s)", "largest-5% median (s)"});
+  t.row({"(native only)", "0", Table::num(bench::overall_util(base), 3),
+         w_base.median, w_base.avg, w_base.largest5});
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto w = bench::wait_cells(runs[i].records);
+    t.row({cases[i].name,
+           Table::integer(
+               static_cast<long long>(runs[i].interstitial_count())),
+           Table::num(bench::overall_util(runs[i]), 3), w.median, w.avg,
+           w.largest5});
   }
   t.print();
   std::printf(

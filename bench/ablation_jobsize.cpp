@@ -18,35 +18,46 @@ int main() {
                                       core::native_utilization(site));
 
   {
+    const int widths[] = {8, 32, 128, 512};
+    std::vector<core::Scenario> scenarios;
+    for (int cpus : widths) {
+      scenarios.push_back(bench::bluemtn_scenario(cpus, 120));
+    }
+    const auto runs = bench::run_scenarios(scenarios);
+
     Table t("width sweep (120 s @ 1 GHz = 458 s jobs)");
     t.headers({"CPUs/job", "breakage (theory)", "interstitial jobs",
                "overall util", "median wait (s)", "avg wait (s)"});
-    for (int cpus : {8, 32, 128, 512}) {
-      const auto& run = core::continual_run(site, cpus, 120);
-      const auto w = metrics::wait_stats(run.records);
-      t.row({Table::integer(cpus),
-             Table::num(core::breakage_factor(in, cpus), 3),
-             Table::integer(static_cast<long long>(run.interstitial_count())),
-             Table::num(bench::overall_util(run), 3),
-             Table::num(w.median_wait_s, 0), Table::num(w.avg_wait_s, 0)});
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const auto w = bench::wait_cells(runs[i].records);
+      t.row({Table::integer(widths[i]),
+             Table::num(core::breakage_factor(in, widths[i]), 3),
+             Table::integer(
+                 static_cast<long long>(runs[i].interstitial_count())),
+             Table::num(bench::overall_util(runs[i]), 3), w.median, w.avg});
     }
     t.print();
   }
   std::printf("\n");
   {
+    const Seconds lengths[] = {30, 120, 480, 960};
+    std::vector<core::Scenario> scenarios;
+    for (Seconds sec : lengths) {
+      scenarios.push_back(bench::bluemtn_scenario(32, sec));
+    }
+    const auto runs = bench::run_scenarios(scenarios);
+
     Table t("length sweep (32-CPU jobs)");
     t.headers({"sec @ 1 GHz", "runtime here (s)", "interstitial jobs",
                "overall util", "median wait (s)", "avg wait (s)"});
-    for (Seconds sec : {Seconds{30}, Seconds{120}, Seconds{480},
-                        Seconds{960}}) {
-      const auto& run = core::continual_run(site, 32, sec);
-      const auto spec = core::ProjectSpec::continual_stream(32, sec, 1);
-      const auto w = metrics::wait_stats(run.records);
-      t.row({Table::integer(sec),
-             Table::integer(spec.runtime_on(run.machine)),
-             Table::integer(static_cast<long long>(run.interstitial_count())),
-             Table::num(bench::overall_util(run), 3),
-             Table::num(w.median_wait_s, 0), Table::num(w.avg_wait_s, 0)});
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const auto spec = core::ProjectSpec::continual_stream(32, lengths[i], 1);
+      const auto w = bench::wait_cells(runs[i].records);
+      t.row({Table::integer(lengths[i]),
+             Table::integer(spec.runtime_on(runs[i].machine)),
+             Table::integer(
+                 static_cast<long long>(runs[i].interstitial_count())),
+             Table::num(bench::overall_util(runs[i]), 3), w.median, w.avg});
     }
     t.print();
   }

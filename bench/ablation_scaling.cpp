@@ -11,18 +11,6 @@
 
 #include "common.hpp"
 
-namespace {
-
-istc::sched::RunResult run_scaled(double time_f, double size_f) {
-  istc::core::Scenario sc;
-  sc.site = istc::cluster::Site::kBlueMountain;
-  sc.native_time_factor = time_f;
-  sc.native_size_factor = size_f;
-  return istc::core::run_scenario(sc);
-}
-
-}  // namespace
-
 int main() {
   using namespace istc;
   bench::print_preamble(
@@ -33,37 +21,34 @@ int main() {
   const auto& inter = core::continual_run(cluster::Site::kBlueMountain, 32,
                                           120);
 
-  struct Row {
-    std::string name;
-    const sched::RunResult* run = nullptr;
-    sched::RunResult owned;  // for the scaled scenarios
-  };
-  std::vector<Row> rows;
-  rows.push_back({"native baseline", &base, {}});
-  rows.push_back({"interstitial 32CPU x 458s", &inter, {}});
+  std::vector<std::string> names;
+  std::vector<core::Scenario> scenarios;
   for (double f : {1.1, 1.2}) {
-    Row r;
-    r.name = "runtimes x " + Table::num(f, 1);
-    r.owned = run_scaled(f, 1.0);
-    rows.push_back(std::move(r));
+    core::Scenario sc = bench::bluemtn_scenario();
+    sc.native_time_factor = f;
+    names.push_back("runtimes x " + Table::num(f, 1));
+    scenarios.push_back(sc);
   }
   for (double f : {1.1, 1.2}) {
-    Row r;
-    r.name = "widths x " + Table::num(f, 1);
-    r.owned = run_scaled(1.0, f);
-    rows.push_back(std::move(r));
+    core::Scenario sc = bench::bluemtn_scenario();
+    sc.native_size_factor = f;
+    names.push_back("widths x " + Table::num(f, 1));
+    scenarios.push_back(sc);
   }
+  const auto scaled = bench::run_scenarios(scenarios);
 
   Table t;
   t.headers({"scenario", "overall util", "median wait (s)", "avg wait (s)",
              "median EF", "avg EF"});
-  for (auto& row : rows) {
-    const sched::RunResult& run = row.run ? *row.run : row.owned;
-    const auto w = metrics::wait_stats(run.records);
-    t.row({row.name, Table::num(bench::overall_util(run), 3),
-           Table::num(w.median_wait_s, 0), Table::num(w.avg_wait_s, 0),
-           Table::num(w.median_ef, 2), Table::num(w.avg_ef, 1)});
-  }
+  const auto emit = [&t](const std::string& name,
+                         const sched::RunResult& run) {
+    const auto w = bench::wait_cells(run.records);
+    t.row({name, Table::num(bench::overall_util(run), 3), w.median, w.avg,
+           w.median_ef, w.avg_ef});
+  };
+  emit("native baseline", base);
+  emit("interstitial 32CPU x 458s", inter);
+  for (std::size_t i = 0; i < scaled.size(); ++i) emit(names[i], scaled[i]);
   t.print();
 
   std::printf(

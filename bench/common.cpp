@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "core/fork.hpp"
+#include "core/sweep.hpp"
 #include "metrics/waits.hpp"
 #include "trace/summary.hpp"
 #include "util/thread_pool.hpp"
@@ -77,6 +79,38 @@ double native_util_of(const sched::RunResult& run) {
   return metrics::average_utilization(run.records, run.machine.cpus, 0,
                                       run.span,
                                       metrics::JobFilter::kNativeOnly);
+}
+
+WaitCells wait_cells(std::span<const sched::JobRecord> records) {
+  const auto all = metrics::wait_stats(records);
+  const auto big = metrics::wait_stats(metrics::largest_native(records, 0.05));
+  WaitCells c;
+  c.median = Table::num(all.median_wait_s, 0);
+  c.avg = Table::num(all.avg_wait_s, 0);
+  c.largest5 = Table::num(big.median_wait_s, 0);
+  c.median_ef = Table::num(all.median_ef, 2);
+  c.avg_ef = Table::num(all.avg_ef, 1);
+  return c;
+}
+
+core::Scenario bluemtn_scenario(int cpus_per_job, Seconds sec_at_1ghz) {
+  core::Scenario sc;
+  sc.site = cluster::Site::kBlueMountain;
+  if (cpus_per_job > 0) {
+    sc.project = core::ProjectSpec::continual_stream(
+        cpus_per_job, sec_at_1ghz, cluster::site_span(sc.site));
+  }
+  return sc;
+}
+
+std::vector<sched::RunResult> run_scenarios(
+    const std::vector<core::Scenario>& scenarios) {
+  core::SweepRunner<core::SimRun> sweep(
+      scenarios.size(), [&](std::size_t i) {
+        return std::make_unique<core::SimRun>(scenarios[i]);
+      });
+  return sweep.run_scratch(
+      0, [](core::SimRun& run, std::size_t) { return run.finish(); });
 }
 
 void print_trace_counters(const char* title, const sched::RunResult& run) {

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "core/project.hpp"
@@ -44,6 +45,31 @@ std::string median_waits_cell(std::span<const sched::JobRecord> records);
 /// Utilization over [0, span) for a run.
 double overall_util(const sched::RunResult& run);
 double native_util_of(const sched::RunResult& run);
+
+/// Wait-statistic cells shared by the ablation/comparator tables: waits in
+/// whole seconds, expansion factors with the papers' precision.  Computed
+/// in one wait_stats pass per field group.
+struct WaitCells {
+  std::string median;     ///< median wait (s)
+  std::string avg;        ///< average wait (s)
+  std::string largest5;   ///< largest-5% median wait (s)
+  std::string median_ef;  ///< median expansion factor
+  std::string avg_ef;     ///< average expansion factor
+};
+WaitCells wait_cells(std::span<const sched::JobRecord> records);
+
+/// The Blue Mountain scenario every ablation driver perturbs: site set,
+/// and (when cpus_per_job > 0) a continual `cpus_per_job` x `sec_at_1ghz`
+/// stream attached.  Pass cpus_per_job = 0 for the native-only variant.
+core::Scenario bluemtn_scenario(int cpus_per_job = 0, Seconds sec_at_1ghz = 0);
+
+/// Run a family of scenario variants through the fork-tree sweep engine
+/// (core::SweepRunner) in scratch mode — variants that differ from t = 0
+/// cannot share a prefix — returning results in point order regardless of
+/// thread count.  Replaces the hand-rolled run_with()/parallel_for loops
+/// the ablation and sensitivity drivers used to copy.
+std::vector<sched::RunResult> run_scenarios(
+    const std::vector<core::Scenario>& scenarios);
 
 /// Scheduling-cost counters of a run (RunResult::trace, populated by the
 /// counters-only tracer every cached experiment run carries), printed as a

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "core/sweep.hpp"
 #include "grid/fleet.hpp"
 #include "util/thread_pool.hpp"
 
@@ -36,9 +37,9 @@ struct SweepConfig {
   double quota_frac;
 };
 
-grid::FleetResult run_default_fleet(const SweepConfig& sweep,
-                                    grid::BrokerPolicy policy,
-                                    std::size_t threads) {
+std::unique_ptr<grid::FleetRun> make_fleet_run(const SweepConfig& sweep,
+                                               grid::BrokerPolicy policy,
+                                               std::size_t threads) {
   auto fleet = grid::default_fleet();
   int fleet_cpus = 0;
   for (const auto& m : fleet) fleet_cpus += m.spec.cpus;
@@ -48,7 +49,14 @@ grid::FleetResult run_default_fleet(const SweepConfig& sweep,
   grid::FleetConfig cfg;
   cfg.broker.policy = policy;
   cfg.threads = threads;
-  return grid::run_fleet(std::move(fleet), std::move(projects), cfg);
+  return std::make_unique<grid::FleetRun>(std::move(fleet),
+                                          std::move(projects), cfg);
+}
+
+grid::FleetResult run_default_fleet(const SweepConfig& sweep,
+                                    grid::BrokerPolicy policy,
+                                    std::size_t threads) {
+  return make_fleet_run(sweep, policy, threads)->finish();
 }
 
 double wall_of(std::size_t threads, std::size_t machines,
@@ -133,32 +141,45 @@ int main() {
   std::printf("\nharvested %.1f cpu-h across %zu dispatches in %zu epochs\n\n",
               harvested_cpu_h, r1.dispatches.size(), r1.epochs);
 
-  // -- fairness table across broker policies.
+  // -- fairness table across broker policies: a SweepRunner<FleetRun>
+  // scratch sweep (a whole-run policy comparison has no shared prefix —
+  // routing diverges from the first boundary).  Each fleet runs its shards
+  // serially (cfg.threads = 1) while the sweep advances the three policy
+  // points in parallel; the best-fit point must reproduce r1's hash, which
+  // pins the FleetRun path against run_fleet.
+  const grid::BrokerPolicy policies[] = {grid::BrokerPolicy::kBestFit,
+                                         grid::BrokerPolicy::kRoundRobin,
+                                         grid::BrokerPolicy::kLeastLoaded};
+  core::SweepRunner<grid::FleetRun> policy_sweep(
+      std::size(policies),
+      [&](std::size_t i) { return make_fleet_run(sweep, policies[i], 1); });
+  const auto policy_results = policy_sweep.run_scratch(
+      0, [](grid::FleetRun& run, std::size_t) { return run.finish(); });
+  const bool sweep_hash_equal = policy_results[0].hash == r1.hash;
+  if (!sweep_hash_equal) {
+    std::printf("SWEEP MISMATCH: best-fit via SweepRunner %s vs run_fleet "
+                "%s\n",
+                hex64(policy_results[0].hash).c_str(), hex64(r1.hash).c_str());
+  }
+
   Table fair("Broker policy comparison");
   fair.headers({"policy", "dispatches", "completed", "abandoned",
                 "fairness (Jain)"});
-  std::vector<std::pair<grid::BrokerPolicy, const grid::FleetResult*>> rows;
-  const auto rr =
-      run_default_fleet(sweep, grid::BrokerPolicy::kRoundRobin, 1);
-  const auto ll =
-      run_default_fleet(sweep, grid::BrokerPolicy::kLeastLoaded, 1);
-  rows = {{grid::BrokerPolicy::kBestFit, &r1},
-          {grid::BrokerPolicy::kRoundRobin, &rr},
-          {grid::BrokerPolicy::kLeastLoaded, &ll}};
   std::vector<std::pair<std::string, double>> fairness_json;
-  for (const auto& [policy, res] : rows) {
+  for (std::size_t i = 0; i < policy_results.size(); ++i) {
+    const grid::FleetResult& res = policy_results[i];
     std::size_t completed = 0, abandoned = 0;
-    for (const auto& led : res->ledgers) {
+    for (const auto& led : res.ledgers) {
       completed += led.completed;
       abandoned += led.abandoned();
     }
-    fair.row({grid::broker_policy_name(policy),
-              Table::integer(static_cast<long long>(res->dispatches.size())),
+    fair.row({grid::broker_policy_name(policies[i]),
+              Table::integer(static_cast<long long>(res.dispatches.size())),
               Table::integer(static_cast<long long>(completed)),
               Table::integer(static_cast<long long>(abandoned)),
-              Table::num(res->fairness, 3)});
-    fairness_json.emplace_back(grid::broker_policy_name(policy),
-                               res->fairness);
+              Table::num(res.fairness, 3)});
+    fairness_json.emplace_back(grid::broker_policy_name(policies[i]),
+                               res.fairness);
   }
   fair.print();
 
@@ -211,7 +232,8 @@ int main() {
         << ", \"threshold\": " << speedup_min << ", \"skipped\": "
         << (speedup_skipped ? "true" : "false") << "},\n";
     out << "  \"gates\": {\"determinism\": \""
-        << (hash_equal ? "pass" : "fail") << "\", \"speedup\": \""
+        << (hash_equal && sweep_hash_equal ? "pass" : "fail")
+        << "\", \"speedup\": \""
         << (speedup_skipped ? "skip" : (speedup_ok ? "pass" : "fail"))
         << "\"}\n";
     out << "}\n";
@@ -221,6 +243,12 @@ int main() {
   if (!hash_equal) {
     std::fprintf(stderr,
                  "FAIL: fleet hash differs across shard thread counts\n");
+    return 1;
+  }
+  if (!sweep_hash_equal) {
+    std::fprintf(stderr,
+                 "FAIL: SweepRunner<FleetRun> best-fit hash differs from "
+                 "run_fleet\n");
     return 1;
   }
   if (!speedup_ok) {

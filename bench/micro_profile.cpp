@@ -24,9 +24,15 @@ ResourceProfile busy_profile(int segments, Rng& rng) {
   return p;
 }
 
+// Trailing arg A/B's the hole index: 0 = linear scan (kIndexDisabled),
+// 1 = segment-tree descents forced on (threshold 1).  Same seeds, same
+// queries; only the search strategy differs.
 void BM_ProfileEarliestFit(benchmark::State& state) {
   Rng rng(1);
-  const auto p = busy_profile(static_cast<int>(state.range(0)), rng);
+  auto p = busy_profile(static_cast<int>(state.range(0)), rng);
+  p.set_index_threshold(state.range(1) != 0
+                            ? std::size_t{1}
+                            : ResourceProfile::kIndexDisabled);
   Rng qrng(2);
   for (auto _ : state) {
     const int cpus = static_cast<int>(qrng.range(1, 2048));
@@ -34,7 +40,11 @@ void BM_ProfileEarliestFit(benchmark::State& state) {
     benchmark::DoNotOptimize(t);
   }
 }
-BENCHMARK(BM_ProfileEarliestFit)->Arg(100)->Arg(1000);
+BENCHMARK(BM_ProfileEarliestFit)
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({1000, 0})
+    ->Args({1000, 1});
 
 void BM_ProfileReserveRelease(benchmark::State& state) {
   Rng rng(3);
@@ -93,15 +103,27 @@ void BM_ProfileCoalesce(benchmark::State& state) {
 }
 BENCHMARK(BM_ProfileCoalesce);
 
+// Same linear-vs-indexed A/B as BM_ProfileEarliestFit for the window
+// scan, at a short (one-hour) and a long (quarter-span) window: the
+// tree's range_min only amortizes once the window covers many
+// breakpoints, which is the regime the omniscient packer queries in.
 void BM_ProfileMinFree(benchmark::State& state) {
   Rng rng(5);
-  const auto p = busy_profile(1000, rng);
+  auto p = busy_profile(1000, rng);
+  p.set_index_threshold(state.range(1) != 0
+                            ? std::size_t{1}
+                            : ResourceProfile::kIndexDisabled);
+  const SimTime window = state.range(0);
   Rng qrng(6);
   for (auto _ : state) {
     const SimTime a = qrng.range(0, 400000);
-    benchmark::DoNotOptimize(p.min_free(a, a + 3600));
+    benchmark::DoNotOptimize(p.min_free(a, a + window));
   }
 }
-BENCHMARK(BM_ProfileMinFree);
+BENCHMARK(BM_ProfileMinFree)
+    ->Args({3600, 0})
+    ->Args({3600, 1})
+    ->Args({120000, 0})
+    ->Args({120000, 1});
 
 }  // namespace

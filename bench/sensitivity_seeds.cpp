@@ -1,13 +1,13 @@
 // Sensitivity: are the headline results artifacts of one synthetic trace?
 // Regenerate each site's log under several alternate seeds, rerun the
 // native baseline and the Blue Mountain continual scenario, and report the
-// spread.  Replications run in parallel (one forked RNG stream per seed).
+// spread.  Each seed family is a SweepRunner scratch sweep (per-seed logs
+// differ from t = 0, so there is no prefix to share); points still run in
+// parallel with thread-count-independent ordering.
 
 #include <array>
-#include <mutex>
 
 #include "common.hpp"
-#include "util/thread_pool.hpp"
 
 int main() {
   using namespace istc;
@@ -21,16 +21,16 @@ int main() {
     Table t("native utilization by seed (target from Table 1)");
     t.headers({"site", "target", "seed mean ± std", "min", "max"});
     for (auto site : cluster::all_sites()) {
-      std::vector<double> utils(kSeeds.size());
-      parallel_for(kSeeds.size(), [&](std::size_t i) {
+      std::vector<core::Scenario> scenarios;
+      for (std::uint64_t seed : kSeeds) {
         core::Scenario sc;
         sc.site = site;
-        sc.log_seed = kSeeds[i];
-        const auto run = core::run_scenario(sc);
-        utils[i] = metrics::average_utilization(run.records,
-                                                run.machine.cpus, 0,
-                                                run.span);
-      });
+        sc.log_seed = seed;
+        scenarios.push_back(sc);
+      }
+      const auto runs = bench::run_scenarios(scenarios);
+      std::vector<double> utils;
+      for (const auto& run : runs) utils.push_back(bench::overall_util(run));
       const Summary s(utils);
       t.row({cluster::site_name(site),
              Table::num(cluster::site_targets(site).utilization, 3),
@@ -42,28 +42,25 @@ int main() {
 
   std::printf("\n");
   {
+    std::vector<core::Scenario> scenarios;
+    for (std::uint64_t seed : kSeeds) {
+      core::Scenario sc = bench::bluemtn_scenario(32, 120);
+      sc.log_seed = seed;
+      scenarios.push_back(sc);
+    }
+    const auto runs = bench::run_scenarios(scenarios);
+
     Table t("Blue Mountain continual interstitial (32CPU x 458s) by seed");
     t.headers({"seed", "interstitial jobs", "overall util", "native util",
                "median wait (s)"});
-    std::mutex mu;
-    std::vector<std::vector<std::string>> rows(kSeeds.size());
-    parallel_for(kSeeds.size(), [&](std::size_t i) {
-      core::Scenario sc;
-      sc.site = cluster::Site::kBlueMountain;
-      sc.log_seed = kSeeds[i];
-      sc.project = core::ProjectSpec::continual_stream(
-          32, 120, cluster::site_span(sc.site));
-      const auto run = core::run_scenario(sc);
-      const auto w = metrics::wait_stats(run.records);
-      std::lock_guard lk(mu);
-      rows[i] = {Table::integer(static_cast<long long>(kSeeds[i])),
-                 Table::integer(
-                     static_cast<long long>(run.interstitial_count())),
-                 Table::num(bench::overall_util(run), 3),
-                 Table::num(bench::native_util_of(run), 3),
-                 Table::num(w.median_wait_s, 0)};
-    });
-    for (auto& r : rows) t.row(std::move(r));
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const auto w = bench::wait_cells(runs[i].records);
+      t.row({Table::integer(static_cast<long long>(kSeeds[i])),
+             Table::integer(
+                 static_cast<long long>(runs[i].interstitial_count())),
+             Table::num(bench::overall_util(runs[i]), 3),
+             Table::num(bench::native_util_of(runs[i]), 3), w.median});
+    }
     t.print();
   }
 

@@ -1,30 +1,86 @@
 // Table 8 (second, "limited"): continual interstitial computing on Blue
 // Mountain with submission restricted to instantaneous utilization caps of
-// 90%, 95% and 98% (32-CPU x 458 s jobs).
+// 90%, 95% and 98% (32-CPU x 458 s jobs) — run as a fork-tree sweep.
+//
+// All four cap settings share the identical uncapped stream up to the
+// divergence time t0 (three quarters of the log); from there each point
+// caps its own fork of the run (windowed-cap semantics: the cap governs
+// submission from t0 on).  core::SweepRunner simulates [0, t0] once, forks
+// one SimRun per cap, and re-simulates every point from scratch as the
+// reference arm.  The exit gate is the tentpole's contract: every capped
+// window bit-identical between the arms, and the forked sweep at least 2x
+// faster end-to-end (1.3x under ISTC_QUICK; ISTC_FORK_SPEEDUP_MIN
+// overrides).  Threads are pinned to 1 so the speedup measures prefix
+// reuse, not host parallelism.
+
+#include <cstdlib>
+#include <memory>
 
 #include "common.hpp"
+#include "core/fork.hpp"
+#include "core/sweep.hpp"
+
+namespace {
+
+using namespace istc;
+
+bool same_run(const sched::RunResult& a, const sched::RunResult& b) {
+  if (a.sim_end != b.sim_end || a.records.size() != b.records.size() ||
+      a.killed.size() != b.killed.size()) {
+    return false;
+  }
+  const auto same = [](const sched::JobRecord& x, const sched::JobRecord& y) {
+    return x.job.id == y.job.id && x.job.cpus == y.job.cpus &&
+           x.start == y.start && x.end == y.end;
+  };
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    if (!same(a.records[i], b.records[i])) return false;
+  }
+  for (std::size_t i = 0; i < a.killed.size(); ++i) {
+    if (!same(a.killed[i], b.killed[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 int main() {
   using namespace istc;
   bench::print_preamble(
       "Table 8 (limited) — Capped continual interstitial, Blue Mountain",
-      "Interstitial jobs submitted only while (busy + new)/N stays below "
-      "the cap.");
+      "Caps applied from the fork point on; interstitial jobs submitted "
+      "only while (busy + new)/N stays below the cap.");
 
   const auto site = cluster::Site::kBlueMountain;
   const auto& base = core::native_baseline(site);
-  const auto& unlimited = core::continual_run(site, 32, 120);
+  const SimTime span = cluster::site_span(site);
+  // The uncapped stream is the shared prefix; caps bite in the back
+  // eighth of the log.  (Sim-time is not wall-time: the back stretch is
+  // denser in events — stream churn plus the drain — so the final eighth
+  // still holds roughly a quarter of the per-run wall clock.)
+  const SimTime t0 = span / 8 * 7;
+
+  const double caps[] = {0.90, 0.95, 0.98, 1.0};
+  constexpr std::size_t kPoints = std::size(caps);
+
+  core::SweepRunner<core::SimRun> sweep(kPoints, [&](std::size_t) {
+    return std::make_unique<core::SimRun>(bench::bluemtn_scenario(32, 120));
+  });
+  sweep.set_threads(1);  // measure prefix reuse, not host parallelism
+  const auto verified = sweep.run_verified(
+      t0,
+      [&](core::SimRun& run, std::size_t i) {
+        if (caps[i] < 1.0) run.driver()->set_utilization_cap(caps[i]);
+        return run.finish();
+      },
+      same_run);
 
   Table t;
   t.headers({"", "Util < 90%", "Util < 95%", "Util < 98%", "Unlimited"});
   std::vector<std::string> inter{"Interstitial jobs"},
       native{"Native jobs"}, overall{"Overall Utilization"},
       nutil{"Native Utilization"}, waits{"Median wait (ks) all / 5% largest"};
-
-  const double caps[] = {0.90, 0.95, 0.98, 1.0};
-  for (double cap : caps) {
-    const auto& run = cap < 1.0 ? core::continual_run(site, 32, 120, cap)
-                                : unlimited;
+  for (const auto& run : verified.forked) {
     inter.push_back(
         Table::integer(static_cast<long long>(run.interstitial_count())));
     native.push_back(
@@ -36,12 +92,29 @@ int main() {
   for (auto* row : {&inter, &native, &overall, &nutil, &waits}) t.row(*row);
   t.print();
 
+  const bool quick = std::getenv("ISTC_QUICK") != nullptr;
+  double min_speedup = quick ? 1.3 : 2.0;
+  if (const char* env = std::getenv("ISTC_FORK_SPEEDUP_MIN")) {
+    min_speedup = std::atof(env);
+  }
+  const bool fast_enough =
+      min_speedup <= 0 || verified.speedup() >= min_speedup;
+
   const double base_util = bench::overall_util(base);
   std::printf(
       "\nNative-only baseline utilization: %.3f\n"
-      "Paper: the 90%% cap costs ~40%% of the interstitial jobs and ~6\n"
-      "utilization points vs unlimited, but leaves the natives essentially\n"
-      "untouched; 95%% costs ~20%% of jobs / 3 points; 98%% ~10%% / 1 point.\n",
-      base_util);
-  return 0;
+      "Caps are applied at the fork point t0 = %.0f h (of %.0f h): the\n"
+      "four settings share one uncapped prefix simulation, then each fork\n"
+      "caps its own submission stream.  Paper (whole-run caps): 90%%\n"
+      "costs ~40%% of the interstitial jobs, 95%% ~20%%, 98%% ~10%%; here\n"
+      "the cap only governs the final eighth, so the job deltas are\n"
+      "proportionally smaller but ordered the same way.\n"
+      "fork results bit-identical to from-scratch runs: %s\n"
+      "sweep wall time: forked %.2fs vs from-scratch %.2fs (%.2fx, need "
+      ">=%.2fx)\n",
+      base_util, static_cast<double>(t0) / 3600.0,
+      static_cast<double>(span) / 3600.0, verified.equal ? "yes" : "NO",
+      verified.forked_wall_s, verified.scratch_wall_s, verified.speedup(),
+      min_speedup);
+  return (verified.equal && fast_enough) ? 0 : 1;
 }

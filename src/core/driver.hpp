@@ -66,6 +66,18 @@ class InterstitialDriver {
     spec_.fault_retry = policy;
   }
 
+  /// Sweep support: swap the instantaneous utilization cap (Table 9's
+  /// limited mode) mid-run.  The cap is consulted per pass when sizing the
+  /// next submission burst, so setting it on a freshly forked run caps the
+  /// stream from the fork point on — the windowed-cap semantics the
+  /// fork-tree cap sweep measures (bench/table9_limited.cpp), with the
+  /// fork==scratch gate pinning that a scratch run receiving the same cap
+  /// at the same instant behaves bit-identically.
+  void set_utilization_cap(double cap) {
+    ISTC_EXPECTS(cap > 0 && cap <= 1.0);
+    spec_.utilization_cap = cap;
+  }
+
   /// Kill accounting: every interstitial kill the scheduler reported
   /// (preemption and faults alike; see PreemptionRecovery / FaultRetryPolicy).
   std::size_t kills_observed() const { return kills_observed_; }

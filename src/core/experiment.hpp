@@ -27,6 +27,10 @@ namespace istc::metrics {
 class RunMetrics;  // metrics/report.hpp
 }
 
+namespace istc::sched {
+enum class BackfillMode : std::uint8_t;  // sched/scheduler.hpp
+}
+
 namespace istc::core {
 
 class RunCache;  // run_cache.hpp
@@ -48,6 +52,9 @@ struct Scenario {
   /// Extension: natives evict running interstitial jobs instead of waiting
   /// (sched::PolicySpec::preempt_interstitial).
   bool preempt_interstitial = false;
+  /// Ablation knob: override the site policy's backfill discipline
+  /// (sched::PolicySpec::backfill); nullopt keeps the site default.
+  std::optional<sched::BackfillMode> backfill;
   /// Maintain the scheduler's free-CPU profile incrementally across passes
   /// (sched::PolicySpec::incremental_profile).  OFF selects the from-scratch
   /// per-pass rebuild — the A/B baseline for bench/micro_scheduler;

@@ -30,6 +30,7 @@ SimRun::SimRun(const Scenario& scenario)
   sched::PolicySpec policy = sched::site_policy(site_);
   policy.preempt_interstitial = scenario.preempt_interstitial;
   policy.incremental_profile = scenario.incremental_profile;
+  if (scenario.backfill) policy.backfill = *scenario.backfill;
   scheduler_ = std::make_unique<sched::BatchScheduler>(
       engine_, cluster::make_machine(site_), std::move(policy));
   if (scenario.tracer != nullptr) scheduler_->set_tracer(scenario.tracer);

@@ -140,9 +140,26 @@ class GridBroker {
   void ingest(const PortReport& report);
 
   /// Route every placeable job: projects in fair-share order, one job per
-  /// project per round until no project can place.  Calls deliver(now +
-  /// latency, job) on the chosen machines.
+  /// project per round until no project can place.  Placements are
+  /// buffered and flushed as one deliver_batch(now + latency, ...) per
+  /// machine — a million-job epoch costs one timed event per machine.
   void route(SimTime now, const std::vector<GridMachine*>& machines);
+
+  // -- sweep support ------------------------------------------------------
+  // Knob setters for fork-tree sweeps (core/sweep.hpp): a forked fleet
+  // applies its point's policy/quota at the fork boundary, so every point
+  // shares the prefix simulated under the base configuration.  Both knobs
+  // are consulted only inside route()/ingest(), so setting them between
+  // boundaries is exactly equivalent to having constructed the broker with
+  // them from that boundary on.
+
+  /// Swap the routing policy.
+  void set_policy(BrokerPolicy policy) { cfg_.policy = policy; }
+
+  /// Swap a project's fleet-wide in-flight CPU quota (0 = unlimited).
+  /// Shrinking below the current in-flight count only pauses new routing
+  /// until reports drain the excess.
+  void set_project_quota(std::size_t project, int quota_cpus);
 
  private:
   struct Pending {
@@ -170,6 +187,9 @@ class GridBroker {
   std::vector<DispatchRecord> dispatches_;
   std::uint32_t next_gid_ = 0;
   std::size_t rr_cursor_ = 0;
+  /// Per-machine placement buffers, reused across boundaries (empty
+  /// between route() calls; only capacity persists).
+  std::vector<std::vector<GridJob>> delivery_buf_;
 };
 
 }  // namespace istc::grid

@@ -53,71 +53,102 @@ double jain_fairness(const std::vector<double>& xs) {
   return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
 }
 
-FleetResult run_fleet(std::vector<MachineSetup> setups,
-                      std::vector<GridProjectSpec> projects,
-                      const FleetConfig& cfg) {
+FleetRun::FleetRun(std::vector<MachineSetup> setups,
+                   std::vector<GridProjectSpec> projects,
+                   const FleetConfig& cfg)
+    : cfg_(cfg), broker_(std::move(projects), cfg.broker) {
   ISTC_EXPECTS(!setups.empty());
-  std::vector<std::unique_ptr<GridMachine>> owned;
-  owned.reserve(setups.size());
-  for (auto& s : setups) owned.push_back(std::make_unique<GridMachine>(std::move(s)));
-  std::vector<GridMachine*> machines;
-  for (auto& m : owned) machines.push_back(m.get());
-
-  GridBroker broker(std::move(projects), cfg.broker);
-
+  owned_.reserve(setups.size());
+  for (auto& s : setups) {
+    owned_.push_back(std::make_unique<GridMachine>(std::move(s)));
+  }
+  for (auto& m : owned_) machines_.push_back(m.get());
   const std::size_t threads =
-      cfg.threads > 0 ? cfg.threads : default_thread_count();
-  std::optional<ThreadPool> pool;
-  if (threads > 1 && machines.size() > 1) pool.emplace(threads);
-  const auto each_machine = [&](const std::function<void(std::size_t)>& fn) {
-    if (pool) {
-      parallel_for(*pool, machines.size(), fn);
-    } else {
-      for (std::size_t i = 0; i < machines.size(); ++i) fn(i);
-    }
-  };
+      cfg_.threads > 0 ? cfg_.threads : default_thread_count();
+  if (threads > 1 && machines_.size() > 1) pool_.emplace(threads);
+}
 
-  FleetResult out;
-  SimTime now = 0;
+FleetRun::FleetRun(FleetRun& other)
+    : cfg_(other.cfg_),
+      broker_(other.broker_),  // queues + ledgers + dispatch log, all values
+      now_(other.now_),
+      epochs_(other.epochs_) {
+  owned_.reserve(other.owned_.size());
+  // Machines fork serially: each fork freezes its parent's shared log
+  // prefixes, and the forks themselves are only advanced later (by
+  // finish(), possibly on a SweepRunner's pool).
+  for (auto& m : other.owned_) owned_.push_back(m->fork());
+  for (auto& m : owned_) machines_.push_back(m.get());
+  const std::size_t threads =
+      cfg_.threads > 0 ? cfg_.threads : default_thread_count();
+  if (threads > 1 && machines_.size() > 1) pool_.emplace(threads);
+}
+
+std::unique_ptr<FleetRun> FleetRun::fork() {
+  return std::unique_ptr<FleetRun>(new FleetRun(*this));
+}
+
+SimTime FleetRun::next_boundary() const {
+  SimTime next = broker_.next_wake(now_);
+  for (const auto* m : machines_) {
+    // Any queued report is deliverable at the next instant; bounce
+    // deadlines and exact grid-job completions are known futures.
+    next = std::min(next, m->next_report_time(now_ + 1));
+  }
+  if (cfg_.heartbeat > 0) {
+    bool live = false;
+    for (const auto* m : machines_) {
+      live = live || m->next_event_time() < kTimeInfinity;
+    }
+    if (live) next = std::min(next, now_ + cfg_.heartbeat);
+  }
+  return next;
+}
+
+void FleetRun::each_machine(const std::function<void(std::size_t)>& fn) {
+  if (pool_) {
+    parallel_for(*pool_, machines_.size(), fn);
+  } else {
+    for (std::size_t i = 0; i < machines_.size(); ++i) fn(i);
+  }
+}
+
+void FleetRun::run_until(SimTime t) {
   for (;;) {
-    SimTime next = broker.next_wake(now);
-    for (const auto* m : machines) {
-      // Any queued report is deliverable at the next instant; bounce
-      // deadlines and exact grid-job completions are known futures.
-      next = std::min(next, m->next_report_time(now + 1));
-    }
-    if (cfg.heartbeat > 0) {
-      bool live = false;
-      for (const auto* m : machines) {
-        live = live || m->next_event_time() < kTimeInfinity;
-      }
-      if (live) next = std::min(next, now + cfg.heartbeat);
-    }
-    if (next >= kTimeInfinity) break;
-    ISTC_ASSERT(next > now);
+    const SimTime next = next_boundary();
+    if (next >= kTimeInfinity || next > t) break;
+    ISTC_ASSERT(next > now_);
     // Advance phase: shards are independent up to `next` — nothing routed
     // at this boundary can land before next + latency (conservative
     // lookahead), so this fans out without any cross-shard ordering.
-    each_machine([&](std::size_t i) { machines[i]->advance(next); });
-    now = next;
-    ++out.epochs;
+    each_machine([&](std::size_t i) { machines_[i]->advance(next); });
+    now_ = next;
+    ++epochs_;
     // Boundary phase (serial, machine order, then broker): deterministic
     // regardless of how the advance phase was threaded.
-    for (auto* m : machines) {
-      for (const auto& report : m->collect_reports(now)) broker.ingest(report);
+    for (auto* m : machines_) {
+      report_buf_.clear();
+      m->collect_reports(now_, report_buf_);
+      for (const auto& report : report_buf_) broker_.ingest(report);
     }
-    broker.route(now, machines);
+    broker_.route(now_, machines_);
   }
-  ISTC_ASSERT(broker.done());
+}
+
+FleetResult FleetRun::finish() {
+  run_until(kTimeInfinity);
+  ISTC_ASSERT(broker_.done());
   // Native drain: all grid work is accounted, the rest of each machine's
   // timeline is purely local.
-  each_machine([&](std::size_t i) { machines[i]->drain(); });
-  for (auto* m : machines) {
+  each_machine([&](std::size_t i) { machines_[i]->drain(); });
+  for (auto* m : machines_) {
     ISTC_ASSERT(m->collect_reports(kTimeInfinity).empty());
   }
 
+  FleetResult out;
+  out.epochs = epochs_;
   out.hash = kFnvOffset;
-  for (auto* m : machines) {
+  for (auto* m : machines_) {
     FleetMachineOutcome mo;
     mo.name = m->name();
     mo.port = m->port_stats();
@@ -127,9 +158,9 @@ FleetResult run_fleet(std::vector<MachineSetup> setups,
     out.sim_end = std::max(out.sim_end, mo.run.sim_end);
     out.machines.push_back(std::move(mo));
   }
-  out.projects = broker.project_specs();
-  out.ledgers = broker.ledgers();
-  out.dispatches = broker.dispatches();
+  out.projects = broker_.project_specs();
+  out.ledgers = broker_.ledgers();
+  out.dispatches = broker_.dispatches();
   std::vector<double> per_share;
   for (std::size_t p = 0; p < out.projects.size(); ++p) {
     per_share.push_back(static_cast<double>(out.ledgers[p].harvested_cpu_sec) /
@@ -137,6 +168,13 @@ FleetResult run_fleet(std::vector<MachineSetup> setups,
   }
   out.fairness = jain_fairness(per_share);
   return out;
+}
+
+FleetResult run_fleet(std::vector<MachineSetup> setups,
+                      std::vector<GridProjectSpec> projects,
+                      const FleetConfig& cfg) {
+  FleetRun run(std::move(setups), std::move(projects), cfg);
+  return run.finish();
 }
 
 sched::RunResult run_native_only(MachineSetup setup) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -8,6 +9,7 @@
 #include "cluster/presets.hpp"
 #include "grid/broker.hpp"
 #include "grid/machine.hpp"
+#include "util/thread_pool.hpp"
 
 /// \file fleet.hpp
 /// run_fleet — the conservatively synchronized federated simulation.
@@ -63,6 +65,73 @@ std::uint64_t hash_run(const sched::RunResult& run);
 /// Jain's fairness index (sum x)^2 / (n * sum x^2); 1.0 for n == 0 or
 /// all-zero.
 double jain_fairness(const std::vector<double>& xs);
+
+/// FleetRun — a whole federated fleet as a forkable run object.
+///
+/// Owns the machines, the broker, and the epoch-loop clock, exposing the
+/// same protocol as core::SimRun — run_until / fork / finish — so a
+/// core::SweepRunner<FleetRun> can sweep broker policies or quotas by
+/// simulating the shared fleet prefix once and forking the *entire fleet*
+/// (every shard plus the broker's ledgers) per parameter point.
+///
+/// run_until advances whole epochs: it processes every boundary <= t and
+/// stops with the fleet standing at the last one, which is exactly where a
+/// fork is legal (all machines quiescent between events, the broker
+/// between route() calls).  Knob setters applied to a fork before finish()
+/// take effect from that boundary on.
+class FleetRun {
+ public:
+  FleetRun(std::vector<MachineSetup> setups,
+           std::vector<GridProjectSpec> projects, const FleetConfig& cfg = {});
+
+  FleetRun(const FleetRun&) = delete;
+  FleetRun& operator=(const FleetRun&) = delete;
+
+  /// Process every boundary with time <= t (machines fork serially inside,
+  /// then advance on the pool when cfg.threads allows).
+  void run_until(SimTime t);
+
+  /// Copy-on-write snapshot of the whole fleet at the current boundary:
+  /// every machine forked (sharing logs with its parent), the broker's
+  /// queues and ledgers copied.  `this` is mutated only to freeze shared
+  /// log prefixes.
+  std::unique_ptr<FleetRun> fork();
+
+  /// Run to completion (all grid work accounted, natives drained) and
+  /// collect the result.
+  FleetResult finish();
+
+  // Sweep knobs, forwarded to the broker (apply to a fork at its boundary).
+  void set_policy(BrokerPolicy policy) { broker_.set_policy(policy); }
+  void set_project_quota(std::size_t project, int quota_cpus) {
+    broker_.set_project_quota(project, quota_cpus);
+  }
+
+  SimTime now() const { return now_; }
+  std::size_t epochs() const { return epochs_; }
+  const GridBroker& broker() const { return broker_; }
+  std::size_t machine_count() const { return owned_.size(); }
+  const GridMachine& machine(std::size_t i) const { return *owned_[i]; }
+
+ private:
+  /// Fork constructor (use fork()).
+  explicit FleetRun(FleetRun& other);
+
+  /// Earliest time anything crosses a link (kTimeInfinity when done).
+  SimTime next_boundary() const;
+  void each_machine(const std::function<void(std::size_t)>& fn);
+
+  FleetConfig cfg_;
+  GridBroker broker_;
+  std::vector<std::unique_ptr<GridMachine>> owned_;
+  std::vector<GridMachine*> machines_;  ///< raw view for the broker
+  std::optional<ThreadPool> pool_;
+  SimTime now_ = 0;
+  std::size_t epochs_ = 0;
+  /// Report buffer reused across machines and epochs (steady-state
+  /// boundaries perform no per-report allocation).
+  std::vector<PortReport> report_buf_;
+};
 
 FleetResult run_fleet(std::vector<MachineSetup> setups,
                       std::vector<GridProjectSpec> projects,

@@ -10,24 +10,68 @@ GridMachine::GridMachine(MachineSetup setup)
     : setup_(std::move(setup)),
       name_(setup_.name.empty() ? setup_.spec.name : setup_.name),
       engine_(setup_.queue_impl()),
-      scheduler_(engine_, cluster::Machine(setup_.spec, setup_.downtime),
-                 setup_.policy),
       tracer_(trace::TraceMode::kCountersOnly) {
-  scheduler_.set_tracer(&tracer_);
-  scheduler_.load(setup_.natives);
+  scheduler_ = std::make_unique<sched::BatchScheduler>(
+      engine_, cluster::Machine(setup_.spec, setup_.downtime), setup_.policy);
+  scheduler_->set_tracer(&tracer_);
+  scheduler_->load(setup_.natives);
   next_local_id_ = setup_.first_interstitial_id.value_or(
       static_cast<workload::JobId>(setup_.natives.size()));
   if (setup_.local_project) {
-    driver_.emplace(scheduler_, *setup_.local_project, next_local_id_);
+    driver_.emplace(*scheduler_, *setup_.local_project, next_local_id_);
   } else {
-    scheduler_.set_post_pass_hook(
-        [this](const sched::PassContext& ctx) { on_pass(ctx); });
-    scheduler_.set_kill_hook(
-        [this](const sched::JobRecord& victim, sched::KillReason reason) {
-          on_kill(victim, reason);
-        });
+    register_port_hooks();
   }
-  if (setup_.faults.enabled()) injector_.emplace(scheduler_, setup_.faults);
+  if (setup_.faults.enabled()) injector_.emplace(*scheduler_, setup_.faults);
+}
+
+GridMachine::GridMachine(GridMachine& other)
+    : setup_(other.setup_),
+      name_(other.name_),
+      engine_(other.setup_.queue_impl()),
+      tracer_(trace::TraceMode::kCountersOnly),
+      next_local_id_(other.next_local_id_),
+      arrivals_(other.arrivals_),
+      landed_(other.landed_),
+      running_(other.running_),
+      reports_(other.reports_),
+      stats_(other.stats_) {
+  // Share the delivery logs copy-on-write: freeze the source's prefix so
+  // both sides append privately, and in-flight kGridArrival events (whose
+  // args index these logs) resolve identically in either machine.
+  other.delivery_jobs_.freeze();
+  other.delivery_spans_.freeze();
+  delivery_jobs_ = other.delivery_jobs_;
+  delivery_spans_ = other.delivery_spans_;
+  // Same order as SimRun's fork ctor: engine snapshot first (adopt_state
+  // checks the queue holds no boxed callbacks — guaranteed since the port
+  // delivers through typed events), then the scheduler clone registers
+  // itself on the new engine, then driver/injector clones or the port
+  // hooks re-attach to the new stack.
+  engine_.adopt_state(other.engine_);
+  scheduler_ =
+      std::make_unique<sched::BatchScheduler>(engine_, *other.scheduler_);
+  scheduler_->set_tracer(&tracer_);
+  if (other.driver_) {
+    driver_.emplace(*scheduler_, *other.driver_);
+  } else {
+    register_port_hooks();
+  }
+  if (other.injector_) injector_.emplace(*scheduler_, *other.injector_);
+}
+
+std::unique_ptr<GridMachine> GridMachine::fork() {
+  return std::unique_ptr<GridMachine>(new GridMachine(*this));
+}
+
+void GridMachine::register_port_hooks() {
+  scheduler_->set_post_pass_hook(
+      [this](const sched::PassContext& ctx) { on_pass(ctx); });
+  scheduler_->set_kill_hook(
+      [this](const sched::JobRecord& victim, sched::KillReason reason) {
+        on_kill(victim, reason);
+      });
+  engine_.set_grid_hook([this](std::uint32_t span) { on_arrival(span); });
 }
 
 void GridMachine::advance(SimTime until) {
@@ -49,15 +93,28 @@ SimTime GridMachine::next_report_time(SimTime asap) const {
   return t;
 }
 
-void GridMachine::deliver(SimTime at, const GridJob& job) {
+void GridMachine::deliver_batch(SimTime at, std::span<const GridJob> jobs) {
   ISTC_EXPECTS(accepts_routed());
   ISTC_EXPECTS(at >= engine_.now());
-  ++stats_.delivered;
+  ISTC_EXPECTS(!jobs.empty());
+  const std::size_t begin = delivery_jobs_.size();
+  for (const GridJob& job : jobs) delivery_jobs_.push_back(job);
+  const std::size_t span_index = delivery_spans_.size();
+  ISTC_ASSERT(begin + jobs.size() <= UINT32_MAX && span_index <= UINT32_MAX);
+  delivery_spans_.push_back({static_cast<std::uint32_t>(begin),
+                             static_cast<std::uint32_t>(jobs.size())});
+  stats_.delivered += jobs.size();
   arrivals_.push_back(at);
-  engine_.schedule(at, [this, job] {
-    arrivals_.pop_front();
-    landed_.push_back({job, engine_.now()});
-  });
+  engine_.schedule_grid_arrival(at, static_cast<std::uint32_t>(span_index));
+}
+
+void GridMachine::on_arrival(std::uint32_t span_index) {
+  ISTC_ASSERT(!arrivals_.empty());
+  arrivals_.pop_front();
+  const DeliverySpan s = delivery_spans_[span_index];
+  for (std::uint32_t k = 0; k < s.count; ++k) {
+    landed_.push_back({delivery_jobs_[s.begin + k], engine_.now()});
+  }
 }
 
 void GridMachine::on_pass(const sched::PassContext& ctx) {
@@ -81,7 +138,7 @@ void GridMachine::on_pass(const sched::PassContext& ctx) {
       j.submit = l.arrived;
       j.runtime = runtime;
       j.estimate = runtime;
-      if (scheduler_.try_start_immediately(j)) {
+      if (scheduler_->try_start_immediately(j)) {
         ++next_local_id_;
         ++stats_.started;
         running_.push_back({j.id, l.job, ctx.now, ctx.now + runtime});
@@ -119,8 +176,8 @@ void GridMachine::on_kill(const sched::JobRecord& victim,
   running_.erase(it);
 }
 
-std::vector<PortReport> GridMachine::collect_reports(SimTime now) {
-  std::vector<PortReport> out = std::move(reports_);
+void GridMachine::collect_reports(SimTime now, std::vector<PortReport>& out) {
+  out.insert(out.end(), reports_.begin(), reports_.end());
   reports_.clear();
   std::size_t kept = 0;
   for (auto& r : running_) {
@@ -144,11 +201,10 @@ std::vector<PortReport> GridMachine::collect_reports(SimTime now) {
     }
   }
   landed_.resize(kept);
-  return out;
 }
 
 int GridMachine::lookahead_min_free(SimTime t, Seconds dur) const {
-  const sched::ResourceProfile& profile = scheduler_.profile();
+  const sched::ResourceProfile& profile = scheduler_->profile();
   const SimTime start = std::max(t, profile.origin());
   return profile.min_free(start, start + std::max<Seconds>(dur, 1));
 }

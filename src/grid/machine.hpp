@@ -1,7 +1,9 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -12,6 +14,7 @@
 #include "sched/scheduler.hpp"
 #include "sim/engine.hpp"
 #include "trace/tracer.hpp"
+#include "util/cow_log.hpp"
 #include "workload/job.hpp"
 
 /// \file machine.hpp
@@ -21,12 +24,24 @@
 /// wrapping today's entire per-machine stack (Engine + BatchScheduler +
 /// optional InterstitialDriver + optional FaultInjector + counting tracer)
 /// behind a message interface.  The only ways in are timed deliveries
-/// (deliver()) and the only ways out are timed reports (collect_reports()),
-/// both stamped with simulation times strictly ahead of the sender's clock
-/// — the "link" with its routing latency.  Between epoch boundaries a
-/// machine touches no shared state, which is what lets the fleet advance
-/// shards on a thread pool with bit-identical results at any thread count
-/// (see fleet.hpp for the conservative synchronization argument).
+/// (deliver_batch()) and the only ways out are timed reports
+/// (collect_reports()), both stamped with simulation times strictly ahead
+/// of the sender's clock — the "link" with its routing latency.  Between
+/// epoch boundaries a machine touches no shared state, which is what lets
+/// the fleet advance shards on a thread pool with bit-identical results at
+/// any thread count (see fleet.hpp for the conservative synchronization
+/// argument).
+///
+/// Deliveries are *batched*: one timed message carries a packed span of
+/// jobs (everything the broker routed to this machine at one boundary),
+/// so a million-job epoch costs one event per (machine, boundary) instead
+/// of one per job.  The payload lives in an append-only copy-on-write log
+/// and the event carries a 32-bit span index — a mid-run queue therefore
+/// holds only POD entries, which is what makes a whole fleet shard
+/// *forkable*: fork() snapshots the machine exactly (engine queue, SoA job
+/// store, port state), sharing the delivery/submission/record logs with
+/// the parent, so a fleet-level sweep can simulate the common prefix once
+/// and fork a shard per parameter point (core/sweep.hpp).
 ///
 /// A machine runs one of two interstitial modes, exclusive because the
 /// scheduler's post-pass hook is singular:
@@ -118,8 +133,16 @@ class GridMachine {
   GridMachine(const GridMachine&) = delete;
   GridMachine& operator=(const GridMachine&) = delete;
 
+  /// Fork: a new GridMachine whose state is a copy-on-write snapshot of
+  /// this one at the current sim time — same protocol as core::SimRun.
+  /// Requires the typed event core (adopt_state) and a quiescent machine
+  /// (between events, i.e. at a fleet epoch boundary).  `this` is mutated
+  /// only to freeze its shared log prefixes.  The fork starts with a fresh
+  /// counters-only tracer; port statistics carry over.
+  std::unique_ptr<GridMachine> fork();
+
   const std::string& name() const { return name_; }
-  const cluster::Machine& machine() const { return scheduler_.machine(); }
+  const cluster::Machine& machine() const { return scheduler_->machine(); }
   SimTime span() const { return setup_.span; }
   bool accepts_routed() const { return !driver_.has_value(); }
 
@@ -142,17 +165,33 @@ class GridMachine {
   /// bounce deadlines; kTimeInfinity when the port is idle.
   SimTime next_report_time(SimTime asap) const;
 
-  /// A routed job arrives at `at` (the sender's boundary time plus the
-  /// link latency; must be ahead of this machine's clock).  The arrival
-  /// event itself triggers a scheduling pass, so the job gets its first
+  /// A batch of routed jobs arrives at `at` (the sender's boundary time
+  /// plus the link latency; must be ahead of this machine's clock).  One
+  /// timed event per batch — the jobs land together, in span order, and
+  /// the arrival triggers a scheduling pass so each job gets its first
   /// start attempt the instant it lands.
-  void deliver(SimTime at, const GridJob& job);
+  void deliver_batch(SimTime at, std::span<const GridJob> jobs);
 
-  /// Drain the port's outbound link: kill reports queued since the last
-  /// boundary, completions with end <= now, and bounces whose patience
-  /// expired.  Deterministic order (kills in event order, then completions
-  /// and bounces in landing order).
-  std::vector<PortReport> collect_reports(SimTime now);
+  /// Single-job delivery (tests, miniatures): a batch of one.
+  void deliver(SimTime at, const GridJob& job) {
+    deliver_batch(at, std::span<const GridJob>(&job, 1));
+  }
+
+  /// Drain the port's outbound link into `out` (appended): kill reports
+  /// queued since the last boundary, completions with end <= now, and
+  /// bounces whose patience expired.  Deterministic order (kills in event
+  /// order, then completions and bounces in landing order).  One packed
+  /// span per (machine, boundary) — the fleet loop reuses a single buffer
+  /// across machines and epochs, so a million-job epoch performs no
+  /// per-report allocation in steady state.
+  void collect_reports(SimTime now, std::vector<PortReport>& out);
+
+  /// Convenience wrapper returning a fresh vector (tests).
+  std::vector<PortReport> collect_reports(SimTime now) {
+    std::vector<PortReport> out;
+    collect_reports(now, out);
+    return out;
+  }
 
   // -- routing surface (read by the broker at boundaries) -----------------
 
@@ -163,7 +202,9 @@ class GridMachine {
   }
   /// Snapshot of the most recent scheduling pass (gate inputs: queue
   /// emptiness and the earliest native start the gate protects).
-  const sched::PassContext& last_pass() const { return scheduler_.last_pass(); }
+  const sched::PassContext& last_pass() const {
+    return scheduler_->last_pass();
+  }
   /// Minimum free CPUs over [t, t+dur) per the estimate-based free-CPU
   /// profile — the "current interstice estimate" best-fit routing ranks by.
   int lookahead_min_free(SimTime t, Seconds dur) const;
@@ -171,11 +212,14 @@ class GridMachine {
   bool can_run_at(SimTime t, Seconds dur) const {
     return machine().downtime().can_run(t, dur);
   }
-  sched::SchedulerProbe probe() const { return scheduler_.probe(); }
+  sched::SchedulerProbe probe() const { return scheduler_->probe(); }
 
   // -- results ------------------------------------------------------------
 
   const PortStats& port_stats() const { return stats_; }
+  /// Packed delivery spans received (one timed arrival event each); the
+  /// message-batching win is port_stats().delivered / delivery_batches().
+  std::size_t delivery_batches() const { return delivery_spans_.size(); }
   const trace::Tracer& tracer() const { return tracer_; }
   const core::InterstitialDriver* driver() const {
     return driver_ ? &*driver_ : nullptr;
@@ -185,7 +229,9 @@ class GridMachine {
   }
 
   /// Collect the run result (requires the machine to have drained).
-  sched::RunResult take_result() { return scheduler_.take_result(setup_.span); }
+  sched::RunResult take_result() {
+    return scheduler_->take_result(setup_.span);
+  }
 
  private:
   /// A delivered job waiting for a pass that can start it.
@@ -201,28 +247,52 @@ class GridMachine {
     SimTime start = 0;
     SimTime end = 0;
   };
+  /// One batched delivery: a packed [begin, begin+count) range of
+  /// delivery_jobs_.  kGridArrival events carry an index into this log.
+  struct DeliverySpan {
+    std::uint32_t begin = 0;
+    std::uint32_t count = 0;
+  };
 
+  /// Fork constructor (use fork(); `other` is mutated only to freeze its
+  /// copy-on-write log prefixes).
+  explicit GridMachine(GridMachine& other);
+
+  /// Register the port-mode hooks (post-pass backfill, kill accounting,
+  /// grid-arrival dispatch) on this machine's own engine/scheduler; both
+  /// constructors share it because hooks are identities of the stack and
+  /// are never copied by the clone ctors.
+  void register_port_hooks();
+  void on_arrival(std::uint32_t span_index);
   void on_pass(const sched::PassContext& ctx);
   void on_kill(const sched::JobRecord& victim, sched::KillReason reason);
 
   MachineSetup setup_;
   std::string name_;
   sim::Engine engine_;
-  sched::BatchScheduler scheduler_;
+  // unique_ptr keeps the scheduler's address stable across the fork ctor
+  // (the driver and injector hold references to it) and lets the fork
+  // adopt the engine state before cloning the scheduler.
+  std::unique_ptr<sched::BatchScheduler> scheduler_;
   trace::Tracer tracer_;
   std::optional<core::InterstitialDriver> driver_;
   std::optional<fault::FaultInjector> injector_;
 
   workload::JobId next_local_id_ = 0;
-  /// Arrival times of deliveries still in flight (scheduled, not yet
-  /// landed), FIFO since boundaries are monotone.  Keeps the fleet loop
-  /// live: an in-flight job guarantees a boundary at (or after) its
-  /// arrival even when everything else is idle.
+  /// Arrival times of delivery batches still in flight (scheduled, not
+  /// yet landed), FIFO since boundaries are monotone.  Keeps the fleet
+  /// loop live: an in-flight batch guarantees a boundary at (or after)
+  /// its arrival even when everything else is idle.
   std::deque<SimTime> arrivals_;
   std::vector<Landed> landed_;
   std::vector<RunningGrid> running_;
   /// Outbound reports queued mid-slice (kills); drained at boundaries.
   std::vector<PortReport> reports_;
+  /// Batched-delivery payloads: jobs in routing order plus the span table
+  /// the 32-bit event args index.  Copy-on-write so forks share the
+  /// prefix and queued arrival events stay valid across the fork.
+  util::CowLog<GridJob> delivery_jobs_;
+  util::CowLog<DeliverySpan> delivery_spans_;
   PortStats stats_;
 };
 

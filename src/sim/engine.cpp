@@ -34,6 +34,9 @@ void Engine::dispatch(Event& e) {
     case EventType::kFaultFire:
       fault_hook_(e.arg);
       break;
+    case EventType::kGridArrival:
+      grid_hook_(e.arg);
+      break;
     case EventType::kSample:
       // Never queued: the pending sample is the next_sample_ scalar and
       // fires from drain_current_time (see Engine::schedule_sample).
@@ -74,6 +77,9 @@ void Engine::sync_counters() {
   c.engine_events_fault = std::max(
       c.engine_events_fault, stats_.scheduled_by_type[static_cast<int>(
                                  EventType::kFaultFire)]);
+  c.engine_events_grid_arrival = std::max(
+      c.engine_events_grid_arrival, stats_.scheduled_by_type[static_cast<int>(
+                                        EventType::kGridArrival)]);
 }
 
 void Engine::drain_current_time() {

@@ -162,6 +162,19 @@ class Engine {
     fault_hook_ = std::move(hook);
   }
 
+  /// Grid-port delivery (grid::GridMachine): arg indexes the machine's
+  /// append-only delivery log and dispatches to the grid hook.  Typed for
+  /// the same reason as schedule_fault — a mid-run queue must hold only
+  /// POD entries so a whole fleet shard can fork via adopt_state.
+  void schedule_grid_arrival(SimTime t, std::uint32_t delivery_index) {
+    schedule_typed(t, EventType::kGridArrival, delivery_index);
+  }
+
+  /// Receiver of kGridArrival events (at most one; empty detaches).
+  void set_grid_hook(std::function<void(std::uint32_t)> hook) {
+    grid_hook_ = std::move(hook);
+  }
+
   /// Schedule a metrics sample at t (metrics::SimSampler).  Unlike a wake,
   /// a sample is *hook-transparent*: a timestamp reached only by the
   /// sample invokes the sample hook but skips the quiescent hooks, so
@@ -269,6 +282,9 @@ class Engine {
           case EventType::kFaultFire:
             legacy_.push(t, [this, arg] { fault_hook_(arg); });
             break;
+          case EventType::kGridArrival:
+            legacy_.push(t, [this, arg] { grid_hook_(arg); });
+            break;
           default:
             legacy_.push(t, [] {});
             break;
@@ -339,6 +355,7 @@ class Engine {
   LegacyEventQueue legacy_;
   JobEventSink* sink_ = nullptr;
   std::function<void(std::uint32_t)> fault_hook_;
+  std::function<void(std::uint32_t)> grid_hook_;
   std::function<void(SimTime)> sample_hook_;
   /// The single pending sample deadline (kTimeInfinity = none); lives
   /// beside the heap so per-tick re-arming is O(1) — see schedule_sample.

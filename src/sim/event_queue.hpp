@@ -52,9 +52,10 @@ enum class EventType : std::uint8_t {
   kSample,          ///< no payload; invokes the engine's sample hook only
   kCapacityRepair,  ///< arg = outage id (JobEventSink::capacity_repair)
   kFaultFire,       ///< arg = fault-timeline index (engine fault hook)
+  kGridArrival,     ///< arg = delivery-log index (engine grid hook)
 };
 
-inline constexpr int kNumEventTypes = 7;
+inline constexpr int kNumEventTypes = 8;
 
 /// Which event-queue representation an engine runs on.  All three honor
 /// the same (time, seq) ordering contract and are pinned to identical

@@ -340,6 +340,8 @@ std::vector<SummaryField> summary_fields(const TraceSummary& s) {
       // Typed fault-path events (appended with the calendar-queue core).
       {"engine_events_repair", s.engine_events_repair, false},
       {"engine_events_fault", s.engine_events_fault, false},
+      // Grid-port deliveries (appended with the fork-tree sweep engine).
+      {"engine_events_grid_arrival", s.engine_events_grid_arrival, false},
   };
 }
 

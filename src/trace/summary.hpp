@@ -36,6 +36,7 @@ struct TraceSummary {
   std::uint64_t engine_events_sample = 0;      ///< metrics-sample events
   std::uint64_t engine_events_repair = 0;      ///< capacity-repair events
   std::uint64_t engine_events_fault = 0;       ///< fault-timeline firings
+  std::uint64_t engine_events_grid_arrival = 0;  ///< grid-port deliveries
   /// Typed-queue heap allocations (vector growth + boxed callbacks);
   /// zero in steady state on the typed path, 0 (unknowable) in legacy mode.
   std::uint64_t engine_heap_allocations = 0;

@@ -1,0 +1,137 @@
+// The hole index is a pure accelerator: with the segment tree forced on
+// (threshold 1) and forced off (kIndexDisabled), every query over the same
+// operation sequence must return the same answer.  A randomized property
+// test drives both instances in lockstep; smaller cases pin the rebuild
+// amortization and the advance_origin/coalesce interactions.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/resource_profile.hpp"
+#include "util/rng.hpp"
+
+namespace istc::sched {
+namespace {
+
+class IndexDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Indexed vs. linear-scan instances fed identical operations; mirrors the
+// brute-force differential in test_profile_reference.cpp but pits the two
+// production paths against each other, including advance_origin (which
+// shifts the live window the tree is built over).
+TEST_P(IndexDifferential, IndexedQueriesMatchLinearScan) {
+  constexpr int kCapacity = 48;
+  constexpr SimTime kHorizon = 800;
+  ResourceProfile indexed(0, kCapacity);
+  indexed.set_index_threshold(1);  // force the tree from the first step
+  ResourceProfile linear(0, kCapacity);
+  linear.set_index_threshold(ResourceProfile::kIndexDisabled);
+  Rng rng(GetParam());
+
+  struct Reservation {
+    SimTime start, end;
+    int cpus;
+  };
+  std::vector<Reservation> live;
+  SimTime origin = 0;
+
+  for (int op = 0; op < 500; ++op) {
+    const auto choice = rng.below(12);
+    if (choice < 5) {
+      const int cpus = static_cast<int>(rng.range(1, kCapacity));
+      const Seconds dur = rng.range(1, 70);
+      const SimTime after = origin + rng.range(0, kHorizon);
+      const SimTime t = indexed.earliest_fit(cpus, dur, after);
+      ASSERT_EQ(t, linear.earliest_fit(cpus, dur, after))
+          << "op " << op << " cpus=" << cpus << " dur=" << dur
+          << " after=" << after;
+      indexed.reserve(t, t + dur, cpus);
+      linear.reserve(t, t + dur, cpus);
+      live.push_back({t, t + dur, cpus});
+    } else if (choice < 7 && !live.empty()) {
+      const auto idx = rng.below(live.size());
+      const auto r = live[idx];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+      if (r.start >= origin) {
+        indexed.release(r.start, r.end, r.cpus);
+        linear.release(r.start, r.end, r.cpus);
+      }
+    } else if (choice < 9) {
+      const SimTime a = origin + rng.range(0, kHorizon);
+      const SimTime b = a + rng.range(1, 90);
+      ASSERT_EQ(indexed.min_free(a, b), linear.min_free(a, b))
+          << "min_free(" << a << "," << b << ")";
+    } else if (choice < 11) {
+      const SimTime t = origin + rng.range(0, kHorizon);
+      ASSERT_EQ(indexed.free_at(t), linear.free_at(t));
+      const auto si = indexed.step_at(t);
+      const auto sl = linear.step_at(t);
+      ASSERT_EQ(si.free, sl.free);
+      ASSERT_EQ(si.until, sl.until);
+    } else if (rng.below(4) == 0) {
+      // Occasionally advance the origin past some history; reservations
+      // straddling the cut become unreleasable, so drop them from `live`.
+      origin += rng.range(1, 50);
+      indexed.advance_origin(origin);
+      linear.advance_origin(origin);
+      std::erase_if(live,
+                    [&](const Reservation& r) { return r.start < origin; });
+    } else {
+      indexed.coalesce();
+      linear.coalesce();
+    }
+    ASSERT_TRUE(indexed.same_function(linear)) << "op " << op;
+  }
+  EXPECT_GT(indexed.index_rebuilds(), 0u);
+  EXPECT_EQ(linear.index_rebuilds(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexDifferential,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));
+
+// Rebuilds are lazy and amortized: a burst of queries with no intervening
+// mutation costs exactly one rebuild.
+TEST(HoleIndex, RebuildsAmortizeAcrossQueryBursts) {
+  ResourceProfile p(0, 32);
+  p.set_index_threshold(1);
+  for (int i = 0; i < 20; ++i) {
+    p.reserve(i * 100, i * 100 + 60, 1 + (i % 8));
+  }
+  const auto after_mutations = p.index_rebuilds();
+  for (int i = 0; i < 50; ++i) {
+    (void)p.earliest_fit(30, 40, i * 37);
+    (void)p.min_free(i * 13, i * 13 + 200);
+  }
+  EXPECT_EQ(p.index_rebuilds(), after_mutations + 1);
+  // A mutation dirties the tree; the next query rebuilds once more.
+  p.reserve(5000, 5100, 4);
+  (void)p.earliest_fit(30, 40, 0);
+  EXPECT_EQ(p.index_rebuilds(), after_mutations + 2);
+}
+
+// Below the threshold the linear path answers and the tree is never built.
+TEST(HoleIndex, SmallProfilesStayOnLinearScan) {
+  ResourceProfile p(0, 32);
+  p.set_index_threshold(1000);
+  for (int i = 0; i < 10; ++i) p.reserve(i * 50, i * 50 + 30, 2);
+  for (int i = 0; i < 20; ++i) (void)p.earliest_fit(16, 25, i * 11);
+  EXPECT_EQ(p.index_rebuilds(), 0u);
+}
+
+// The process-wide default is what the scheduler's profiles inherit;
+// changing it must only affect construction-time capture.
+TEST(HoleIndex, DefaultThresholdIsCapturedAtConstruction) {
+  const std::size_t saved = ResourceProfile::default_index_threshold();
+  ResourceProfile::set_default_index_threshold(7);
+  ResourceProfile p(0, 16);
+  EXPECT_EQ(p.index_threshold(), 7u);
+  ResourceProfile::set_default_index_threshold(saved);
+  EXPECT_EQ(p.index_threshold(), 7u);  // unaffected retroactively
+  ResourceProfile q(0, 16);
+  EXPECT_EQ(q.index_threshold(), saved);
+}
+
+}  // namespace
+}  // namespace istc::sched
