@@ -1,0 +1,223 @@
+// What-if admission-control service gates (src/service) — the daemon's
+// bench.  A Session is preloaded with a synthetic Ross tail (including
+// out-of-order stragglers, so the snapshot/rewind path is part of the
+// baseline under test), then:
+//
+//   1. purity gate — 8 concurrent client threads replay a deterministic
+//      query set against the live baseline (forked mode).  Every reply
+//      must be byte-identical to the same query answered serially in
+//      scratch mode (from-scratch re-simulation, single thread): the
+//      fork-sweep fast path may never change an answer, and concurrency
+//      may never change an answer.
+//   2. latency gate — p99 per-query wall time across those 8 concurrent
+//      clients must come in under a budget (ISTC_WHATIF_P99_MS overrides;
+//      quick mode relaxes the default).
+//
+// Both gates drive the exit code; the numbers land in BENCH_whatif.json
+// for CI trend tracking.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "service/json.hpp"
+#include "service/session.hpp"
+
+namespace {
+
+using namespace istc;
+
+bool quick_mode() {
+  const char* q = std::getenv("ISTC_QUICK");
+  return q && q[0] == '1';
+}
+
+double env_ms(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  return (env && env[0] != '\0') ? std::atof(env) : fallback;
+}
+
+std::string swf_line(SimTime submit, Seconds runtime, int cpus,
+                     Seconds estimate) {
+  return "1 " + std::to_string(submit) + " 0 " + std::to_string(runtime) +
+         " " + std::to_string(cpus) + " -1 -1 " + std::to_string(cpus) + " " +
+         std::to_string(estimate) + " -1 1 3 2 -1 -1 -1 -1 -1";
+}
+
+void preload_tail(service::Session& session, int jobs) {
+  int fed = 0;
+  for (int i = 0; i < jobs; ++i) {
+    const std::string line =
+        swf_line(100 + 45 * i, 240 + 60 * (i % 9), 8 + 16 * (i % 8), 1200);
+    const std::string reply = session.handle_line(
+        "{\"op\":\"ingest\",\"line\":\"" + service::json_escape(line) + "\"}");
+    if (reply.find("\"accepted\":true") != std::string::npos) ++fed;
+    // Every ~50 lines a straggler lands behind the frontier, forcing a
+    // rewind: the bench baseline exercises the staleness machinery, not
+    // just the append-only fast path.
+    if (i > 0 && i % 50 == 0) {
+      const std::string late = swf_line(45 * i / 2, 300, 32, 600);
+      const std::string r2 = session.handle_line(
+          "{\"op\":\"ingest\",\"line\":\"" + service::json_escape(late) +
+          "\"}");
+      if (r2.find("\"accepted\":true") != std::string::npos) ++fed;
+    }
+  }
+  std::printf("preloaded %d tail lines (%zu rewinds, %zu snapshots)\n", fed,
+              session.rewinds(), session.snapshot_count());
+}
+
+/// The deterministic query set, as open JSON prefixes ("...}" appended
+/// per mode).  Mixed shapes: single/multi point, native/interstitial,
+/// narrow/wide.
+std::vector<std::string> query_prefixes(bool quick) {
+  std::vector<std::string> qs = {
+      "{\"op\":\"whatif\",\"jobs\":2,\"cpus\":32,\"runtime_s\":600,"
+      "\"horizon_s\":14400",
+      "{\"op\":\"whatif\",\"jobs\":6,\"cpus\":16,\"runtime_s\":300,"
+      "\"horizon_s\":14400,\"points_s\":[0,3600]",
+      "{\"op\":\"whatif\",\"jobs\":1,\"cpus\":256,\"runtime_s\":900,"
+      "\"horizon_s\":21600",
+      "{\"op\":\"whatif\",\"class\":\"interstitial\",\"jobs\":8,\"cpus\":8,"
+      "\"runtime_s\":204,\"horizon_s\":28800",
+      "{\"op\":\"whatif\",\"jobs\":4,\"cpus\":64,\"runtime_s\":450,"
+      "\"horizon_s\":14400,\"points_s\":[0,1800,7200]",
+      "{\"op\":\"whatif\",\"jobs\":3,\"cpus\":128,\"runtime_s\":600,"
+      "\"horizon_s\":21600",
+  };
+  if (quick) qs.resize(4);
+  return qs;
+}
+
+struct BenchResult {
+  std::size_t queries = 0;
+  int threads = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double budget_ms = 0.0;
+  double throughput_qps = 0.0;
+  bool purity_equal = false;
+  bool pass() const { return purity_equal && p99_ms <= budget_ms; }
+};
+
+BenchResult run_gates() {
+  const bool quick = quick_mode();
+  BenchResult b;
+  b.threads = 8;
+  b.budget_ms = env_ms("ISTC_WHATIF_P99_MS", quick ? 400.0 : 250.0);
+
+  service::SessionConfig cfg;
+  cfg.site = cluster::Site::kRoss;
+  cfg.snapshot_interval = 2 * kSecondsPerHour;
+  service::Session session(cfg);
+  preload_tail(session, quick ? 120 : 400);
+
+  const auto prefixes = query_prefixes(quick);
+
+  // Reference arm: serial, from-scratch re-simulation per query.
+  std::vector<std::string> scratch;
+  const auto scratch_t0 = std::chrono::steady_clock::now();
+  for (const auto& p : prefixes) {
+    scratch.push_back(session.handle_line(p + ",\"mode\":\"scratch\"}"));
+  }
+  const double scratch_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    scratch_t0)
+          .count();
+
+  // Measured arm: 8 concurrent clients, forked mode, per-query latency.
+  const int rounds = quick ? 3 : 8;
+  std::vector<std::vector<double>> lat(static_cast<std::size_t>(b.threads));
+  std::vector<int> mismatches(static_cast<std::size_t>(b.threads), 0);
+  const auto wall_t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int t = 0; t < b.threads; ++t) {
+    clients.emplace_back([&, t] {
+      const auto ti = static_cast<std::size_t>(t);
+      for (int r = 0; r < rounds; ++r) {
+        for (std::size_t i = 0; i < prefixes.size(); ++i) {
+          // Deterministic per-thread walk so interleavings differ.
+          const std::size_t pick =
+              (i + ti * 3 + static_cast<std::size_t>(r)) % prefixes.size();
+          const auto q_t0 = std::chrono::steady_clock::now();
+          const std::string reply = session.handle_line(prefixes[pick] + "}");
+          lat[ti].push_back(std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - q_t0)
+                                .count());
+          if (reply != scratch[pick]) ++mismatches[ti];
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_t0)
+                            .count();
+
+  std::vector<double> all;
+  for (const auto& per_thread : lat) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(all.begin(), all.end());
+  b.queries = all.size();
+  b.p50_ms = all[all.size() / 2];
+  b.p99_ms = all[(all.size() * 99 + 99) / 100 - 1];
+  b.throughput_qps = wall_s > 0 ? static_cast<double>(all.size()) / wall_s : 0;
+
+  int total_mismatches = 0;
+  for (const int m : mismatches) total_mismatches += m;
+  b.purity_equal = total_mismatches == 0;
+
+  std::printf(
+      "%zu queries over %d clients x %d rounds: p50 %.2f ms, p99 %.2f ms "
+      "(budget %.0f ms), %.1f q/s\n"
+      "scratch reference: %zu queries in %.2f s\n"
+      "concurrent forked replies vs serial scratch replies: %s\n",
+      b.queries, b.threads, rounds, b.p50_ms, b.p99_ms, b.budget_ms,
+      b.throughput_qps, prefixes.size(), scratch_s,
+      b.purity_equal ? "BYTE-IDENTICAL"
+                     : (std::to_string(total_mismatches) + " MISMATCHES")
+                           .c_str());
+  return b;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_preamble(
+      "whatif_service",
+      "What-if admission-control service gates: 8-client concurrent query\n"
+      "purity (forked == scratch, byte-identical) and p99 latency budget");
+
+  const BenchResult b = run_gates();
+
+  const std::string path = bench::artifact_path("BENCH_whatif.json");
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(
+        f,
+        "{\n  \"schema\": \"istc.bench_whatif.v1\",\n"
+        "  \"queries\": %zu,\n  \"threads\": %d,\n"
+        "  \"p50_ms\": %.3f,\n  \"p99_ms\": %.3f,\n"
+        "  \"budget_ms\": %.1f,\n  \"throughput_qps\": %.1f,\n"
+        "  \"purity_equal\": %s,\n  \"gate\": \"%s\"\n}\n",
+        b.queries, b.threads, b.p50_ms, b.p99_ms, b.budget_ms,
+        b.throughput_qps, b.purity_equal ? "true" : "false",
+        b.pass() ? "pass" : "fail");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+  if (!b.pass()) {
+    std::printf("GATE FAILED: %s\n",
+                !b.purity_equal ? "concurrent replies diverged from scratch"
+                                : "p99 latency over budget");
+    return 1;
+  }
+  std::printf("all gates passed\n");
+  return 0;
+}

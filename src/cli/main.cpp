@@ -10,6 +10,8 @@
 //                [--icpus 8] [--isec1ghz 120]
 
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <string>
 
 #include "core/advisor.hpp"
@@ -21,6 +23,9 @@
 #include "metrics/utilization.hpp"
 #include "metrics/waits.hpp"
 #include "sched/scheduler.hpp"
+#include "service/json.hpp"
+#include "service/server.hpp"
+#include "service/session.hpp"
 #include "sim/engine.hpp"
 #include "trace/export.hpp"
 #include "trace/tracer.hpp"
@@ -57,6 +62,11 @@ int usage() {
       "               [--project-quota 0.25] [--grid-projects 6]\n"
       "               [--grid-jobs 300] [--grid-latency-s 30]\n"
       "               [--grid-seed N] [--report fleet.json]\n"
+      "  istc serve   --site <...> (--socket /path.sock | --port N)\n"
+      "               [--stream-cpus 32 --stream-sec1ghz 120]\n"
+      "               [--snapshot-interval-s 21600] [--preload trace.swf]\n"
+      "  istc ask     (--socket /path.sock | --port N) ['<json request>'...]\n"
+      "               (no request operands: reads request lines from stdin)\n"
       "\n"
       "global: --threads N pins the worker-pool width (0 = hardware)\n"
       "harvest and replay accept trace exports (see README, Inspecting a\n"
@@ -452,6 +462,99 @@ int cmd_grid(const ArgParser& args) {
   return 0;
 }
 
+// -- serve / ask: the what-if admission-control service ----------------------
+
+std::string make_ingest_request(const std::string& line) {
+  return "{\"op\":\"ingest\",\"line\":\"" + service::json_escape(line) + "\"}";
+}
+
+std::optional<service::Endpoint> parse_endpoint(const ArgParser& args) {
+  service::Endpoint ep;
+  ep.unix_path = args.get_or("socket", "");
+  ep.tcp_port = static_cast<int>(args.get_int_or("port", 0));
+  if (ep.unix_path.empty() && ep.tcp_port <= 0) return std::nullopt;
+  return ep;
+}
+
+int cmd_serve(const ArgParser& args) {
+  const auto site = parse_site(args.get_or("site", ""));
+  if (!site) return usage();
+  const auto endpoint = parse_endpoint(args);
+  if (!endpoint) return usage();
+
+  service::SessionConfig cfg;
+  cfg.site = *site;
+  cfg.snapshot_interval =
+      static_cast<Seconds>(args.get_int_or("snapshot-interval-s", 21600));
+  const auto stream_cpus = args.get_int_or("stream-cpus", 0);
+  if (stream_cpus > 0) {
+    cfg.stream = core::ProjectSpec::continual_stream(
+        static_cast<int>(stream_cpus),
+        static_cast<Seconds>(args.get_int_or("stream-sec1ghz", 120)),
+        kTimeInfinity);
+  }
+  service::Session session(cfg);
+
+  const std::string preload = args.get_or("preload", "");
+  if (!preload.empty()) {
+    std::ifstream in(preload);
+    if (!in) {
+      std::fprintf(stderr, "serve: cannot open %s\n", preload.c_str());
+      return 1;
+    }
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+      session.handle_line(make_ingest_request(line));
+      ++lines;
+    }
+    std::printf("istc serve: preloaded %zu lines, %zu jobs accepted\n", lines,
+                session.accepted_jobs());
+  }
+
+  try {
+    service::Server server(session, *endpoint);
+    if (!endpoint->unix_path.empty()) {
+      std::printf("istc serve: listening on %s\n",
+                  endpoint->unix_path.c_str());
+    } else {
+      std::printf("istc serve: listening on 127.0.0.1:%d\n",
+                  endpoint->tcp_port);
+    }
+    std::fflush(stdout);
+    server.serve();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve: %s\n", e.what());
+    return 1;
+  }
+  std::printf("istc serve: shutdown after epoch %llu\n",
+              static_cast<unsigned long long>(session.epoch()));
+  return 0;
+}
+
+int cmd_ask(const ArgParser& args) {
+  const auto endpoint = parse_endpoint(args);
+  if (!endpoint) return usage();
+  std::vector<std::string> requests(args.positionals().begin() + 1,
+                                    args.positionals().end());
+  if (requests.empty()) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty()) requests.push_back(line);
+    }
+  }
+  if (requests.empty()) return usage();
+  try {
+    const auto replies = service::ask(*endpoint, requests);
+    for (const auto& r : replies) std::printf("%s\n", r.c_str());
+    // A transport that dropped replies is an error even if some arrived.
+    return replies.size() == requests.size() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ask: %s\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -469,6 +572,8 @@ int main(int argc, char** argv) {
   else if (cmd == "plan") rc = cmd_plan(args);
   else if (cmd == "replay") rc = cmd_replay(args);
   else if (cmd == "grid") rc = cmd_grid(args);
+  else if (cmd == "serve") rc = cmd_serve(args);
+  else if (cmd == "ask") rc = cmd_ask(args);
   else return usage();
 
   for (const auto& e : args.errors()) {

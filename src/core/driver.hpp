@@ -78,6 +78,15 @@ class InterstitialDriver {
     spec_.utilization_cap = cap;
   }
 
+  /// What-if service support: cut the stream's submission window short (or
+  /// extend it) mid-run.  Like the cap, stop_time is consulted per pass
+  /// when sizing the next burst, so setting it on a freshly forked run
+  /// stops the stream from the fork point on — which is what lets a query
+  /// fork of a continual (stop = infinity) baseline drain: the speculative
+  /// run's stream ends at the query horizon while the live baseline keeps
+  /// flowing.  Already-running jobs are unaffected.
+  void set_stop_time(SimTime stop) { spec_.stop_time = stop; }
+
   /// Kill accounting: every interstitial kill the scheduler reported
   /// (preemption and faults alike; see PreemptionRecovery / FaultRetryPolicy).
   std::size_t kills_observed() const { return kills_observed_; }

@@ -52,15 +52,32 @@ const sched::RunResult& RunCache::continual_run(cluster::Site site,
   return continual_.emplace(key, std::move(result)).first->second;
 }
 
+const sched::RunResult& RunCache::memoized(
+    std::uint64_t key, const std::function<sched::RunResult()>& compute) {
+  {
+    std::lock_guard lk(mu_);
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+    ++stats_.misses;
+  }
+  sched::RunResult result = compute();
+  std::lock_guard lk(mu_);
+  return memo_.emplace(key, std::move(result)).first->second;
+}
+
 void RunCache::clear() {
   std::lock_guard lk(mu_);
   native_.clear();
   continual_.clear();
+  memo_.clear();
 }
 
 std::size_t RunCache::size() const {
   std::lock_guard lk(mu_);
-  return native_.size() + continual_.size();
+  return native_.size() + continual_.size() + memo_.size();
 }
 
 RunCache::Stats RunCache::stats() const {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <tuple>
@@ -42,6 +43,15 @@ class RunCache {
                                         Seconds sec_at_1ghz,
                                         double utilization_cap = 1.0);
 
+  /// Generic memo: a whole-run result under a caller-computed 64-bit key.
+  /// The what-if service keys its reference arm by (session id, baseline
+  /// epoch, horizon), so every query against the same epoch shares one
+  /// reference simulation.  Same discipline as continual_run: computed
+  /// unlocked on miss (concurrent callers may race to simulate; the first
+  /// insert wins and later computes are discarded), cleared by clear().
+  const sched::RunResult& memoized(
+      std::uint64_t key, const std::function<sched::RunResult()>& compute);
+
   /// Drop every entry (tests use this to bound memory).  Invalidates all
   /// references previously returned.
   void clear();
@@ -62,6 +72,7 @@ class RunCache {
   mutable std::mutex mu_;
   std::map<cluster::Site, sched::RunResult> native_;
   std::map<ContinualKey, sched::RunResult> continual_;
+  std::map<std::uint64_t, sched::RunResult> memo_;
   Stats stats_;
 };
 

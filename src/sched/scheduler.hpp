@@ -233,6 +233,16 @@ class BatchScheduler : private sim::JobEventSink {
   }
   std::size_t completed_count() const { return records_.size(); }
 
+  /// Mid-run view of the completed-job log (completion order).  take_result
+  /// moves the records out; this accessor lets a live observer — the
+  /// what-if service hashing its baseline frontier — read them while the
+  /// run is still in flight.
+  const util::CowLog<JobRecord>& completed_records() const { return records_; }
+  /// Mid-run view of the kill log (preemptions and faults, kill order).
+  const std::vector<JobRecord>& killed_records() const {
+    return killed_records_;
+  }
+
   /// The structure-of-arrays job storage (diagnostics / tests).
   const JobStore& store() const { return store_; }
   const SchedulerStats& stats() const { return stats_; }

@@ -1,0 +1,132 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+
+#include "service/json.hpp"
+
+namespace istc::service {
+
+namespace {
+
+Request bad(std::string_view code, std::string message) {
+  Request r;
+  r.error_code = std::string(code);
+  r.error = std::move(message);
+  return r;
+}
+
+/// A JSON number usable as a non-negative integral quantity.
+bool whole_number(double v, double max) {
+  return std::isfinite(v) && v >= 0 && v <= max && v == std::floor(v);
+}
+
+}  // namespace
+
+Request parse_request(std::string_view text) {
+  const ParseResult parsed = parse(text);
+  if (!parsed.ok()) return bad("bad_json", parsed.error);
+  const Value& root = parsed.value;
+  if (!root.is_object()) return bad("bad_request", "request must be an object");
+
+  const std::string op = root.str_or("op", "");
+  if (op == "status") {
+    Request r;
+    r.op = Op::kStatus;
+    return r;
+  }
+  if (op == "shutdown") {
+    Request r;
+    r.op = Op::kShutdown;
+    return r;
+  }
+  if (op == "ingest") {
+    const Value* line = root.find("line");
+    if (line == nullptr || !line->is_string()) {
+      return bad("bad_request", "ingest requires a string 'line'");
+    }
+    Request r;
+    r.op = Op::kIngest;
+    r.line = line->string;
+    return r;
+  }
+  if (op != "whatif") {
+    return bad("bad_request", "unknown op '" + op + "'");
+  }
+
+  Request r;
+  r.op = Op::kWhatIf;
+  WhatIfQuery& q = r.query;
+  q.project = root.str_or("project", "adhoc");
+
+  const double jobs = root.num_or("jobs", 1);
+  if (!whole_number(jobs, static_cast<double>(kMaxQueryJobs)) || jobs < 1) {
+    return bad("bad_shape", "jobs must be an integer in [1, " +
+                                std::to_string(kMaxQueryJobs) + "]");
+  }
+  q.jobs = static_cast<std::size_t>(jobs);
+
+  const double cpus = root.num_or("cpus", 1);
+  if (!whole_number(cpus, 1e9) || cpus < 1) {
+    return bad("bad_shape", "cpus must be a positive integer");
+  }
+  q.cpus = static_cast<int>(cpus);
+
+  const double runtime = root.num_or("runtime_s", 60);
+  if (!whole_number(runtime, 1e12) || runtime < 1) {
+    return bad("bad_shape", "runtime_s must be a positive integer");
+  }
+  q.runtime_s = static_cast<Seconds>(runtime);
+
+  const double horizon = root.num_or("horizon_s", 24 * kSecondsPerHour);
+  if (!whole_number(horizon, 1e12) || horizon < 1) {
+    return bad("bad_shape", "horizon_s must be a positive integer");
+  }
+  q.horizon_s = static_cast<Seconds>(horizon);
+
+  const std::string klass = root.str_or("class", "native");
+  if (klass == "interstitial") {
+    q.interstitial = true;
+  } else if (klass != "native") {
+    return bad("bad_request", "class must be 'native' or 'interstitial'");
+  }
+
+  const std::string mode = root.str_or("mode", "forked");
+  if (mode == "scratch") {
+    q.scratch = true;
+  } else if (mode != "forked") {
+    return bad("bad_request", "mode must be 'forked' or 'scratch'");
+  }
+
+  if (const Value* points = root.find("points_s"); points != nullptr) {
+    if (!points->is_array() || points->array.empty() ||
+        points->array.size() > kMaxQueryPoints) {
+      return bad("bad_shape", "points_s must be a non-empty array of at most " +
+                                  std::to_string(kMaxQueryPoints) + " offsets");
+    }
+    q.points_s.clear();
+    for (const Value& p : points->array) {
+      if (!p.is_number() || !whole_number(p.number, 1e12)) {
+        return bad("bad_shape", "points_s entries must be non-negative integers");
+      }
+      q.points_s.push_back(static_cast<Seconds>(p.number));
+    }
+  }
+  return r;
+}
+
+std::string error_reply(std::string_view op, std::string_view code,
+                        std::string_view message) {
+  JsonWriter w;
+  w.begin_object();
+  w.member("schema", kWhatIfSchema);
+  w.member("op", op);
+  w.key("error");
+  w.begin_object();
+  w.member("code", code);
+  w.member("message", message);
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace istc::service

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/project.hpp"
+#include "core/run_cache.hpp"
+#include "metrics/registry.hpp"
+#include "service/baseline.hpp"
+#include "service/protocol.hpp"
+#include "service/tail_run.hpp"
+#include "workload/job.hpp"
+
+/// \file session.hpp
+/// Session — the what-if daemon's brain, transport-free.
+///
+/// One Session owns the live baseline (a SnapshotChain<TailRun>), the
+/// accepted-tail replay journal, the reference-arm RunCache, and the
+/// metrics registry.  The entire protocol funnels through handle_line():
+/// one request line in, one reply line out, never throwing — which is
+/// what makes the server loop trivial and the whole daemon testable (and
+/// fuzzable) without a socket.
+///
+/// Concurrency model: a mutex serializes *state transitions* — ingest,
+/// snapshot/rewind bookkeeping, fork creation, metrics — but speculative
+/// simulation runs outside the lock on the calling thread.  A what-if
+/// query captures its epoch and creates its forks in one critical
+/// section, so every reply is computed against a consistent baseline
+/// even while other clients ingest; the reply's byte content depends
+/// only on (epoch, query), never on interleaving (the purity property
+/// tests/service/test_service_property.cpp pins).
+///
+/// Staleness model: the live run is advanced to frontier-1 (one tick shy
+/// of the newest accepted submit time), so an in-order tail line is
+/// always a future event.  A line submitting at or before the live clock
+/// invalidates the baseline: the chain rewinds to the newest snapshot
+/// strictly older than the line, the accepted tail [seq, end) replays in
+/// ingest order, and the clock re-advances — bit-identical to a
+/// from-scratch run over the full accepted tail.
+
+namespace istc::service {
+
+struct SessionConfig {
+  cluster::Site site = cluster::Site::kBlueMountain;
+  /// Baseline harvest stream (nullopt = natives-only baseline).
+  std::optional<core::ProjectSpec> stream;
+  /// Sim-time cadence between baseline snapshots: the rewind cost bound.
+  Seconds snapshot_interval = 6 * kSecondsPerHour;
+};
+
+class Session {
+ public:
+  explicit Session(const SessionConfig& cfg);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Handle one request line, return one reply line (no trailing
+  /// newline).  Thread-safe; never throws.
+  std::string handle_line(std::string_view line);
+
+  /// True once a shutdown request was handled; the server drains and exits.
+  bool shutdown_requested() const;
+
+  // -- introspection (tests / bench) ---------------------------------------
+
+  std::uint64_t epoch() const;
+  SimTime frontier() const;
+  std::uint64_t baseline_hash();
+  std::size_t accepted_jobs() const;
+  std::size_t snapshot_count() const;
+  std::size_t rewinds() const;
+  const SessionConfig& config() const { return cfg_; }
+
+  /// The metrics registry (counters + the query latency histogram).
+  /// Take a quiesced snapshot: concurrent handle_line calls mutate it
+  /// under the session mutex.
+  metrics::Registry& registry() { return registry_; }
+
+ private:
+  struct QueryBase;  // epoch-consistent fork set, created under the lock
+
+  std::string do_whatif(const WhatIfQuery& q);
+  std::string do_ingest(const std::string& line);
+  std::string do_status();
+  std::string do_shutdown();
+
+  /// Feed an accepted job into the live baseline: fast path for future
+  /// submits, rewind + replay for out-of-order ones.  Caller holds mu_.
+  void ingest_job(workload::Job job);
+
+  SessionConfig cfg_;
+  int machine_cpus_ = 0;
+  double clock_ghz_ = 0.0;
+
+  mutable std::mutex mu_;
+  SnapshotChain<TailRun> chain_;
+  /// Every accepted job in ingest order — the replay journal.  Ids are
+  /// dense [0, size).
+  std::vector<workload::Job> accepted_;
+  SimTime frontier_ = 0;
+  std::uint64_t epoch_ = 0;
+  bool shutdown_ = false;
+
+  core::RunCache ref_cache_;
+
+  metrics::Registry registry_;
+  metrics::CounterId queries_;
+  metrics::CounterId query_errors_;
+  metrics::CounterId ingests_;
+  metrics::CounterId ingests_accepted_;
+  metrics::CounterId ingests_rejected_;
+  metrics::CounterId rewinds_metric_;
+  metrics::GaugeId epoch_gauge_;
+  metrics::GaugeId snapshots_gauge_;
+  metrics::HistogramId query_latency_us_;
+};
+
+}  // namespace istc::service

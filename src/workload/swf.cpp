@@ -15,7 +15,65 @@ namespace {
 
 constexpr int kSwfFields = 18;
 
+SwfLineOutcome error_outcome(std::string message) {
+  SwfLineOutcome out;
+  out.status = SwfLineOutcome::Status::kError;
+  out.error = std::move(message);
+  return out;
+}
+
 }  // namespace
+
+SwfLineOutcome parse_swf_line(std::string_view line,
+                              const SwfReadOptions& opts) {
+  std::string body(line);
+  const auto semi = body.find(';');
+  if (semi != std::string::npos) body.resize(semi);
+  std::istringstream fields(body);
+  std::array<double, kSwfFields> f{};
+  int n = 0;
+  double v;
+  while (n < kSwfFields && fields >> v) f[static_cast<std::size_t>(n++)] = v;
+  SwfLineOutcome out;
+  if (n == 0) {
+    // Distinguish "nothing there" from "something unparseable": leading
+    // garbage on a non-comment line is an error, not silence.
+    fields.clear();
+    std::string token;
+    if (fields >> token) return error_outcome("unparseable field: " + token);
+    out.status = SwfLineOutcome::Status::kBlank;
+    return out;
+  }
+  if (n < 9) {
+    // A truncated record (connection cut mid-line, partial write).
+    return error_outcome("expected >=9 fields, got " + std::to_string(n));
+  }
+  Job j;
+  j.klass = JobClass::kNative;
+  j.submit = static_cast<SimTime>(f[1]);
+  j.runtime = static_cast<Seconds>(f[3]);
+  const auto alloc = static_cast<int>(f[4]);
+  const auto requested = static_cast<int>(f[7]);
+  j.cpus = alloc > 0 ? alloc : requested;
+  j.estimate = static_cast<Seconds>(f[8]);
+  j.user = n > 11 && f[11] >= 0 ? static_cast<UserId>(f[11]) : UserId{0};
+  j.group = n > 12 && f[12] >= 0 ? static_cast<GroupId>(f[12]) : GroupId{0};
+
+  if (j.runtime <= 0 || j.cpus <= 0 || j.submit < 0) {
+    if (opts.skip_invalid) {
+      out.status = SwfLineOutcome::Status::kSkipped;
+      return out;
+    }
+    return error_outcome("invalid job record");
+  }
+  if (j.estimate < j.runtime) {
+    if (!opts.clamp_estimates) return error_outcome("estimate below runtime");
+    j.estimate = j.runtime;
+  }
+  out.status = SwfLineOutcome::Status::kJob;
+  out.job = j;
+  return out;
+}
 
 JobLog read_swf(std::istream& in, const SwfReadOptions& opts) {
   std::vector<Job> jobs;
@@ -24,44 +82,19 @@ JobLog read_swf(std::istream& in, const SwfReadOptions& opts) {
   SimTime first_submit = -1;
   while (std::getline(in, line)) {
     ++lineno;
-    const auto semi = line.find(';');
-    if (semi != std::string::npos) line.resize(semi);
-    std::istringstream fields(line);
-    std::array<double, kSwfFields> f{};
-    int n = 0;
-    double v;
-    while (n < kSwfFields && fields >> v) f[static_cast<std::size_t>(n++)] = v;
-    if (n == 0) continue;  // blank / comment-only line
-    if (n < 9) {
-      throw std::runtime_error("SWF line " + std::to_string(lineno) +
-                               ": expected >=9 fields, got " +
-                               std::to_string(n));
+    SwfLineOutcome out = parse_swf_line(line, opts);
+    switch (out.status) {
+      case SwfLineOutcome::Status::kBlank:
+      case SwfLineOutcome::Status::kSkipped:
+        continue;
+      case SwfLineOutcome::Status::kError:
+        throw std::runtime_error("SWF line " + std::to_string(lineno) + ": " +
+                                 out.error);
+      case SwfLineOutcome::Status::kJob:
+        break;
     }
-    Job j;
+    Job j = out.job;
     j.id = static_cast<JobId>(jobs.size());
-    j.klass = JobClass::kNative;
-    j.submit = static_cast<SimTime>(f[1]);
-    j.runtime = static_cast<Seconds>(f[3]);
-    const auto alloc = static_cast<int>(f[4]);
-    const auto requested = static_cast<int>(f[7]);
-    j.cpus = alloc > 0 ? alloc : requested;
-    j.estimate = static_cast<Seconds>(f[8]);
-    j.user = n > 11 && f[11] >= 0 ? static_cast<UserId>(f[11]) : UserId{0};
-    j.group = n > 12 && f[12] >= 0 ? static_cast<GroupId>(f[12]) : GroupId{0};
-
-    const bool invalid = j.runtime <= 0 || j.cpus <= 0 || j.submit < 0;
-    if (invalid) {
-      if (opts.skip_invalid) continue;
-      throw std::runtime_error("SWF line " + std::to_string(lineno) +
-                               ": invalid job record");
-    }
-    if (j.estimate < j.runtime) {
-      if (!opts.clamp_estimates) {
-        throw std::runtime_error("SWF line " + std::to_string(lineno) +
-                                 ": estimate below runtime");
-      }
-      j.estimate = j.runtime;
-    }
     if (first_submit < 0) first_submit = j.submit;
     jobs.push_back(j);
   }

@@ -2,6 +2,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "workload/job.hpp"
 
@@ -28,6 +29,30 @@ struct SwfReadOptions {
   /// did not can log estimate below runtime, which our scheduler forbids).
   bool clamp_estimates = true;
 };
+
+/// Outcome of parsing one SWF line in a streaming (tail-ingest) context.
+/// Unlike read_swf, the line parser never throws: a long-running service
+/// must answer a malformed line with a structured error, not by dropping
+/// the connection.  The job's id is NOT assigned — streaming callers own
+/// id allocation (read_swf numbers jobs densely itself).
+struct SwfLineOutcome {
+  enum class Status : std::uint8_t {
+    kJob,      ///< job holds a valid record
+    kBlank,    ///< blank or comment-only line; nothing to ingest
+    kSkipped,  ///< well-formed but filtered (failed/cancelled entry)
+    kError,    ///< malformed: truncated record, garbage field, bad values
+  };
+  Status status = Status::kBlank;
+  Job job;
+  std::string error;  ///< human-readable cause when status == kError
+};
+
+/// Parse one SWF line.  With opts.skip_invalid, non-positive runtime or
+/// width yields kSkipped (real traces log failed jobs that way); without
+/// it, kError.  opts.rebase_time does not apply line-wise (a tail carries
+/// absolute times); opts.clamp_estimates behaves as in read_swf.
+SwfLineOutcome parse_swf_line(std::string_view line,
+                              const SwfReadOptions& opts = {});
 
 /// Parse an SWF stream.  Throws std::runtime_error on malformed lines.
 JobLog read_swf(std::istream& in, const SwfReadOptions& opts = {});

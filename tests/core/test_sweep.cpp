@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstddef>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "cluster/presets.hpp"
@@ -154,6 +156,38 @@ TEST(SweepRunner, ScratchModeKeepsPointOrder) {
   // Distinct seeds produce distinct schedules, so an ordering bug could
   // not hide behind identical points.
   EXPECT_FALSE(same_run(parallel[0], parallel[1]));
+}
+
+// A run whose fork is deliberately slow and whose advancement is fast:
+// isolates where SweepRunner's clocks charge the serial fork loop.
+struct SleepyRun {
+  static constexpr std::chrono::milliseconds kForkDelay{60};
+  static constexpr std::chrono::milliseconds kAdvanceDelay{5};
+  std::unique_ptr<SleepyRun> fork() {
+    std::this_thread::sleep_for(kForkDelay);
+    return std::make_unique<SleepyRun>();
+  }
+  void run_until(SimTime) { std::this_thread::sleep_for(kAdvanceDelay); }
+};
+
+// Verified-mode arm clocks compare advancement against advancement: the
+// serial fork-creation loop is reported in fork_wall_s and excluded from
+// forked_wall_s, so a slow snapshot cannot masquerade as slow simulation
+// (or deflate the speedup the bench gates enforce).
+TEST(SweepRunner, VerifiedTimingExcludesForkCreation) {
+  SweepRunner<SleepyRun> sweep(
+      3, [](std::size_t) { return std::make_unique<SleepyRun>(); });
+  sweep.set_threads(1);
+  const auto v = sweep.run_verified(
+      1, [](SleepyRun&, std::size_t i) { return static_cast<int>(i); },
+      [](int a, int b) { return a == b; });
+  EXPECT_TRUE(v.equal);
+  // Three serial forks at 60 ms each are visible in fork_wall_s...
+  EXPECT_GE(v.fork_wall_s, 0.15);
+  // ...and absent from the forked arm's advancement clock, which saw only
+  // one 5 ms prefix run_until plus three trivial finishes.
+  EXPECT_LT(v.forked_wall_s, v.fork_wall_s / 2);
+  EXPECT_GT(v.scratch_wall_s, 0.0);
 }
 
 // The knob-at-fork-time contract in isolation: forked point with the cap

@@ -1,0 +1,120 @@
+#include "service/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace istc::service {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse("null").value.is_null());
+  EXPECT_TRUE(parse("true").value.boolean);
+  EXPECT_FALSE(parse("false").value.boolean);
+  EXPECT_DOUBLE_EQ(parse("42").value.number, 42.0);
+  EXPECT_DOUBLE_EQ(parse("-3.5e2").value.number, -350.0);
+  EXPECT_EQ(parse("\"hi\"").value.string, "hi");
+}
+
+TEST(Json, ParsesNested) {
+  const auto r = parse(R"({"op":"whatif","jobs":8,"points_s":[0,3600],)"
+                       R"("nested":{"a":true}})");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.value.str_or("op", ""), "whatif");
+  EXPECT_DOUBLE_EQ(r.value.num_or("jobs", 0), 8.0);
+  const Value* points = r.value.find("points_s");
+  ASSERT_NE(points, nullptr);
+  ASSERT_EQ(points->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(points->array[1].number, 3600.0);
+  const Value* nested = r.value.find("nested");
+  ASSERT_NE(nested, nullptr);
+  EXPECT_TRUE(nested->bool_or("a", false));
+}
+
+TEST(Json, ParsesEscapes) {
+  const auto r = parse(R"("a\"b\\c\nd")");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value.string, "a\"b\\c\nd");
+}
+
+TEST(Json, AsciiUnicodeEscapes) {
+  const auto a_nl = parse("\"\\u0041\\u000a\"");
+  ASSERT_TRUE(a_nl.ok()) << a_nl.error;
+  EXPECT_EQ(a_nl.value.string, "A\n");
+  EXPECT_FALSE(parse("\"\\u00e9\"").ok());  // non-ASCII: reject, not mangle
+  EXPECT_FALSE(parse("\"\\u12\"").ok());    // truncated
+  EXPECT_FALSE(parse("\"\\uzzzz\"").ok());  // bad digits
+}
+
+TEST(Json, RejectsMalformed) {
+  EXPECT_FALSE(parse("").ok());
+  EXPECT_FALSE(parse("{").ok());
+  EXPECT_FALSE(parse("{\"a\":}").ok());
+  EXPECT_FALSE(parse("[1,2").ok());
+  EXPECT_FALSE(parse("\"unterminated").ok());
+  EXPECT_FALSE(parse("nul").ok());
+  EXPECT_FALSE(parse("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(parse("--5").ok());
+  EXPECT_FALSE(parse("{1:2}").ok());
+}
+
+TEST(Json, RejectsDepthBombWithoutCrashing) {
+  std::string bomb(10000, '[');
+  const auto r = parse(bomb);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("nesting"), std::string::npos);
+}
+
+TEST(Json, MissingMembersUseDefaults) {
+  const auto r = parse("{}");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value.num_or("jobs", 7), 7.0);
+  EXPECT_EQ(r.value.str_or("op", "none"), "none");
+  EXPECT_TRUE(r.value.bool_or("flag", true));
+  EXPECT_EQ(r.value.find("nothing"), nullptr);
+}
+
+TEST(Json, WrongTypeMembersUseDefaults) {
+  const auto r = parse(R"({"jobs":"eight","op":5})");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value.num_or("jobs", 7), 7.0);
+  EXPECT_EQ(r.value.str_or("op", "none"), "none");
+}
+
+TEST(JsonWriter, WritesDeterministicObject) {
+  const auto build = [] {
+    JsonWriter w;
+    w.begin_object();
+    w.member("s", "a\"b");
+    w.member("n", 1.5);
+    w.member("i", std::int64_t{-3});
+    w.member("b", true);
+    w.key("arr");
+    w.begin_array();
+    w.comma();
+    w.value(1.0);
+    w.comma();
+    w.value(2.0);
+    w.end_array();
+    w.end_object();
+    return w.take();
+  };
+  const std::string a = build();
+  EXPECT_EQ(a, R"({"s":"a\"b","n":1.5,"i":-3,"b":true,"arr":[1,2]})");
+  EXPECT_EQ(a, build());
+}
+
+TEST(JsonWriter, RoundTripsThroughParser) {
+  JsonWriter w;
+  w.begin_object();
+  w.member("text", "line1\nline2\t\"quoted\"");
+  w.member("num", 0.125);
+  w.end_object();
+  const auto r = parse(w.str());
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.value.str_or("text", ""), "line1\nline2\t\"quoted\"");
+  EXPECT_DOUBLE_EQ(r.value.num_or("num", 0), 0.125);
+}
+
+}  // namespace
+}  // namespace istc::service

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "service/json.hpp"
+#include "service/protocol.hpp"
+#include "service/session.hpp"
+#include "service/tail_run.hpp"
+#include "workload/swf.hpp"
+
+/// \file test_service_fuzz.cpp
+/// Randomized query/ingest interleavings against the daemon brain: valid
+/// tail lines (in- and out-of-order), malformed JSON, truncated SWF
+/// records, oversized job shapes, and what-if queries, all shuffled by a
+/// seeded RNG.  Invariants: every reply is one line of valid protocol
+/// JSON (errors are structured, the process never dies), and afterwards
+/// the baseline hash equals an oracle that replays only the accepted
+/// lines into a fresh run.  CI runs this under ASan/UBSan, where any
+/// out-of-bounds parse or lifetime bug in the fork/rewind machinery trips.
+
+namespace istc::service {
+namespace {
+
+constexpr int kRossCpus = 1436;
+
+std::string swf_line(SimTime submit, Seconds runtime, int cpus,
+                     Seconds estimate) {
+  return "1 " + std::to_string(submit) + " 0 " + std::to_string(runtime) +
+         " " + std::to_string(cpus) + " -1 -1 " + std::to_string(cpus) + " " +
+         std::to_string(estimate) + " -1 1 3 2 -1 -1 -1 -1 -1";
+}
+
+std::string ingest_request(const std::string& line) {
+  return "{\"op\":\"ingest\",\"line\":\"" + json_escape(line) + "\"}";
+}
+
+/// One fuzzing campaign: `ops` random requests from seed, then the
+/// oracle comparison.
+void run_campaign(std::uint64_t seed, int ops) {
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  std::mt19937_64 rng(seed);
+  const auto pick = [&rng](std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(rng);
+  };
+
+  SessionConfig cfg;
+  cfg.site = cluster::Site::kRoss;
+  cfg.snapshot_interval = 3000;
+  Session session(cfg);
+
+  std::vector<workload::Job> oracle;
+  SimTime max_submit = 0;
+
+  for (int i = 0; i < ops; ++i) {
+    std::string request;
+    std::string line;  // non-empty when this op is an ingest
+    switch (pick(0, 9)) {
+      case 0:
+      case 1:
+      case 2: {  // in-order tail line
+        const SimTime submit = max_submit + pick(1, 400);
+        line = swf_line(submit, pick(60, 900), static_cast<int>(pick(1, 256)),
+                        pick(60, 1800));
+        request = ingest_request(line);
+        break;
+      }
+      case 3: {  // out-of-order tail line: forces rewind + replay
+        line = swf_line(pick(0, max_submit), pick(60, 900),
+                        static_cast<int>(pick(1, 256)), pick(60, 1800));
+        request = ingest_request(line);
+        break;
+      }
+      case 4: {  // mid-record truncation
+        const std::string full =
+            swf_line(pick(0, max_submit + 400), pick(60, 900),
+                     static_cast<int>(pick(1, 256)), pick(60, 1800));
+        line = full.substr(0, static_cast<std::size_t>(
+                                  pick(1, static_cast<std::int64_t>(
+                                              full.size() - 1))));
+        request = ingest_request(line);
+        break;
+      }
+      case 5: {  // oversized / degenerate job shapes
+        static const char* kShapes[] = {
+            "1 100 0 300 1000000 -1 -1 1000000 600 -1 1 1 1",  // too wide
+            "1 100 0 -5 8 -1 -1 8 600 -1 1 1 1",               // negative run
+            "1 -9 0 300 8 -1 -1 8 600 -1 1 1 1",               // negative submit
+            "1 100 0 300 0 -1 -1 0 600 -1 1 1 1",              // zero cpus
+        };
+        line = kShapes[pick(0, 3)];
+        request = ingest_request(line);
+        break;
+      }
+      case 6: {  // malformed JSON / garbage requests
+        static const char* kGarbage[] = {
+            "{\"op\":\"whatif\"",
+            "[1,2,3]",
+            "\"just a string\"",
+            "{\"op\":42}",
+            "{\"op\":\"whatif\",\"jobs\":-1}",
+            "{\"op\":\"whatif\",\"points_s\":\"zero\"}",
+            "lorem ipsum { ] ",
+            "",
+        };
+        request = kGarbage[pick(0, 7)];
+        break;
+      }
+      case 7:
+      case 8: {  // well-formed what-if query
+        request = "{\"op\":\"whatif\",\"jobs\":" + std::to_string(pick(1, 4)) +
+                  ",\"cpus\":" + std::to_string(pick(1, 64)) +
+                  ",\"runtime_s\":" + std::to_string(pick(60, 600)) +
+                  ",\"horizon_s\":" + std::to_string(pick(1000, 8000)) +
+                  (pick(0, 1) ? std::string(",\"mode\":\"scratch\"") : "") +
+                  "}";
+        break;
+      }
+      default:
+        request = "{\"op\":\"status\"}";
+        break;
+    }
+
+    const std::string reply = session.handle_line(request);
+
+    // Invariant: every reply parses and self-identifies, even for garbage.
+    const ParseResult parsed = parse(reply);
+    ASSERT_TRUE(parsed.ok()) << "request: " << request << "\nreply: " << reply;
+    ASSERT_EQ(parsed.value.str_or("schema", ""), kWhatIfSchema) << reply;
+
+    // Mirror accepted ingests into the oracle using the same parser the
+    // session uses — the valid-subset replay.
+    if (!line.empty() && parsed.value.bool_or("accepted", false)) {
+      const workload::SwfLineOutcome out = workload::parse_swf_line(line);
+      ASSERT_EQ(out.status, workload::SwfLineOutcome::Status::kJob) << line;
+      ASSERT_LE(out.job.cpus, kRossCpus);
+      workload::Job j = out.job;
+      j.id = static_cast<workload::JobId>(oracle.size());
+      j.klass = workload::JobClass::kNative;
+      oracle.push_back(j);
+      max_submit = std::max(max_submit, j.submit);
+    }
+  }
+
+  ASSERT_EQ(session.accepted_jobs(), oracle.size());
+
+  // Oracle: replay the valid subset, in ingest order, into a fresh run
+  // advanced offline to the live baseline's clock.
+  TailRun offline(TailConfig{cluster::Site::kRoss, std::nullopt});
+  for (const auto& j : oracle) offline.submit(j);
+  offline.run_until(session.frontier() - 1);
+  EXPECT_EQ(session.baseline_hash(), offline.state_hash())
+      << "accepted " << oracle.size() << " jobs, " << session.rewinds()
+      << " rewinds";
+}
+
+TEST(ServiceFuzz, RandomInterleavingsKeepTheDaemonSaneSeed1) {
+  run_campaign(0xA11CE5EEDull, 220);
+}
+
+TEST(ServiceFuzz, RandomInterleavingsKeepTheDaemonSaneSeed2) {
+  run_campaign(0xBEEFCAFE42ull, 220);
+}
+
+TEST(ServiceFuzz, RandomInterleavingsKeepTheDaemonSaneSeed3) {
+  run_campaign(0x5CA1AB1E99ull, 220);
+}
+
+}  // namespace
+}  // namespace istc::service

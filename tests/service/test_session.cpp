@@ -1,0 +1,244 @@
+#include "service/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "service/json.hpp"
+
+namespace istc::service {
+namespace {
+
+std::string swf_line(SimTime submit, Seconds runtime, int cpus,
+                     Seconds estimate) {
+  return "1 " + std::to_string(submit) + " 0 " + std::to_string(runtime) +
+         " " + std::to_string(cpus) + " -1 -1 " + std::to_string(cpus) + " " +
+         std::to_string(estimate) + " -1 1 3 2 -1 -1 -1 -1 -1";
+}
+
+std::string ingest_request(const std::string& line) {
+  return "{\"op\":\"ingest\",\"line\":\"" + json_escape(line) + "\"}";
+}
+
+SessionConfig ross_config() {
+  SessionConfig cfg;
+  cfg.site = cluster::Site::kRoss;
+  cfg.snapshot_interval = 1000;
+  return cfg;
+}
+
+/// Parse a reply and fail the test if it is not valid protocol JSON.
+Value reply_of(Session& session, const std::string& request) {
+  const std::string reply = session.handle_line(request);
+  const ParseResult parsed = parse(reply);
+  EXPECT_TRUE(parsed.ok()) << reply;
+  EXPECT_EQ(parsed.value.str_or("schema", ""), kWhatIfSchema) << reply;
+  return parsed.value;
+}
+
+TEST(Session, StatusReportsBaseline) {
+  Session session(ross_config());
+  const Value v = reply_of(session, "{\"op\":\"status\"}");
+  EXPECT_EQ(v.str_or("op", ""), "status");
+  EXPECT_EQ(v.str_or("site", ""), "Ross");
+  EXPECT_DOUBLE_EQ(v.num_or("epoch", -1), 0);
+  EXPECT_DOUBLE_EQ(v.num_or("accepted_jobs", -1), 0);
+  EXPECT_FALSE(v.bool_or("stream", true));
+}
+
+TEST(Session, IngestAcceptsAndBumpsEpoch) {
+  Session session(ross_config());
+  const Value v = reply_of(session, ingest_request(swf_line(100, 300, 8, 600)));
+  EXPECT_TRUE(v.bool_or("accepted", false));
+  EXPECT_DOUBLE_EQ(v.num_or("epoch", -1), 1);
+  EXPECT_DOUBLE_EQ(v.num_or("id", -1), 0);
+  EXPECT_DOUBLE_EQ(v.num_or("frontier_s", -1), 100);
+  EXPECT_EQ(session.epoch(), 1u);
+  EXPECT_EQ(session.accepted_jobs(), 1u);
+}
+
+TEST(Session, NoOpIngestsLeaveEpochAlone) {
+  Session session(ross_config());
+  reply_of(session, ingest_request(swf_line(100, 300, 8, 600)));
+
+  const Value blank = reply_of(session, ingest_request("   "));
+  EXPECT_FALSE(blank.bool_or("accepted", true));
+  EXPECT_EQ(blank.str_or("reason", ""), "blank");
+
+  const Value comment = reply_of(session, ingest_request("; header"));
+  EXPECT_EQ(comment.str_or("reason", ""), "blank");
+
+  // Failed/cancelled trace entries are filtered, not errors.
+  const Value filtered =
+      reply_of(session, ingest_request("2 150 0 -1 8 -1 -1 8 240 -1 0 1 1"));
+  EXPECT_EQ(filtered.str_or("reason", ""), "filtered");
+
+  EXPECT_EQ(session.epoch(), 1u);
+}
+
+TEST(Session, MalformedIngestLinesAreStructuredErrors) {
+  Session session(ross_config());
+  const Value truncated = reply_of(session, ingest_request("1 2 3"));
+  ASSERT_NE(truncated.find("error"), nullptr);
+  EXPECT_EQ(truncated.find("error")->str_or("code", ""), "bad_line");
+
+  const Value garbage = reply_of(session, ingest_request("not a record"));
+  ASSERT_NE(garbage.find("error"), nullptr);
+  EXPECT_EQ(garbage.find("error")->str_or("code", ""), "bad_line");
+  EXPECT_EQ(session.epoch(), 0u);
+}
+
+TEST(Session, OversizedIngestIsInfeasible) {
+  Session session(ross_config());
+  const Value v =
+      reply_of(session, ingest_request(swf_line(100, 300, 100000, 600)));
+  ASSERT_NE(v.find("error"), nullptr);
+  EXPECT_EQ(v.find("error")->str_or("code", ""), "infeasible");
+  EXPECT_EQ(session.epoch(), 0u);
+}
+
+TEST(Session, MalformedJsonIsAStructuredError) {
+  Session session(ross_config());
+  const Value v = reply_of(session, "{\"op\":\"status\"");
+  ASSERT_NE(v.find("error"), nullptr);
+  EXPECT_EQ(v.find("error")->str_or("code", ""), "bad_json");
+}
+
+TEST(Session, WhatIfValidationErrors) {
+  Session session(ross_config());
+  const auto code_of = [&](const std::string& req) {
+    const Value v = reply_of(session, req);
+    const Value* err = v.find("error");
+    return err == nullptr ? std::string("none") : err->str_or("code", "");
+  };
+  EXPECT_EQ(code_of("{\"op\":\"teleport\"}"), "bad_request");
+  EXPECT_EQ(code_of("{\"op\":\"whatif\",\"jobs\":0}"), "bad_shape");
+  EXPECT_EQ(code_of("{\"op\":\"whatif\",\"jobs\":2.5}"), "bad_shape");
+  EXPECT_EQ(code_of("{\"op\":\"whatif\",\"cpus\":1000000}"), "infeasible");
+  EXPECT_EQ(code_of("{\"op\":\"whatif\",\"class\":\"magic\"}"), "bad_request");
+  EXPECT_EQ(code_of("{\"op\":\"whatif\",\"points_s\":[]}"), "bad_shape");
+  EXPECT_EQ(code_of("{\"op\":\"whatif\",\"points_s\":[-5]}"), "bad_shape");
+  EXPECT_EQ(code_of("{\"op\":\"whatif\",\"runtime_s\":0}"), "bad_shape");
+}
+
+TEST(Session, WhatIfNativeVerdict) {
+  Session session(ross_config());
+  for (int i = 0; i < 10; ++i) {
+    reply_of(session,
+             ingest_request(swf_line(100 + 50 * i, 400, 16 + 16 * (i % 3),
+                                     800)));
+  }
+  const Value v = reply_of(
+      session,
+      "{\"op\":\"whatif\",\"project\":\"demo\",\"jobs\":4,\"cpus\":32,"
+      "\"runtime_s\":600,\"horizon_s\":7200}");
+  EXPECT_EQ(v.str_or("op", ""), "whatif");
+  EXPECT_EQ(v.str_or("project", ""), "demo");
+  EXPECT_EQ(v.str_or("class", ""), "native");
+  EXPECT_DOUBLE_EQ(v.num_or("epoch", -1), 10);
+  const Value* points = v.find("points");
+  ASSERT_NE(points, nullptr);
+  ASSERT_EQ(points->array.size(), 1u);
+  const Value& p = points->array[0];
+  EXPECT_DOUBLE_EQ(p.num_or("offset_s", -1), 0);
+  EXPECT_DOUBLE_EQ(p.num_or("completed", -1), 4);
+  EXPECT_DOUBLE_EQ(p.num_or("killed", -1), 0);
+  EXPECT_GT(p.num_or("makespan_s", 0), 0);
+  // 4 jobs x 32 cpus x 600 s of speculative work completed.
+  EXPECT_DOUBLE_EQ(p.num_or("harvested_cpu_s", 0), 4 * 32 * 600.0);
+  const Value* impact = p.find("native_impact");
+  ASSERT_NE(impact, nullptr);
+  EXPECT_DOUBLE_EQ(impact->num_or("compared", -1), 10);
+}
+
+TEST(Session, WhatIfMultiPoint) {
+  Session session(ross_config());
+  reply_of(session, ingest_request(swf_line(100, 500, 64, 1000)));
+  const Value v = reply_of(
+      session,
+      "{\"op\":\"whatif\",\"jobs\":2,\"cpus\":16,\"runtime_s\":300,"
+      "\"points_s\":[0,1800,3600]}");
+  const Value* points = v.find("points");
+  ASSERT_NE(points, nullptr);
+  ASSERT_EQ(points->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(points->array[0].num_or("offset_s", -1), 0);
+  EXPECT_DOUBLE_EQ(points->array[1].num_or("offset_s", -1), 1800);
+  EXPECT_DOUBLE_EQ(points->array[2].num_or("offset_s", -1), 3600);
+  for (const Value& p : points->array) {
+    EXPECT_DOUBLE_EQ(p.num_or("completed", -1), 2);
+  }
+}
+
+TEST(Session, ForkedAndScratchRepliesAreByteIdentical) {
+  Session session(ross_config());
+  for (int i = 0; i < 8; ++i) {
+    reply_of(session, ingest_request(swf_line(200 + 90 * i, 350, 24, 700)));
+  }
+  const std::string query =
+      "{\"op\":\"whatif\",\"jobs\":3,\"cpus\":48,\"runtime_s\":450,"
+      "\"horizon_s\":7200,\"points_s\":[0,900]";
+  const std::string forked = session.handle_line(query + "}");
+  const std::string scratch =
+      session.handle_line(query + ",\"mode\":\"scratch\"}");
+  EXPECT_EQ(forked, scratch);
+}
+
+TEST(Session, InterstitialWhatIfOnNativesOnlyBaseline) {
+  Session session(ross_config());
+  reply_of(session, ingest_request(swf_line(100, 500, 64, 1000)));
+  const Value v = reply_of(
+      session,
+      "{\"op\":\"whatif\",\"class\":\"interstitial\",\"jobs\":6,\"cpus\":8,"
+      "\"runtime_s\":204,\"horizon_s\":50000}");
+  EXPECT_EQ(v.str_or("class", ""), "interstitial");
+  const Value* points = v.find("points");
+  ASSERT_NE(points, nullptr);
+  EXPECT_DOUBLE_EQ(points->array[0].num_or("completed", -1), 6);
+}
+
+TEST(Session, InterstitialWhatIfConflictsWithBaselineStream) {
+  SessionConfig cfg = ross_config();
+  cfg.stream = core::ProjectSpec::continual_stream(8, 120, kTimeInfinity);
+  Session session(cfg);
+  const Value v = reply_of(
+      session, "{\"op\":\"whatif\",\"class\":\"interstitial\",\"jobs\":2}");
+  ASSERT_NE(v.find("error"), nullptr);
+  EXPECT_EQ(v.find("error")->str_or("code", ""), "conflict");
+}
+
+TEST(Session, StreamBaselineReportsHarvestDelta) {
+  SessionConfig cfg = ross_config();
+  cfg.stream = core::ProjectSpec::continual_stream(8, 120, kTimeInfinity);
+  Session session(cfg);
+  reply_of(session, ingest_request(swf_line(100, 500, 64, 1000)));
+  const Value v = reply_of(session,
+                           "{\"op\":\"whatif\",\"jobs\":2,\"cpus\":700,"
+                           "\"runtime_s\":600,\"horizon_s\":4000}");
+  const Value* points = v.find("points");
+  ASSERT_NE(points, nullptr);
+  ASSERT_NE(points->array[0].find("stream_harvest_delta_cpu_s"), nullptr);
+}
+
+TEST(Session, ShutdownSetsTheFlag) {
+  Session session(ross_config());
+  EXPECT_FALSE(session.shutdown_requested());
+  const Value v = reply_of(session, "{\"op\":\"shutdown\"}");
+  EXPECT_TRUE(v.bool_or("ok", false));
+  EXPECT_TRUE(session.shutdown_requested());
+}
+
+TEST(Session, MetricsCountTraffic) {
+  Session session(ross_config());
+  reply_of(session, ingest_request(swf_line(100, 300, 8, 600)));
+  reply_of(session, ingest_request("garbage line"));
+  reply_of(session, "{\"op\":\"whatif\",\"jobs\":1,\"cpus\":8}");
+  const auto& reg = session.registry();
+  EXPECT_EQ(reg.find_counter("service.ingests")->value, 2u);
+  EXPECT_EQ(reg.find_counter("service.ingests_accepted")->value, 1u);
+  EXPECT_EQ(reg.find_counter("service.ingests_rejected")->value, 1u);
+  EXPECT_EQ(reg.find_counter("service.queries")->value, 1u);
+  EXPECT_GT(reg.find_histogram("service.query_latency_us")->hist.total(), 0u);
+}
+
+}  // namespace
+}  // namespace istc::service

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/fork.hpp"
+#include "grid/fleet.hpp"
+#include "service/baseline.hpp"
+#include "service/json.hpp"
+#include "service/session.hpp"
+#include "service/tail_run.hpp"
+#include "workload/swf.hpp"
+
+/// \file test_staleness_differential.cpp
+/// Differential pin for the bounded-staleness machinery: an incrementally
+/// maintained baseline that survives tail invalidations (rewind to a
+/// snapshot + replay) must be bit-identical to a from-scratch simulation
+/// of the full ingested log.  Checked at the Session level (out-of-order
+/// SWF lines at several invalidation depths) and for SnapshotChain over
+/// both single-machine (core::SimRun) and federated (grid::FleetRun)
+/// baselines.
+
+namespace istc::service {
+namespace {
+
+std::string swf_line(SimTime submit, Seconds runtime, int cpus,
+                     Seconds estimate) {
+  return "1 " + std::to_string(submit) + " 0 " + std::to_string(runtime) +
+         " " + std::to_string(cpus) + " -1 -1 " + std::to_string(cpus) + " " +
+         std::to_string(estimate) + " -1 1 3 2 -1 -1 -1 -1 -1";
+}
+
+std::string ingest_request(const std::string& line) {
+  return "{\"op\":\"ingest\",\"line\":\"" + json_escape(line) + "\"}";
+}
+
+/// Feed `lines` through a session and return its final baseline hash,
+/// asserting every line was accepted.
+std::uint64_t session_hash_after(const std::vector<std::string>& lines,
+                                 Seconds snapshot_interval,
+                                 std::size_t* rewinds_out = nullptr) {
+  SessionConfig cfg;
+  cfg.site = cluster::Site::kRoss;
+  cfg.snapshot_interval = snapshot_interval;
+  Session session(cfg);
+  for (const auto& l : lines) {
+    const std::string reply = session.handle_line(ingest_request(l));
+    EXPECT_NE(reply.find("\"accepted\":true"), std::string::npos) << reply;
+  }
+  if (rewinds_out != nullptr) *rewinds_out = session.rewinds();
+  // The oracle must stand at the same clock as the live baseline.
+  TailRun offline(TailConfig{cluster::Site::kRoss, std::nullopt});
+  std::size_t id = 0;
+  for (const auto& l : lines) {
+    const workload::SwfLineOutcome out = workload::parse_swf_line(l);
+    EXPECT_EQ(out.status, workload::SwfLineOutcome::Status::kJob);
+    workload::Job j = out.job;
+    j.id = static_cast<workload::JobId>(id++);
+    offline.submit(j);
+  }
+  offline.run_until(session.frontier() - 1);
+  EXPECT_EQ(session.baseline_hash(), offline.state_hash());
+  return session.baseline_hash();
+}
+
+/// A 30-line in-order tail, then one straggler inserted at `straggler_at`
+/// — an out-of-order line whose submit time sits that far into history.
+std::vector<std::string> tail_with_straggler(SimTime straggler_at) {
+  std::vector<std::string> lines;
+  for (int i = 0; i < 30; ++i) {
+    lines.push_back(
+        swf_line(100 + 120 * i, 300 + 50 * (i % 6), 16 + 16 * (i % 4), 900));
+  }
+  lines.push_back(swf_line(straggler_at, 400, 64, 800));
+  return lines;
+}
+
+TEST(StalenessDifferential, SessionRecoversFromInvalidationAtSeveralDepths) {
+  // Straggler depths: near time zero (virgin-snapshot rewind), early,
+  // middle, and just behind the frontier (newest-snapshot rewind).
+  for (const SimTime depth : {SimTime{0}, SimTime{450}, SimTime{1700},
+                              SimTime{3400}}) {
+    SCOPED_TRACE("straggler at " + std::to_string(depth));
+    std::size_t rewinds = 0;
+    session_hash_after(tail_with_straggler(depth), /*snapshot_interval=*/700,
+                       &rewinds);
+    EXPECT_EQ(rewinds, 1u);
+  }
+}
+
+TEST(StalenessDifferential, RepeatedInvalidationsStillConverge) {
+  // Interleave three stragglers at different depths in one session: each
+  // rewind replays a tail that itself contains earlier stragglers.
+  std::vector<std::string> lines;
+  for (int i = 0; i < 30; ++i) {
+    lines.push_back(
+        swf_line(100 + 120 * i, 300 + 50 * (i % 6), 16 + 16 * (i % 4), 900));
+    if (i == 9) lines.push_back(swf_line(200, 350, 32, 700));
+    if (i == 19) lines.push_back(swf_line(1500, 500, 48, 1000));
+    if (i == 29) lines.push_back(swf_line(50, 250, 8, 500));
+  }
+  std::size_t rewinds = 0;
+  session_hash_after(lines, /*snapshot_interval=*/600, &rewinds);
+  EXPECT_EQ(rewinds, 3u);
+}
+
+TEST(StalenessDifferential, SnapshotIntervalDoesNotChangeTheAnswer) {
+  // The snapshot cadence bounds rewind cost; it must never change state.
+  const auto lines = tail_with_straggler(1234);
+  const std::uint64_t coarse = session_hash_after(lines, 5000);
+  const std::uint64_t fine = session_hash_after(lines, 250);
+  EXPECT_EQ(coarse, fine);
+}
+
+TEST(StalenessDifferential, SimRunChainRewindMatchesUninterrupted) {
+  core::Scenario scenario;
+  scenario.site = cluster::Site::kRoss;
+  scenario.project = core::ProjectSpec::continual_stream(
+      32, 458, cluster::site_span(cluster::Site::kRoss));
+  const std::uint64_t scratch =
+      grid::hash_run(core::run_scenario(scenario));
+
+  const SimTime span = cluster::site_span(scenario.site);
+  for (const double frac : {0.2, 0.7}) {
+    SCOPED_TRACE("rewind fraction " + std::to_string(frac));
+    SnapshotChain<core::SimRun> chain(
+        std::make_unique<core::SimRun>(scenario), span / 6);
+    chain.advance_to(span * 3 / 4);
+    chain.rewind_to(static_cast<SimTime>(static_cast<double>(span) * frac));
+    EXPECT_GE(chain.rewinds(), 1u);
+    chain.advance_to(span * 7 / 8);
+    EXPECT_EQ(grid::hash_run(chain.live().finish()), scratch);
+  }
+}
+
+TEST(StalenessDifferential, FleetRunChainRewindMatchesUninterrupted) {
+  const auto make_fleet = [] {
+    std::vector<grid::MachineSetup> setups;
+    setups.push_back(grid::site_machine_setup(cluster::Site::kRoss));
+    auto projects = grid::sweep_projects(2, 10, 1436, 0.0, 42);
+    grid::FleetConfig cfg;
+    cfg.threads = 1;
+    return std::make_unique<grid::FleetRun>(std::move(setups),
+                                            std::move(projects), cfg);
+  };
+
+  const grid::FleetResult scratch = make_fleet()->finish();
+
+  const SimTime span = cluster::site_span(cluster::Site::kRoss);
+  SnapshotChain<grid::FleetRun> chain(make_fleet(), span / 5);
+  chain.advance_to(span / 2);
+  chain.rewind_to(span / 4);
+  EXPECT_GE(chain.rewinds(), 1u);
+  chain.advance_to(span * 2 / 3);
+  const grid::FleetResult rewound = chain.live().finish();
+  EXPECT_EQ(rewound.hash, scratch.hash);
+  EXPECT_EQ(rewound.sim_end, scratch.sim_end);
+}
+
+}  // namespace
+}  // namespace istc::service
