@@ -27,7 +27,22 @@ void print_preamble(const char* artifact, const char* description) {
   std::printf("(shape reproduction; absolute values differ — EXPERIMENTS.md)\n");
   std::printf("Threads: %zu (ISTC_THREADS or hardware)\n",
               default_thread_count());
+  const auto pool = ThreadPool::global_stats();
+  std::printf("Pool: %llu tasks executed, queue hwm %zu, busy hwm %zu "
+              "(process-lifetime)\n",
+              static_cast<unsigned long long>(pool.tasks_executed),
+              pool.queue_hwm, pool.busy_hwm);
   std::printf("==============================================================\n\n");
+}
+
+void print_pool_stats(const char* when) {
+  const auto pool = ThreadPool::global_stats();
+  std::printf("pool stats (%s): %llu submitted, %llu executed, "
+              "queue hwm %zu, busy hwm %zu, %llu pools\n",
+              when, static_cast<unsigned long long>(pool.tasks_submitted),
+              static_cast<unsigned long long>(pool.tasks_executed),
+              pool.queue_hwm, pool.busy_hwm,
+              static_cast<unsigned long long>(pool.pools_created));
 }
 
 std::string artifact_path(const char* filename) {

@@ -22,6 +22,11 @@ namespace istc::bench {
 /// Standard header for every experiment binary.
 void print_preamble(const char* artifact, const char* description);
 
+/// One-line ThreadPool saturation summary (process-lifetime global
+/// gauges): submitted/executed tasks, queue and busy high-water marks.
+/// Print after a parallel phase so saved logs pin how hard the pool ran.
+void print_pool_stats(const char* when);
+
 /// Where experiment drivers write plot data (CSV etc.): `ISTC_OUT_DIR` if
 /// set, else `build/`, created on demand.  Keeps run-from-repo-root
 /// invocations from littering the source tree with artifacts.

@@ -13,6 +13,8 @@
 
 #include "core/experiment.hpp"
 #include "core/project.hpp"
+#include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "trace/tracer.hpp"
 
 namespace {
@@ -66,5 +68,28 @@ void BM_ContinualFullTracing(benchmark::State& state) {
   state.counters["events"] = static_cast<double>(events);
 }
 BENCHMARK(BM_ContinualFullTracing)->Unit(benchmark::kMillisecond);
+
+// Wall-clock observability (src/obs) A/B on the same scenario: the span
+// recorder + stage profiler fully enabled, no tracer attached.  Compare
+// against BM_ContinualUntraced — the obs acceptance bar is <= 3%.
+void BM_ContinualObsEnabled(benchmark::State& state) {
+  obs::set_enabled(true);
+  for (auto _ : state) {
+    auto run = core::run_scenario(bluepac_continual(nullptr));
+    benchmark::DoNotOptimize(run.records.data());
+  }
+  obs::set_enabled(false);
+  const obs::RecorderStats rec = obs::recorder_stats();
+  state.counters["stage_samples"] = [] {
+    double n = 0;
+    for (const auto& p : obs::profile_snapshot()) {
+      n += static_cast<double>(p.count);
+    }
+    return n;
+  }();
+  state.counters["spans"] = static_cast<double>(rec.recorded);
+  obs::reset();
+}
+BENCHMARK(BM_ContinualObsEnabled)->Unit(benchmark::kMillisecond);
 
 }  // namespace

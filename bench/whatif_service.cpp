@@ -20,11 +20,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common.hpp"
+#include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "service/json.hpp"
 #include "service/session.hpp"
 
@@ -102,7 +105,17 @@ struct BenchResult {
   double budget_ms = 0.0;
   double throughput_qps = 0.0;
   bool purity_equal = false;
-  bool pass() const { return purity_equal && p99_ms <= budget_ms; }
+  // Observability overhead gate: the same serial query sweep with the
+  // span recorder + stage profiler off vs fully on.
+  double obs_off_ms = 0.0;
+  double obs_on_ms = 0.0;
+  double obs_overhead = 0.0;      ///< on/off - 1 (best-of-reps)
+  double obs_overhead_max = 0.0;  ///< gate (ISTC_OBS_OVERHEAD_MAX)
+  bool obs_pure = false;          ///< replies byte-identical with obs on
+  bool pass() const {
+    return purity_equal && p99_ms <= budget_ms && obs_pure &&
+           obs_overhead <= obs_overhead_max;
+  }
 };
 
 BenchResult run_gates() {
@@ -173,16 +186,103 @@ BenchResult run_gates() {
   for (const int m : mismatches) total_mismatches += m;
   b.purity_equal = total_mismatches == 0;
 
+  // Observability overhead gate.  Each timed arm first ingests one fresh
+  // in-order tail line: the epoch bump invalidates the per-epoch reply
+  // memoization, so both arms time real speculative simulation (fork +
+  // sweep + verdict), not cache hits — the representative serving cost.
+  // Off/on arms interleave rep-by-rep so slow drift in machine load hits
+  // both equally, and best-of-reps (min) tames scheduler noise in CI.
+  // Purity sub-gate: re-asking obs-off at the obs-on arm's epoch must
+  // return byte-identical replies (observability never touches answers).
+  // Quick mode runs inside ctest on whatever loaded box the suite gets
+  // (possibly a single shared core, where a ms-scale wall-time ratio
+  // measures the OS scheduler, not this code) — its default budget is a
+  // catastrophic-regression backstop only.  The tight 3% bar is the full
+  // run's, on the dedicated perf-smoke runner.
+  b.obs_overhead_max =
+      env_ms("ISTC_OBS_OVERHEAD_MAX", quick ? 1.00 : 0.03);
+  const int ab_reps = quick ? 9 : 15;
+  const int ab_cycles = quick ? 24 : 12;
+  int obs_mismatches = 0;
+  SimTime ab_submit = session.frontier() + 600;
+  const auto bump_epoch = [&] {
+    const std::string line = swf_line(ab_submit, 300, 8, 1200);
+    ab_submit += 60;
+    session.handle_line("{\"op\":\"ingest\",\"line\":\"" +
+                        service::json_escape(line) + "\"}");
+  };
+  std::vector<std::string> ab_replies(prefixes.size());
+  const auto timed_sweep_ms = [&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < prefixes.size(); ++i) {
+      ab_replies[i] = session.handle_line(prefixes[i] + "}");
+    }
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  // Only the query sweeps are timed: the epoch bump between sweeps keeps
+  // the queries cold (the first ask per epoch recomputes the memoized
+  // reference arm), but ingest itself stays outside the clock — its cost
+  // is lumpy (cadence snapshots fork the whole run every
+  // snapshot_interval) and would swamp the A/B with unrelated noise.
+  // Off/on alternate per cycle, so each pair of measurements sits ~1 ms
+  // apart and slow drift in machine load hits both arms equally;
+  // best-of-reps (min) then discards reps hit by background stalls.
+  b.obs_off_ms = std::numeric_limits<double>::infinity();
+  b.obs_on_ms = std::numeric_limits<double>::infinity();
+  std::vector<double> rep_ratios;
+  for (int r = 0; r < ab_reps; ++r) {
+    double off_ms = 0.0;
+    double on_ms = 0.0;
+    for (int cycle = 0; cycle < ab_cycles; ++cycle) {
+      bump_epoch();
+      obs::set_enabled(false);
+      off_ms += timed_sweep_ms();
+      bump_epoch();
+      obs::set_enabled(true);
+      on_ms += timed_sweep_ms();
+      obs::set_enabled(false);
+    }
+    b.obs_off_ms = std::min(b.obs_off_ms, off_ms);
+    b.obs_on_ms = std::min(b.obs_on_ms, on_ms);
+    if (off_ms > 0) rep_ratios.push_back(on_ms / off_ms);
+    // Purity: obs-off at the obs-on arm's final epoch must reproduce the
+    // obs-on replies byte-for-byte.
+    for (std::size_t i = 0; i < prefixes.size(); ++i) {
+      if (session.handle_line(prefixes[i] + "}") != ab_replies[i]) {
+        ++obs_mismatches;
+      }
+    }
+  }
+  obs::reset();
+  b.obs_pure = obs_mismatches == 0;
+  // The gated estimate is the MEDIAN of per-rep on/off ratios: each rep's
+  // arms interleave cycle-by-cycle, so a background stall inflates both
+  // sides of that rep's ratio, and the median discards the reps a stall
+  // lands in anyway.  Min-vs-min would compare arms from different load
+  // phases and swing wildly on a busy box.
+  std::sort(rep_ratios.begin(), rep_ratios.end());
+  b.obs_overhead = rep_ratios.empty()
+                       ? 0.0
+                       : rep_ratios[rep_ratios.size() / 2] - 1.0;
+
+  const std::string purity_cell =
+      b.purity_equal ? "BYTE-IDENTICAL"
+                     : std::to_string(total_mismatches) + " MISMATCHES";
   std::printf(
       "%zu queries over %d clients x %d rounds: p50 %.2f ms, p99 %.2f ms "
       "(budget %.0f ms), %.1f q/s\n"
       "scratch reference: %zu queries in %.2f s\n"
-      "concurrent forked replies vs serial scratch replies: %s\n",
+      "concurrent forked replies vs serial scratch replies: %s\n"
+      "obs overhead: %.2f ms off -> %.2f ms on = %+.1f%% "
+      "(budget %.0f%%), obs-on replies %s\n",
       b.queries, b.threads, rounds, b.p50_ms, b.p99_ms, b.budget_ms,
-      b.throughput_qps, prefixes.size(), scratch_s,
-      b.purity_equal ? "BYTE-IDENTICAL"
-                     : (std::to_string(total_mismatches) + " MISMATCHES")
-                           .c_str());
+      b.throughput_qps, prefixes.size(), scratch_s, purity_cell.c_str(),
+      b.obs_off_ms, b.obs_on_ms, 100.0 * b.obs_overhead,
+      100.0 * b.obs_overhead_max,
+      b.obs_pure ? "BYTE-IDENTICAL" : "DIVERGED");
+  bench::print_pool_stats("after gates");
   return b;
 }
 
@@ -204,18 +304,27 @@ int main() {
         "  \"queries\": %zu,\n  \"threads\": %d,\n"
         "  \"p50_ms\": %.3f,\n  \"p99_ms\": %.3f,\n"
         "  \"budget_ms\": %.1f,\n  \"throughput_qps\": %.1f,\n"
-        "  \"purity_equal\": %s,\n  \"gate\": \"%s\"\n}\n",
+        "  \"purity_equal\": %s,\n"
+        "  \"obs_off_ms\": %.3f,\n  \"obs_on_ms\": %.3f,\n"
+        "  \"obs_overhead\": %.4f,\n  \"obs_overhead_max\": %.4f,\n"
+        "  \"obs_pure\": %s,\n  \"gate\": \"%s\"\n}\n",
         b.queries, b.threads, b.p50_ms, b.p99_ms, b.budget_ms,
-        b.throughput_qps, b.purity_equal ? "true" : "false",
-        b.pass() ? "pass" : "fail");
+        b.throughput_qps, b.purity_equal ? "true" : "false", b.obs_off_ms,
+        b.obs_on_ms, b.obs_overhead, b.obs_overhead_max,
+        b.obs_pure ? "true" : "false", b.pass() ? "pass" : "fail");
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
   }
 
   if (!b.pass()) {
-    std::printf("GATE FAILED: %s\n",
-                !b.purity_equal ? "concurrent replies diverged from scratch"
-                                : "p99 latency over budget");
+    const char* why = !b.purity_equal
+                          ? "concurrent replies diverged from scratch"
+                          : !b.obs_pure
+                                ? "obs-on replies diverged from scratch"
+                                : b.p99_ms > b.budget_ms
+                                      ? "p99 latency over budget"
+                                      : "observability overhead over budget";
+    std::printf("GATE FAILED: %s\n", why);
     return 1;
   }
   std::printf("all gates passed\n");

@@ -9,10 +9,12 @@
 //   istc replay  --swf trace.swf [--cpus 1024] [--clock 1.0]
 //                [--icpus 8] [--isec1ghz 120]
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "core/advisor.hpp"
 #include "core/driver.hpp"
@@ -22,6 +24,7 @@
 #include "metrics/report.hpp"
 #include "metrics/utilization.hpp"
 #include "metrics/waits.hpp"
+#include "obs/obs.hpp"
 #include "sched/scheduler.hpp"
 #include "service/json.hpp"
 #include "service/server.hpp"
@@ -65,8 +68,12 @@ int usage() {
       "  istc serve   --site <...> (--socket /path.sock | --port N)\n"
       "               [--stream-cpus 32 --stream-sec1ghz 120]\n"
       "               [--snapshot-interval-s 21600] [--preload trace.swf]\n"
+      "               [--obs] [--obs-trace spans.json]\n"
       "  istc ask     (--socket /path.sock | --port N) ['<json request>'...]\n"
       "               (no request operands: reads request lines from stdin)\n"
+      "  istc top     (--socket /path.sock | --port N) [--interval-s 2]\n"
+      "               [--count N]  (refreshing daemon dashboard; --count 1\n"
+      "               prints one snapshot and exits)\n"
       "\n"
       "global: --threads N pins the worker-pool width (0 = hardware)\n"
       "harvest and replay accept trace exports (see README, Inspecting a\n"
@@ -482,6 +489,14 @@ int cmd_serve(const ArgParser& args) {
   const auto endpoint = parse_endpoint(args);
   if (!endpoint) return usage();
 
+  // Wall-clock observability: --obs turns on the span recorder and the
+  // stage profiler (feeding the stats verb and /metrics); --obs-trace PATH
+  // additionally exports the span rings as chrome://tracing JSON on
+  // shutdown.  Neither changes any reply byte (the purity tests run with
+  // observability fully enabled).
+  const std::string obs_trace = args.get_or("obs-trace", "");
+  if (args.has("obs") || !obs_trace.empty()) obs::set_enabled(true);
+
   service::SessionConfig cfg;
   cfg.site = *site;
   cfg.snapshot_interval =
@@ -529,6 +544,20 @@ int cmd_serve(const ArgParser& args) {
   }
   std::printf("istc serve: shutdown after epoch %llu\n",
               static_cast<unsigned long long>(session.epoch()));
+  if (!obs_trace.empty()) {
+    // Exported after serve() returned: every connection thread is joined,
+    // so the rings are quiesced (the recorder's export contract).
+    try {
+      obs::write_chrome_spans_file(obs_trace);
+      const auto rec = obs::recorder_stats();
+      std::printf("wrote %llu spans to %s (%llu dropped)\n",
+                  static_cast<unsigned long long>(rec.recorded - rec.dropped),
+                  obs_trace.c_str(),
+                  static_cast<unsigned long long>(rec.dropped));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "span export failed: %s\n", e.what());
+    }
+  }
   return 0;
 }
 
@@ -555,6 +584,94 @@ int cmd_ask(const ArgParser& args) {
   }
 }
 
+// -- top: the refreshing daemon dashboard ------------------------------------
+
+/// Render one stats reply as a terminal dashboard frame.
+void render_stats(const service::Value& v) {
+  std::printf("istc top — %s  epoch %.0f  frontier %.0fs  uptime %.1fs\n",
+              v.str_or("site", "?").c_str(), v.num_or("epoch", 0),
+              v.num_or("frontier_s", 0), v.num_or("uptime_s", 0));
+  const double lag = v.num_or("ingest_lag_s", -1);
+  std::printf("baseline: %.0f accepted jobs, %.0f snapshots, %.0f rewinds, ",
+              v.num_or("accepted_jobs", 0), v.num_or("snapshots", 0),
+              v.num_or("rewinds", 0));
+  if (lag < 0) {
+    std::printf("no ingest yet\n");
+  } else {
+    std::printf("ingest lag %.1fs\n", lag);
+  }
+  if (const service::Value* c = v.find("counters")) {
+    std::printf("queries  %8.0f  (%.0f errors)\n", c->num_or("queries", 0),
+                c->num_or("query_errors", 0));
+    std::printf("ingests  %8.0f  (%.0f accepted, %.0f rejected)\n",
+                c->num_or("ingests", 0), c->num_or("ingests_accepted", 0),
+                c->num_or("ingests_rejected", 0));
+  }
+  if (const service::Value* l = v.find("query_latency_us")) {
+    std::printf("latency  %8.0f samples  p50 %.0fus  p90 %.0fus  p99 %.0fus\n",
+                l->num_or("count", 0), l->num_or("p50_us", 0),
+                l->num_or("p90_us", 0), l->num_or("p99_us", 0));
+  }
+  if (const service::Value* p = v.find("pool")) {
+    std::printf("pool     busy %.0f (hwm %.0f)  queued %.0f (hwm %.0f)  "
+                "executed %.0f\n",
+                p->num_or("busy_workers", 0), p->num_or("busy_hwm", 0),
+                p->num_or("queue_depth", 0), p->num_or("queue_hwm", 0),
+                p->num_or("tasks_executed", 0));
+  }
+  if (const service::Value* o = v.find("obs")) {
+    std::printf("spans    %s  %.0f recorded, %.0f dropped, %.0f threads\n",
+                o->bool_or("enabled", false) ? "on " : "off",
+                o->num_or("spans_recorded", 0), o->num_or("spans_dropped", 0),
+                o->num_or("span_threads", 0));
+  }
+  if (const service::Value* prof = v.find("profile");
+      prof != nullptr && prof->is_array() && !prof->array.empty()) {
+    std::printf("\n%-16s %10s %12s %9s %9s %9s\n", "stage", "count",
+                "total_us", "p50_us", "p90_us", "p99_us");
+    for (const service::Value& s : prof->array) {
+      std::printf("%-16s %10.0f %12.0f %9.0f %9.0f %9.0f\n",
+                  s.str_or("stage", "?").c_str(), s.num_or("count", 0),
+                  s.num_or("total_us", 0), s.num_or("p50_us", 0),
+                  s.num_or("p90_us", 0), s.num_or("p99_us", 0));
+    }
+  }
+}
+
+int cmd_top(const ArgParser& args) {
+  const auto endpoint = parse_endpoint(args);
+  if (!endpoint) return usage();
+  const double interval = args.get_num_or("interval-s", 2.0);
+  const long long frames = args.get_int_or("count", 0);  // 0 = until ^C
+  long long shown = 0;
+  while (true) {
+    std::vector<std::string> replies;
+    try {
+      replies = service::ask(*endpoint, {"{\"op\":\"stats\"}"});
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "top: %s\n", e.what());
+      return 1;
+    }
+    if (replies.empty()) {
+      std::fprintf(stderr, "top: daemon sent no reply\n");
+      return 1;
+    }
+    const service::ParseResult parsed = service::parse(replies[0]);
+    if (!parsed.ok() || !parsed.value.is_object() ||
+        parsed.value.find("error") != nullptr) {
+      std::fprintf(stderr, "top: bad stats reply: %s\n", replies[0].c_str());
+      return 1;
+    }
+    if (shown > 0) std::printf("\x1b[H\x1b[J");  // home + clear-below
+    render_stats(parsed.value);
+    std::fflush(stdout);
+    ++shown;
+    if (frames > 0 && shown >= frames) break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -574,6 +691,7 @@ int main(int argc, char** argv) {
   else if (cmd == "grid") rc = cmd_grid(args);
   else if (cmd == "serve") rc = cmd_serve(args);
   else if (cmd == "ask") rc = cmd_ask(args);
+  else if (cmd == "top") rc = cmd_top(args);
   else return usage();
 
   for (const auto& e : args.errors()) {

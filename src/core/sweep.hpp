@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 #include "util/time.hpp"
@@ -111,8 +113,13 @@ class SweepRunner {
       -> std::vector<decltype(finish(std::declval<Run&>(), std::size_t{}))> {
     using Result = decltype(finish(std::declval<Run&>(), std::size_t{}));
     const auto prefix_t0 = Clock::now();
-    std::unique_ptr<Run> prefix = make_run_(0);
-    prefix->run_until(t0);
+    std::unique_ptr<Run> prefix;
+    {
+      obs::ScopedSpan span("sweep.prefix");
+      obs::ScopedTimer timer(obs::Stage::kSweepPrefix);
+      prefix = make_run_(0);
+      prefix->run_until(t0);
+    }
     timing_.prefix_wall_s = since(prefix_t0);
 
     const auto forks_t0 = Clock::now();
@@ -121,8 +128,15 @@ class SweepRunner {
     // clocked apart from the advancement so per-arm comparisons (the
     // verified-mode speedup gates) measure simulation work only.
     std::vector<std::unique_ptr<Run>> forks;
-    forks.reserve(points_);
-    for (std::size_t i = 0; i < points_; ++i) forks.push_back(prefix->fork());
+    {
+      obs::ScopedSpan span("sweep.fork",
+                           static_cast<std::int64_t>(points_));
+      obs::ScopedTimer timer(obs::Stage::kSweepFork);
+      forks.reserve(points_);
+      for (std::size_t i = 0; i < points_; ++i) {
+        forks.push_back(prefix->fork());
+      }
+    }
     timing_.fork_wall_s = since(forks_t0);
 
     const auto points_t0 = Clock::now();
@@ -183,13 +197,25 @@ class SweepRunner {
   }
 
   void each_point(const std::function<void(std::size_t)>& fn) {
+    // Span causality crosses the pool: capture the caller's context (the
+    // query/sweep span) here and adopt it inside each task, so every
+    // "sweep.arm" parents correctly in the exported trace regardless of
+    // which worker ran it.  One simulation per call amortizes the
+    // wrapper; with obs disabled the adopt/span/timer are inert.
+    const obs::TraceContext ctx = obs::current_context();
+    const auto instrumented = [&fn, ctx](std::size_t i) {
+      obs::ScopedContext adopt(ctx);
+      obs::ScopedSpan span("sweep.arm", static_cast<std::int64_t>(i));
+      obs::ScopedTimer timer(obs::Stage::kSweepArm);
+      fn(i);
+    };
     const std::size_t threads =
         threads_ > 0 ? threads_ : default_thread_count();
     if (threads > 1 && points_ > 1) {
       ThreadPool pool(threads);
-      parallel_for(pool, points_, fn);
+      parallel_for(pool, points_, instrumented);
     } else {
-      for (std::size_t i = 0; i < points_; ++i) fn(i);
+      for (std::size_t i = 0; i < points_; ++i) instrumented(i);
     }
   }
 

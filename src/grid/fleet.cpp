@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "sched/presets.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -106,10 +108,18 @@ SimTime FleetRun::next_boundary() const {
 }
 
 void FleetRun::each_machine(const std::function<void(std::size_t)>& fn) {
+  // Same causality bridge as SweepRunner::each_point: machine-advance
+  // spans opened on pool workers parent under the caller's epoch span.
+  const obs::TraceContext ctx = obs::current_context();
+  const auto instrumented = [&fn, ctx](std::size_t i) {
+    obs::ScopedContext adopt(ctx);
+    obs::ScopedSpan span("fleet.machine", static_cast<std::int64_t>(i));
+    fn(i);
+  };
   if (pool_) {
-    parallel_for(*pool_, machines_.size(), fn);
+    parallel_for(*pool_, machines_.size(), instrumented);
   } else {
-    for (std::size_t i = 0; i < machines_.size(); ++i) fn(i);
+    for (std::size_t i = 0; i < machines_.size(); ++i) instrumented(i);
   }
 }
 
@@ -118,20 +128,30 @@ void FleetRun::run_until(SimTime t) {
     const SimTime next = next_boundary();
     if (next >= kTimeInfinity || next > t) break;
     ISTC_ASSERT(next > now_);
+    obs::ScopedSpan epoch_span("fleet.epoch",
+                               static_cast<std::int64_t>(epochs_));
     // Advance phase: shards are independent up to `next` — nothing routed
     // at this boundary can land before next + latency (conservative
     // lookahead), so this fans out without any cross-shard ordering.
-    each_machine([&](std::size_t i) { machines_[i]->advance(next); });
+    {
+      obs::ScopedSpan span("fleet.advance");
+      obs::ScopedTimer timer(obs::Stage::kEpochAdvance);
+      each_machine([&](std::size_t i) { machines_[i]->advance(next); });
+    }
     now_ = next;
     ++epochs_;
     // Boundary phase (serial, machine order, then broker): deterministic
     // regardless of how the advance phase was threaded.
-    for (auto* m : machines_) {
-      report_buf_.clear();
-      m->collect_reports(now_, report_buf_);
-      for (const auto& report : report_buf_) broker_.ingest(report);
+    {
+      obs::ScopedSpan span("fleet.boundary");
+      obs::ScopedTimer timer(obs::Stage::kEpochBoundary);
+      for (auto* m : machines_) {
+        report_buf_.clear();
+        m->collect_reports(now_, report_buf_);
+        for (const auto& report : report_buf_) broker_.ingest(report);
+      }
+      broker_.route(now_, machines_);
     }
-    broker_.route(now_, machines_);
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 
 namespace istc::grid {
@@ -94,6 +95,8 @@ SimTime GridMachine::next_report_time(SimTime asap) const {
 }
 
 void GridMachine::deliver_batch(SimTime at, std::span<const GridJob> jobs) {
+  obs::ScopedSpan span("grid.deliver",
+                       static_cast<std::int64_t>(jobs.size()));
   ISTC_EXPECTS(accepts_routed());
   ISTC_EXPECTS(at >= engine_.now());
   ISTC_EXPECTS(!jobs.empty());

@@ -49,6 +49,42 @@ class Log2Histogram {
   /// observe bounded sim-time quantities for which that never triggers).
   std::uint64_t sum() const { return sum_; }
 
+  /// Absorb another histogram's counts — the cross-thread aggregation
+  /// primitive (src/obs merges per-thread stage profiles through this).
+  void merge(const Log2Histogram& other) {
+    for (int k = 0; k < kBuckets; ++k) counts_[k] += other.counts_[k];
+    total_ += other.total_;
+    sum_ += other.sum_;
+  }
+
+  /// Approximate quantile by linear interpolation inside the log2 bucket
+  /// holding rank q*(total-1).  Resolution is the bucket width (a factor
+  /// of two) — the HDR-histogram trade: O(1) memory, bounded relative
+  /// error.  Monotone in q by construction (interpolation is linear
+  /// within a bucket and bucket ranges are disjoint and ordered).
+  /// Returns 0 for an empty histogram; q is clamped to [0, 1].
+  double quantile(double q) const {
+    if (total_ == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const double rank = q * static_cast<double>(total_ - 1);
+    std::uint64_t cum = 0;
+    for (int k = 0; k < kBuckets; ++k) {
+      const std::uint64_t c = counts_[k];
+      if (c == 0) continue;
+      if (rank < static_cast<double>(cum + c)) {
+        if (k == 0) return 0.0;  // bucket 0 holds only the value 0
+        const double lo = static_cast<double>(bucket_lo(k));
+        const double hi = static_cast<double>(bucket_hi(k));
+        const double within =
+            (rank - static_cast<double>(cum) + 0.5) / static_cast<double>(c);
+        return lo + within * (hi - lo);
+      }
+      cum += c;
+    }
+    return static_cast<double>(bucket_hi(kBuckets - 1));
+  }
+
   /// First / last bucket with a nonzero count; -1 when empty.  Exporters
   /// emit only this range so a 65-bucket histogram stays compact.
   int first_nonzero() const {

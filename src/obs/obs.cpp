@@ -1,0 +1,218 @@
+#include "obs/obs.hpp"
+
+#include "obs/profiler.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace istc::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_next_span{1};
+std::atomic<std::uint64_t> g_next_trace{1};
+std::atomic<std::size_t> g_ring_capacity{16384};
+
+/// One thread's span ring.  The owning thread writes without locks; the
+/// atomic pushed counter is the only field other threads may read while
+/// the owner is live (export walks the slots only after quiesce).
+struct ThreadRing {
+  explicit ThreadRing(std::size_t capacity) : slots(capacity) {}
+  std::vector<SpanRecord> slots;
+  std::atomic<std::uint64_t> pushed{0};
+
+  void push(const SpanRecord& r) {
+    const std::uint64_t n = pushed.load(std::memory_order_relaxed);
+    slots[n % slots.size()] = r;
+    pushed.store(n + 1, std::memory_order_release);
+  }
+};
+
+/// Registry of every ring ever handed to a thread.  shared_ptr keeps a
+/// ring alive past its thread's death so shutdown-time export still sees
+/// spans from short-lived pool workers.
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during exit
+  return *r;
+}
+
+/// Epoch bumped by reset(): thread-local ring handles from before the
+/// reset re-register instead of writing into a detached ring.
+std::atomic<std::uint64_t> g_reset_epoch{0};
+
+struct ThreadSlot {
+  std::shared_ptr<ThreadRing> ring;
+  std::uint64_t epoch = 0;
+};
+
+ThreadRing& my_ring() {
+  thread_local ThreadSlot slot;
+  const std::uint64_t epoch = g_reset_epoch.load(std::memory_order_acquire);
+  if (!slot.ring || slot.epoch != epoch) {
+    slot.ring = std::make_shared<ThreadRing>(
+        g_ring_capacity.load(std::memory_order_relaxed));
+    slot.epoch = epoch;
+    Registry& reg = registry();
+    std::lock_guard lk(reg.mu);
+    reg.rings.push_back(slot.ring);
+  }
+  return *slot.ring;
+}
+
+thread_local TraceContext t_context;
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+TraceContext current_context() { return t_context; }
+
+ScopedContext::ScopedContext(TraceContext ctx)
+    : saved_(t_context), active_(enabled()) {
+  if (active_) t_context = ctx;
+}
+
+ScopedContext::~ScopedContext() {
+  if (active_) t_context = saved_;
+}
+
+ScopedSpan::ScopedSpan(const char* name, std::int64_t arg)
+    : name_(name), arg_(arg) {
+  if (!enabled()) return;
+  active_ = true;
+  saved_ = t_context;
+  mine_.trace = saved_.trace != 0
+                    ? saved_.trace
+                    : g_next_trace.fetch_add(1, std::memory_order_relaxed);
+  mine_.span = g_next_span.fetch_add(1, std::memory_order_relaxed);
+  t_context = mine_;
+  start_ns_ = now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  SpanRecord r;
+  r.name = name_;
+  r.trace = mine_.trace;
+  r.id = mine_.span;
+  r.parent = saved_.span;
+  r.start_ns = start_ns_;
+  r.end_ns = now_ns();
+  r.arg = arg_;
+  my_ring().push(r);
+  t_context = saved_;
+}
+
+TraceContext ScopedSpan::context() const {
+  return active_ ? mine_ : t_context;
+}
+
+RecorderStats recorder_stats() {
+  RecorderStats s;
+  Registry& reg = registry();
+  std::lock_guard lk(reg.mu);
+  s.threads = reg.rings.size();
+  s.ring_capacity = g_ring_capacity.load(std::memory_order_relaxed);
+  for (const auto& ring : reg.rings) {
+    const std::uint64_t pushed = ring->pushed.load(std::memory_order_acquire);
+    const std::uint64_t cap = ring->slots.size();
+    s.recorded += pushed;
+    if (pushed > cap) s.dropped += pushed - cap;
+  }
+  return s;
+}
+
+void set_ring_capacity(std::size_t records) {
+  g_ring_capacity.store(records > 0 ? records : 1, std::memory_order_relaxed);
+}
+
+void reset() {
+  {
+    Registry& reg = registry();
+    std::lock_guard lk(reg.mu);
+    reg.rings.clear();
+    g_reset_epoch.fetch_add(1, std::memory_order_release);
+  }
+  reset_profiles();
+}
+
+void write_chrome_spans(std::ostream& out) {
+  // Snapshot the ring set under the lock; slot contents are read without
+  // one, which is only sound because export runs on quiesced writers.
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    Registry& reg = registry();
+    std::lock_guard lk(reg.mu);
+    rings = reg.rings;
+  }
+  out << "[";
+  bool first = true;
+  const auto emit = [&](const std::string& json) {
+    if (!first) out << ",\n";
+    first = false;
+    out << json;
+  };
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+       "\"args\":{\"name\":\"istc obs\"}}");
+  char buf[512];
+  for (std::size_t t = 0; t < rings.size(); ++t) {
+    const ThreadRing& ring = *rings[t];
+    const std::uint64_t pushed = ring.pushed.load(std::memory_order_acquire);
+    const std::uint64_t cap = ring.slots.size();
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%zu,\"args\":{\"name\":\"obs-thread-%zu\"}}",
+                  t + 1, t + 1);
+    emit(buf);
+    const std::uint64_t lo = pushed > cap ? pushed - cap : 0;
+    for (std::uint64_t i = lo; i < pushed; ++i) {
+      const SpanRecord& r = ring.slots[i % cap];
+      std::snprintf(
+          buf, sizeof buf,
+          "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%zu,"
+          "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"trace\":%" PRIu64
+          ",\"span\":%" PRIu64 ",\"parent\":%" PRIu64 ",\"arg\":%" PRId64
+          "}}",
+          r.name != nullptr ? r.name : "?", t + 1,
+          static_cast<double>(r.start_ns) / 1000.0,
+          static_cast<double>(r.end_ns - r.start_ns) / 1000.0, r.trace, r.id,
+          r.parent, r.arg);
+      emit(buf);
+    }
+  }
+  out << "]\n";
+}
+
+void write_chrome_spans_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_chrome_spans(out);
+}
+
+}  // namespace istc::obs

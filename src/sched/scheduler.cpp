@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/profiler.hpp"
 #include "util/assert.hpp"
 
 namespace istc::sched {
@@ -394,8 +395,13 @@ void BatchScheduler::pass(SimTime now) {
   // Pass timing is one chained sequence of clock reads at segment
   // boundaries, so stage_setup_us + sum(stage_us) == sched_pass_us_total
   // holds exactly by construction (pinned by tests).  Wall-clock cost
-  // lands in the summary only, never the event stream.
-  const bool timed = ISTC_TRACE_COUNTERS_ON(tracer_);
+  // lands in the summary only, never the event stream.  The obs stage
+  // profiler shares the same lap chain, and samples 1 in 16 passes: a
+  // pass is often only a few microseconds, so timing every one would
+  // make the profiler the dominant cost of the thing it profiles.
+  const bool counters = ISTC_TRACE_COUNTERS_ON(tracer_);
+  const bool profiled = obs::enabled() && (obs_sample_tick_++ & 15u) == 0;
+  const bool timed = counters || profiled;
   std::uint64_t pass_us = 0;
   std::chrono::steady_clock::time_point mark{};
   if (timed) mark = std::chrono::steady_clock::now();
@@ -416,7 +422,8 @@ void BatchScheduler::pass(SimTime now) {
   pass_state_.reset(now, pending_.size());
   if (timed) {
     const std::uint64_t us = lap();
-    tracer_->counters().stage_setup_us += us;
+    if (counters) tracer_->counters().stage_setup_us += us;
+    if (profiled) obs::observe_stage_us(obs::Stage::kSchedSetup, us);
     pass_us += us;
   }
   for (const auto& stage : pipeline_) {
@@ -429,13 +436,21 @@ void BatchScheduler::pass(SimTime now) {
     const std::uint64_t us = lap();
     stage->stats_.us_total += us;
     stage->stats_.us_max = std::max(stage->stats_.us_max, us);
-    auto& c = tracer_->counters();
     const auto slot = static_cast<int>(stage->kind());
-    c.stage_us[slot] += us;
-    ++c.stage_runs[slot];
+    if (counters) {
+      auto& c = tracer_->counters();
+      c.stage_us[slot] += us;
+      ++c.stage_runs[slot];
+    }
+    if (profiled) {
+      obs::observe_stage_us(
+          static_cast<obs::Stage>(
+              static_cast<int>(obs::Stage::kSchedPriority) + slot),
+          us);
+    }
     pass_us += us;
   }
-  if (timed) {
+  if (counters) {
     auto& c = tracer_->counters();
     ++c.sched_passes;
     c.sched_pass_us_total += pass_us;

@@ -440,6 +440,11 @@ class BatchScheduler : private sim::JobEventSink {
   std::set<SimTime> queued_wakes_;
   bool in_pass_ = false;
 
+  /// Pass counter for the wall-clock obs profiler's 1-in-N sampling
+  /// (sampling keeps the stage quantiles representative while the
+  /// per-pass clock reads stay off the hot path).
+  std::uint32_t obs_sample_tick_ = 0;
+
   /// Unrepaired fail_capacity outages (usually zero or one entry).
   std::vector<CapacityOutage> outages_;
   std::uint32_t next_outage_id_ = 0;

@@ -34,6 +34,11 @@ Request parse_request(std::string_view text) {
     r.op = Op::kStatus;
     return r;
   }
+  if (op == "stats") {
+    Request r;
+    r.op = Op::kStats;
+    return r;
+  }
   if (op == "shutdown") {
     Request r;
     r.op = Op::kShutdown;

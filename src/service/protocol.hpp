@@ -25,21 +25,27 @@
 ///   {"op":"ingest", "line":"<one SWF record>"}
 ///       Feed one line of the site's log tail into the live baseline.
 ///
-///   {"op":"status"}      Daemon introspection (epoch, frontier, hash).
+///   {"op":"status"}      Daemon introspection (epoch, frontier, hash)
+///                        plus query-latency quantiles.
+///   {"op":"stats"}       Full wall-clock telemetry: counters, latency
+///                        quantiles, per-stage profile, pool saturation,
+///                        span-recorder counters (what `istc top` renders;
+///                        the same data backs `GET /metrics`).
 ///   {"op":"shutdown"}    Stop accepting work; the server exits.
 ///
 /// Replies always carry {"schema":"istc.whatif.v1","op":<echo>} and
 /// either the op's payload or {"error":{"code":...,"message":...}}.
-/// Replies contain no wall-clock fields: the same query against the same
-/// baseline epoch is byte-identical regardless of concurrency or query
-/// order (the purity property the service tests pin).  Latency lands in
-/// the metrics registry instead.
+/// Purity contract: *whatif* replies contain no wall-clock fields — the
+/// same query against the same baseline epoch is byte-identical
+/// regardless of concurrency or query order (the property the service
+/// tests pin).  Wall-clock telemetry lives only in status/stats replies
+/// and the /metrics endpoint, which are never hashed or compared.
 
 namespace istc::service {
 
 inline constexpr std::string_view kWhatIfSchema = "istc.whatif.v1";
 
-enum class Op : unsigned char { kWhatIf, kIngest, kStatus, kShutdown };
+enum class Op : unsigned char { kWhatIf, kIngest, kStatus, kStats, kShutdown };
 
 /// Bounds a single query may not exceed (a socket peer is untrusted; the
 /// daemon refuses rather than simulates absurd shapes).

@@ -107,6 +107,24 @@ bool send_all(int fd, const std::string& data) {
   return true;
 }
 
+/// "GET /metrics HTTP/1.1" (or any first line starting "GET ") marks an
+/// HTTP scrape rather than an NDJSON peer.  One request, one response,
+/// close — exactly what a Prometheus scraper does.
+bool looks_like_http(const std::string& buffer) {
+  return buffer.rfind("GET ", 0) == 0;
+}
+
+std::string http_response(int code, std::string_view status,
+                          std::string_view content_type, std::string body) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " +
+                    std::string(status) + "\r\nContent-Type: " +
+                    std::string(content_type) +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
 }  // namespace
 
 Server::Server(Session& session, const Endpoint& endpoint)
@@ -150,11 +168,39 @@ void Server::handle_connection(int fd) {
   std::string buffer;
   char chunk[4096];
   bool open = true;
+  bool sniffed = false;
   while (open) {
     const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
     buffer.append(chunk, static_cast<std::size_t>(n));
+    if (!sniffed && buffer.size() >= 4) {
+      sniffed = true;
+      if (looks_like_http(buffer)) {
+        // Wait for the end of the request line, answer, close.  Headers
+        // and body (GETs have none) are ignored.
+        while (buffer.find('\n') == std::string::npos) {
+          const ssize_t m = ::recv(fd, chunk, sizeof chunk, 0);
+          if (m < 0 && errno == EINTR) continue;
+          if (m <= 0) break;
+          buffer.append(chunk, static_cast<std::size_t>(m));
+        }
+        const std::size_t sp = buffer.find(' ', 4);
+        const std::string path = buffer.substr(4, sp == std::string::npos
+                                                      ? std::string::npos
+                                                      : sp - 4);
+        if (path == "/metrics") {
+          send_all(fd, http_response(200, "OK",
+                                     "text/plain; version=0.0.4",
+                                     session_.prometheus_text()));
+        } else {
+          send_all(fd, http_response(404, "Not Found", "text/plain",
+                                     "only /metrics is served here\n"));
+        }
+        ::close(fd);
+        return;
+      }
+    }
     std::size_t start = 0;
     for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
          nl = buffer.find('\n', start)) {

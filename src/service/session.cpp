@@ -9,7 +9,11 @@
 
 #include "cluster/presets.hpp"
 #include "core/sweep.hpp"
+#include "obs/exposition.hpp"
+#include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "service/json.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/swf.hpp"
 
 namespace istc::service {
@@ -93,12 +97,21 @@ std::string Session::handle_line(std::string_view line) {
       return error_reply("error", req.error_code, req.error);
     }
     switch (req.op) {
-      case Op::kWhatIf:
+      case Op::kWhatIf: {
+        // Root span: one trace per query, with capture / sweep arms /
+        // verdict hanging off it in the exported Chrome trace.
+        obs::ScopedSpan span("query.whatif",
+                             static_cast<std::int64_t>(req.query.jobs));
         return do_whatif(req.query);
-      case Op::kIngest:
+      }
+      case Op::kIngest: {
+        obs::ScopedSpan span("query.ingest");
         return do_ingest(req.line);
+      }
       case Op::kStatus:
         return do_status();
+      case Op::kStats:
+        return do_stats();
       case Op::kShutdown:
         return do_shutdown();
     }
@@ -160,6 +173,8 @@ void Session::ingest_job(workload::Job job) {
     // the newest snapshot strictly older than the line and replay the
     // accepted tail in ingest order — the order the from-scratch oracle
     // uses, so the rebuilt baseline is bit-identical to it.
+    obs::ScopedSpan span("ingest.rewind");
+    obs::ScopedTimer timer(obs::Stage::kIngestRewind);
     accepted_.push_back(job);
     const std::size_t seq = chain_.rewind_to(job.submit);
     for (std::size_t i = seq; i < accepted_.size(); ++i) {
@@ -180,6 +195,7 @@ void Session::ingest_job(workload::Job job) {
 }
 
 std::string Session::do_ingest(const std::string& line) {
+  obs::ScopedTimer timer(obs::Stage::kIngestApply);
   std::lock_guard lk(mu_);
   registry_.add(ingests_);
   const workload::SwfLineOutcome out = workload::parse_swf_line(line);
@@ -213,6 +229,7 @@ std::string Session::do_ingest(const std::string& line) {
                            std::to_string(machine_cpus_));
   }
   registry_.add(ingests_accepted_);
+  last_accepted_ingest_ = std::chrono::steady_clock::now();
   ingest_job(out.job);
   JsonWriter w;
   w.begin_object();
@@ -246,6 +263,8 @@ std::string Session::do_whatif(const WhatIfQuery& q) {
 
   QueryBase base;
   {
+    obs::ScopedSpan span("query.capture");
+    obs::ScopedTimer timer(obs::Stage::kQueryCapture);
     std::lock_guard lk(mu_);
     registry_.add(queries_);
     if (q.cpus > machine_cpus_) {
@@ -362,6 +381,8 @@ std::string Session::do_whatif(const WhatIfQuery& q) {
 
   // -- verdict --------------------------------------------------------------
 
+  obs::ScopedSpan verdict_span("query.verdict");
+  obs::ScopedTimer verdict_timer(obs::Stage::kQueryVerdict);
   JsonWriter w;
   w.begin_object();
   w.member("schema", kWhatIfSchema);
@@ -447,7 +468,30 @@ std::string Session::do_whatif(const WhatIfQuery& q) {
   return w.take();
 }
 
-// -- status / shutdown ------------------------------------------------------
+// -- status / stats / shutdown ----------------------------------------------
+
+namespace {
+
+/// {"count":N,"p50_us":...,"p90_us":...,"p99_us":...} for a histogram.
+void write_quantiles(JsonWriter& w, const char* key,
+                     const metrics::Log2Histogram& h) {
+  w.key(key);
+  w.begin_object();
+  w.member("count", h.total());
+  w.member("p50_us", h.quantile(0.50));
+  w.member("p90_us", h.quantile(0.90));
+  w.member("p99_us", h.quantile(0.99));
+  w.end_object();
+}
+
+}  // namespace
+
+double Session::ingest_lag_s() const {
+  if (last_accepted_ingest_.time_since_epoch().count() == 0) return -1.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       last_accepted_ingest_)
+      .count();
+}
 
 std::string Session::do_status() {
   std::lock_guard lk(mu_);
@@ -464,8 +508,172 @@ std::string Session::do_status() {
   w.member("snapshots", chain_.snapshot_count());
   w.member("rewinds", chain_.rewinds());
   w.member("baseline_hash", hex_hash(chain_.live().state_hash()));
+  // Wall-clock telemetry is fine here: status replies are never part of
+  // the purity comparison (only whatif replies are hashed/compared).
+  write_quantiles(w, "query_latency_us",
+                  registry_.histogram_ref(query_latency_us_));
   w.end_object();
   return w.take();
+}
+
+std::string Session::do_stats() {
+  const auto pool = ThreadPool::global_stats();
+  const obs::RecorderStats rec = obs::recorder_stats();
+  const std::vector<obs::StageProfile> profile = obs::profile_snapshot();
+
+  std::lock_guard lk(mu_);
+  JsonWriter w;
+  w.begin_object();
+  w.member("schema", kWhatIfSchema);
+  w.member("op", "stats");
+  w.member("site", cluster::machine_spec(cfg_.site).name);
+  w.member("stream", cfg_.stream.has_value());
+  w.member("epoch", epoch_);
+  w.member("frontier_s", static_cast<std::int64_t>(frontier_));
+  w.member("now_s", static_cast<std::int64_t>(chain_.live().now()));
+  w.member("accepted_jobs", accepted_.size());
+  w.member("snapshots", chain_.snapshot_count());
+  w.member("rewinds", chain_.rewinds());
+  w.member("uptime_s",
+           std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         started_)
+               .count());
+  w.member("ingest_lag_s", ingest_lag_s());
+
+  w.key("counters");
+  w.begin_object();
+  w.member("queries", registry_.counter_value(queries_));
+  w.member("query_errors", registry_.counter_value(query_errors_));
+  w.member("ingests", registry_.counter_value(ingests_));
+  w.member("ingests_accepted", registry_.counter_value(ingests_accepted_));
+  w.member("ingests_rejected", registry_.counter_value(ingests_rejected_));
+  w.end_object();
+
+  write_quantiles(w, "query_latency_us",
+                  registry_.histogram_ref(query_latency_us_));
+
+  w.key("pool");
+  w.begin_object();
+  w.member("default_threads", default_thread_count());
+  w.member("tasks_submitted", pool.tasks_submitted);
+  w.member("tasks_executed", pool.tasks_executed);
+  w.member("queue_depth", pool.queue_depth);
+  w.member("queue_hwm", pool.queue_hwm);
+  w.member("busy_workers", pool.busy_workers);
+  w.member("busy_hwm", pool.busy_hwm);
+  w.member("pools_created", pool.pools_created);
+  w.end_object();
+
+  w.key("obs");
+  w.begin_object();
+  w.member("enabled", obs::enabled());
+  w.member("spans_recorded", rec.recorded);
+  w.member("spans_dropped", rec.dropped);
+  w.member("span_threads", rec.threads);
+  w.end_object();
+
+  w.key("profile");
+  w.begin_array();
+  for (const obs::StageProfile& p : profile) {
+    w.comma();
+    w.begin_object();
+    w.member("stage", p.label);
+    w.member("count", p.count);
+    w.member("total_us", p.total_us);
+    w.member("p50_us", p.p50_us);
+    w.member("p90_us", p.p90_us);
+    w.member("p99_us", p.p99_us);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::string Session::prometheus_text() {
+  const auto pool = ThreadPool::global_stats();
+  const obs::RecorderStats rec = obs::recorder_stats();
+  const std::vector<obs::StageProfile> profile = obs::profile_snapshot();
+  obs::PrometheusWriter prom;
+
+  std::lock_guard lk(mu_);
+  // Registry instruments under their sanitized names, deterministic and
+  // wall-clock alike (Prometheus consumers do their own bucketing).
+  for (const auto& c : registry_.counters()) {
+    const std::string name = obs::PrometheusWriter::sanitize(c.name);
+    prom.family(name, "counter", c.name);
+    prom.sample(name, static_cast<double>(c.value));
+  }
+  for (const auto& g : registry_.gauges()) {
+    const std::string name = obs::PrometheusWriter::sanitize(g.name);
+    prom.family(name, "gauge", g.name);
+    prom.sample(name, static_cast<double>(g.value));
+  }
+  for (const auto& h : registry_.histograms()) {
+    static constexpr double kQ[] = {0.5, 0.9, 0.99};
+    const double v[] = {h.hist.quantile(0.5), h.hist.quantile(0.9),
+                        h.hist.quantile(0.99)};
+    prom.summary(obs::PrometheusWriter::sanitize(h.name), h.name, kQ, v, 3,
+                 static_cast<double>(h.hist.sum()), h.hist.total());
+  }
+
+  prom.family("istc_ingest_lag_seconds", "gauge",
+              "wall seconds since the last accepted ingest (-1 before any)");
+  prom.sample("istc_ingest_lag_seconds", ingest_lag_s());
+  prom.family("istc_snapshot_chain_depth", "gauge",
+              "snapshots currently held by the baseline chain");
+  prom.sample("istc_snapshot_chain_depth",
+              static_cast<double>(chain_.snapshot_count()));
+  prom.family("istc_uptime_seconds", "gauge", "daemon wall-clock uptime");
+  prom.sample("istc_uptime_seconds",
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - started_)
+                  .count());
+
+  prom.family("istc_pool_tasks_executed", "counter",
+              "thread-pool tasks executed, every pool since process start");
+  prom.sample("istc_pool_tasks_executed",
+              static_cast<double>(pool.tasks_executed));
+  prom.family("istc_pool_queue_depth", "gauge",
+              "tasks currently queued across live pools");
+  prom.sample("istc_pool_queue_depth", static_cast<double>(pool.queue_depth));
+  prom.family("istc_pool_queue_hwm", "gauge",
+              "high-water mark of the pool queue depth");
+  prom.sample("istc_pool_queue_hwm", static_cast<double>(pool.queue_hwm));
+  prom.family("istc_pool_busy_workers", "gauge",
+              "workers currently running a task across live pools");
+  prom.sample("istc_pool_busy_workers",
+              static_cast<double>(pool.busy_workers));
+  prom.family("istc_pool_busy_hwm", "gauge",
+              "high-water mark of concurrently busy workers");
+  prom.sample("istc_pool_busy_hwm", static_cast<double>(pool.busy_hwm));
+
+  prom.family("istc_obs_spans_recorded", "counter",
+              "spans recorded into the per-thread rings");
+  prom.sample("istc_obs_spans_recorded", static_cast<double>(rec.recorded));
+  prom.family("istc_obs_spans_dropped", "counter",
+              "spans that overwrote an unexported ring slot");
+  prom.sample("istc_obs_spans_dropped", static_cast<double>(rec.dropped));
+
+  if (!profile.empty()) {
+    prom.family("istc_obs_stage_us", "summary",
+                "wall-clock stage profile (microseconds, log2-bucketed)");
+    for (const obs::StageProfile& p : profile) {
+      char label[96];
+      std::snprintf(label, sizeof label, "stage=\"%s\",quantile=\"0.5\"",
+                    p.label);
+      prom.sample("istc_obs_stage_us", label, p.p50_us);
+      std::snprintf(label, sizeof label, "stage=\"%s\",quantile=\"0.99\"",
+                    p.label);
+      prom.sample("istc_obs_stage_us", label, p.p99_us);
+      std::snprintf(label, sizeof label, "stage=\"%s\"", p.label);
+      prom.sample("istc_obs_stage_us_count", label,
+                  static_cast<double>(p.count));
+      prom.sample("istc_obs_stage_us_sum", label,
+                  static_cast<double>(p.total_us));
+    }
+  }
+  return prom.take();
 }
 
 std::string Session::do_shutdown() {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -81,13 +82,24 @@ class Session {
   /// under the session mutex.
   metrics::Registry& registry() { return registry_; }
 
+  /// The `GET /metrics` body: every registry instrument, the latency
+  /// summary, per-stage profile quantiles, ThreadPool saturation and
+  /// span-recorder counters in Prometheus text format.  Thread-safe.
+  std::string prometheus_text();
+
  private:
   struct QueryBase;  // epoch-consistent fork set, created under the lock
 
   std::string do_whatif(const WhatIfQuery& q);
   std::string do_ingest(const std::string& line);
   std::string do_status();
+  std::string do_stats();
   std::string do_shutdown();
+
+  /// Seconds of wall time since the last accepted ingest (-1 before the
+  /// first): the operator's "how stale is my tail feed" number.  Caller
+  /// holds mu_.
+  double ingest_lag_s() const;
 
   /// Feed an accepted job into the live baseline: fast path for future
   /// submits, rewind + replay for out-of-order ones.  Caller holds mu_.
@@ -96,6 +108,11 @@ class Session {
   SessionConfig cfg_;
   int machine_cpus_ = 0;
   double clock_ghz_ = 0.0;
+
+  /// Wall-clock anchors (telemetry only; never in whatif replies).
+  std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
+  std::chrono::steady_clock::time_point last_accepted_ingest_{};
 
   mutable std::mutex mu_;
   SnapshotChain<TailRun> chain_;

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -31,6 +32,19 @@ void set_default_thread_count(std::size_t threads);
 /// concurrency when none was set.
 std::size_t default_thread_count();
 
+/// Saturation gauges for a pool (or, via ThreadPool::global_stats, every
+/// pool the process ever created).  Wall-clock observability only: these
+/// feed bench preambles and the obs exposition surface, never results.
+struct PoolStats {
+  std::uint64_t tasks_submitted = 0;
+  std::uint64_t tasks_executed = 0;
+  std::size_t queue_depth = 0;   ///< tasks currently waiting
+  std::size_t queue_hwm = 0;     ///< high-water mark of queue_depth
+  std::size_t busy_workers = 0;  ///< workers currently running a task
+  std::size_t busy_hwm = 0;      ///< high-water mark of busy_workers
+  std::uint64_t pools_created = 0;  ///< global_stats only; 0 per-instance
+};
+
 class ThreadPool {
  public:
   /// \param threads 0 means default_thread_count().
@@ -48,16 +62,29 @@ class ThreadPool {
   /// Block until every submitted task has finished.
   void wait_idle();
 
+  /// This pool's saturation gauges (consistent snapshot under the lock).
+  PoolStats stats() const;
+
+  /// Process-wide gauges accumulated across every pool ever constructed —
+  /// transient sweep pools included, which is what makes the numbers
+  /// meaningful for a daemon that builds a pool per query.  queue_depth /
+  /// busy_workers are live values across currently existing pools.
+  static PoolStats global_stats();
+
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
   std::size_t active_ = 0;
   bool stop_ = false;
+  std::uint64_t tasks_submitted_ = 0;
+  std::uint64_t tasks_executed_ = 0;
+  std::size_t queue_hwm_ = 0;
+  std::size_t busy_hwm_ = 0;
 };
 
 /// Run fn(i) for i in [0, n) across the pool; blocks until done.

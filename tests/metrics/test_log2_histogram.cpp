@@ -93,5 +93,103 @@ TEST(Log2Histogram, BucketLabelsSpellTheRanges) {
   EXPECT_EQ(bucket_label(4), "[8,16)");
 }
 
+// -- quantile() (feeds the stats verb, /metrics and istc top) ----------------
+
+TEST(Log2Histogram, QuantileOfEmptyHistogramIsZero) {
+  const Log2Histogram h;
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.quantile(q), 0.0) << q;
+  }
+}
+
+TEST(Log2Histogram, QuantileClampsOutOfRangeInputs) {
+  Log2Histogram h;
+  h.add(100);
+  EXPECT_EQ(h.quantile(-3.0), h.quantile(0.0));
+  EXPECT_EQ(h.quantile(7.0), h.quantile(1.0));
+}
+
+TEST(Log2Histogram, QuantileOfSingleSampleLandsInItsBucket) {
+  Log2Histogram h;
+  h.add(100);  // bucket [64,128)
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, 64.0) << q;
+    EXPECT_LT(v, 128.0) << q;
+    // One sample means one answer: every quantile reads the same rank.
+    EXPECT_EQ(v, h.quantile(0.5)) << q;
+  }
+}
+
+TEST(Log2Histogram, QuantileOfZeroSamplesIsExactlyZero) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Log2Histogram, QuantileAllInOverflowBucketStaysInBucket) {
+  Log2Histogram h;
+  const auto big = std::uint64_t{1} << 63;  // first value of bucket 64
+  h.add(big);
+  h.add(std::numeric_limits<std::uint64_t>::max());
+  const double lo = static_cast<double>(big);
+  for (const double q : {0.0, 0.5, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, lo) << q;
+    EXPECT_LE(v, static_cast<double>(
+                     std::numeric_limits<std::uint64_t>::max()))
+        << q;
+  }
+}
+
+TEST(Log2Histogram, QuantileIsMonotoneInQ) {
+  Rng rng(0x9A517);
+  Log2Histogram h;
+  for (int i = 0; i < 5000; ++i) {
+    const int width = static_cast<int>(rng.below(20));
+    const std::uint64_t lo = width == 0 ? 0 : std::uint64_t{1} << (width - 1);
+    h.add(width == 0 ? 0 : lo + rng.below(lo));
+  }
+  double prev = h.quantile(0.0);
+  for (int i = 1; i <= 100; ++i) {
+    const double v = h.quantile(static_cast<double>(i) / 100.0);
+    EXPECT_GE(v, prev) << i;
+    prev = v;
+  }
+}
+
+TEST(Log2Histogram, QuantileBracketsTheMedianOfAKnownSet) {
+  Log2Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.add(v);
+  // True median 500; log2 buckets bound it to [256,512).
+  const double p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LT(p50, 512.0);
+  const double p99 = h.quantile(0.99);
+  EXPECT_GE(p99, 512.0);  // true p99 ~990
+  EXPECT_LT(p99, 1024.0);
+}
+
+TEST(Log2Histogram, MergeSumsCountsTotalsAndSums) {
+  Log2Histogram a;
+  Log2Histogram b;
+  a.add(5);
+  a.add(100);
+  b.add(5);
+  b.add(70000);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.sum(), 5u + 100 + 5 + 70000);
+  EXPECT_EQ(a.count(Log2Histogram::bucket_index(5)), 2u);
+  EXPECT_EQ(a.count(Log2Histogram::bucket_index(100)), 1u);
+  EXPECT_EQ(a.count(Log2Histogram::bucket_index(70000)), 1u);
+  // Merging an empty histogram is the identity.
+  const std::uint64_t before = a.total();
+  a.merge(Log2Histogram{});
+  EXPECT_EQ(a.total(), before);
+}
+
 }  // namespace
 }  // namespace istc::metrics

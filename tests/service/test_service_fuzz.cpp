@@ -119,7 +119,9 @@ void run_campaign(std::uint64_t seed, int ops) {
         break;
       }
       default:
-        request = "{\"op\":\"status\"}";
+        // Telemetry verbs: never byte-compared, but they must always
+        // parse and never disturb the session's deterministic state.
+        request = pick(0, 1) ? "{\"op\":\"status\"}" : "{\"op\":\"stats\"}";
         break;
     }
 

@@ -227,6 +227,101 @@ TEST(Session, ShutdownSetsTheFlag) {
   EXPECT_TRUE(session.shutdown_requested());
 }
 
+// -- observability surface: status quantiles, stats verb, /metrics body -----
+
+TEST(Session, StatusIncludesQueryLatencyQuantiles) {
+  Session session(ross_config());
+  reply_of(session, "{\"op\":\"whatif\",\"jobs\":1,\"cpus\":8}");
+  const Value v = reply_of(session, "{\"op\":\"status\"}");
+  const Value* lat = v.find("query_latency_us");
+  ASSERT_NE(lat, nullptr) << "status must publish latency quantiles";
+  EXPECT_DOUBLE_EQ(lat->num_or("count", -1), 1);
+  const double p50 = lat->num_or("p50_us", -1);
+  const double p90 = lat->num_or("p90_us", -1);
+  const double p99 = lat->num_or("p99_us", -1);
+  EXPECT_GE(p50, 0.0);
+  EXPECT_GE(p90, p50);
+  EXPECT_GE(p99, p90);
+}
+
+TEST(Session, StatsVerbPublishesTheTelemetrySchema) {
+  Session session(ross_config());
+  reply_of(session, "{\"op\":\"whatif\",\"jobs\":1,\"cpus\":8}");
+  const Value v = reply_of(session, "{\"op\":\"stats\"}");
+  EXPECT_EQ(v.str_or("op", ""), "stats");
+  EXPECT_EQ(v.find("error"), nullptr);
+  EXPECT_GE(v.num_or("uptime_s", -1), 0.0);
+  // No ingest yet: lag is the -1 sentinel.
+  EXPECT_DOUBLE_EQ(v.num_or("ingest_lag_s", 0), -1.0);
+
+  const Value* counters = v.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->num_or("queries", -1), 1);
+  EXPECT_DOUBLE_EQ(counters->num_or("ingests", -1), 0);
+
+  const Value* lat = v.find("query_latency_us");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_DOUBLE_EQ(lat->num_or("count", -1), 1);
+
+  const Value* pool = v.find("pool");
+  ASSERT_NE(pool, nullptr);
+  EXPECT_GE(pool->num_or("default_threads", -1), 1.0);
+  EXPECT_GE(pool->num_or("tasks_executed", -1), 0.0);
+
+  const Value* o = v.find("obs");
+  ASSERT_NE(o, nullptr);
+  EXPECT_GE(o->num_or("spans_recorded", -1), 0.0);
+
+  const Value* profile = v.find("profile");
+  ASSERT_NE(profile, nullptr);
+  EXPECT_TRUE(profile->is_array());
+}
+
+TEST(Session, StatsReportsIngestLagAfterAcceptedIngest) {
+  Session session(ross_config());
+  reply_of(session, ingest_request(swf_line(100, 300, 8, 600)));
+  const Value v = reply_of(session, "{\"op\":\"stats\"}");
+  EXPECT_GE(v.num_or("ingest_lag_s", -1), 0.0);
+  const Value* counters = v.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->num_or("ingests_accepted", -1), 1);
+}
+
+TEST(Session, PrometheusTextExposesTheRegistryAndGauges) {
+  Session session(ross_config());
+  reply_of(session, ingest_request(swf_line(100, 300, 8, 600)));
+  reply_of(session, "{\"op\":\"whatif\",\"jobs\":1,\"cpus\":8}");
+  const std::string text = session.prometheus_text();
+  EXPECT_NE(text.find("# TYPE istc_service_queries counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("istc_service_queries 1"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE istc_service_query_latency_us summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("istc_service_query_latency_us{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("istc_service_query_latency_us_count"),
+            std::string::npos);
+  EXPECT_NE(text.find("istc_ingest_lag_seconds"), std::string::npos);
+  EXPECT_NE(text.find("istc_snapshot_chain_depth"), std::string::npos);
+  EXPECT_NE(text.find("istc_pool_queue_depth"), std::string::npos);
+  EXPECT_NE(text.find("istc_obs_spans_recorded"), std::string::npos);
+  // Prometheus text format: every line is a comment or "name[{labels}] value".
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Session, StatsRepliesAreNotPartOfThePurityContract) {
+  // Two stats replies differ (uptime moves) while whatif replies must not:
+  // the test documents why stats/status are never byte-compared.
+  Session session(ross_config());
+  const std::string a =
+      session.handle_line("{\"op\":\"whatif\",\"jobs\":1,\"cpus\":8}");
+  const std::string b =
+      session.handle_line("{\"op\":\"whatif\",\"jobs\":1,\"cpus\":8}");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.find("uptime"), std::string::npos);
+  EXPECT_EQ(a.find("_us"), std::string::npos);
+}
+
 TEST(Session, MetricsCountTraffic) {
   Session session(ross_config());
   reply_of(session, ingest_request(swf_line(100, 300, 8, 600)));

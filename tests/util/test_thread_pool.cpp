@@ -94,6 +94,50 @@ TEST(ParallelFor, DeterministicWithForkedStreams) {
   EXPECT_EQ(run(1), run(7));
 }
 
+// -- saturation gauges (bench preambles, stats verb, /metrics) ---------------
+
+TEST(ThreadPool, InstanceStatsCountSubmittedAndExecuted) {
+  ThreadPool pool(3);
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([] {});
+  }
+  pool.wait_idle();
+  const PoolStats s = pool.stats();
+  EXPECT_EQ(s.tasks_submitted, 50u);
+  EXPECT_EQ(s.tasks_executed, 50u);
+  EXPECT_EQ(s.queue_depth, 0u);
+  // 50 tasks through 3 workers must have queued at least once.
+  EXPECT_GE(s.queue_hwm, 1u);
+  EXPECT_LE(s.busy_hwm, 3u);
+}
+
+TEST(ThreadPool, GlobalStatsAreMonotoneAcrossPools) {
+  const PoolStats before = ThreadPool::global_stats();
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([] {});
+    }
+    pool.wait_idle();
+  }
+  const PoolStats after = ThreadPool::global_stats();
+  EXPECT_GE(after.tasks_submitted, before.tasks_submitted + 20);
+  EXPECT_GE(after.tasks_executed, before.tasks_executed + 20);
+  EXPECT_GE(after.pools_created, before.pools_created + 1);
+  // Process-lifetime HWMs never move backwards.
+  EXPECT_GE(after.queue_hwm, before.queue_hwm);
+  EXPECT_GE(after.busy_hwm, before.busy_hwm);
+}
+
+TEST(ThreadPool, BusyWorkersReturnToZeroWhenIdle) {
+  ThreadPool pool(4);
+  std::atomic<int> n{0};
+  parallel_for(pool, 64, [&](std::size_t) { n.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(pool.stats().busy_workers, 0u);
+  EXPECT_EQ(n.load(), 64);
+}
+
 TEST(ThreadPool, ReusableAcrossBatches) {
   ThreadPool pool(3);
   std::atomic<int> a{0};
